@@ -1,0 +1,61 @@
+// Ablation: what makes the SRT-index work (Section 4 design choices).
+//
+//   1. Bulk-load ordering: Hilbert packing over the mapped 4-D space (the
+//      paper's choice, [9]) vs STR vs one-at-a-time insertion.
+//   2. Index family: SRT (clusters location+score+text) vs IR2 (location
+//      only, signatures bolted on).
+//
+// Reported per configuration: STPS cost and the number of feature objects
+// pulled before the top combinations were confirmed — the tighter s-hat(e)
+// is, the fewer features STPS retrieves.
+#include "bench_common.h"
+
+namespace stpq {
+namespace bench {
+namespace {
+
+void RunConfig(const BenchEnv& env, const std::string& label,
+               const Dataset& ds, const std::vector<Query>& queries,
+               FeatureIndexKind kind, BulkLoadKind bulk) {
+  EngineOptions opts;
+  opts.index_kind = kind;
+  opts.bulk_load = bulk;
+  Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                opts);
+  WorkloadResult r = RunWorkload(&engine, queries, Algorithm::kStps, env);
+  std::printf("%-28s %12.3f %12.1f %14.1f %12.3f\n", label.c_str(), r.cpu_ms,
+              r.reads,
+              static_cast<double>(r.totals.features_retrieved) /
+                  queries.size(),
+              r.total_ms());
+}
+
+void Main() {
+  BenchEnv env = GetEnv(/*default_queries=*/30);
+  std::printf("Ablation: SRT-index design choices "
+              "(scale=%.2f, io=%.2fms/read)\n",
+              env.scale, env.io_ms);
+  Dataset ds = MakeSynthetic(env, 100'000, 100'000, 2, 128);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = env.queries;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  std::printf("%-28s %12s %12s %14s %12s\n", "config", "cpu_ms", "io_reads",
+              "features/query", "total_ms");
+
+  RunConfig(env, "SRT + 4-D Hilbert (paper)", ds, queries,
+            FeatureIndexKind::kSrt, BulkLoadKind::kHilbert);
+  RunConfig(env, "SRT + STR packing", ds, queries, FeatureIndexKind::kSrt,
+            BulkLoadKind::kStr);
+  RunConfig(env, "SRT + tuple insertion", ds, queries,
+            FeatureIndexKind::kSrt, BulkLoadKind::kInsert);
+  RunConfig(env, "IR2 + 2-D Hilbert", ds, queries, FeatureIndexKind::kIr2,
+            BulkLoadKind::kHilbert);
+  RunConfig(env, "IR2 + STR packing", ds, queries, FeatureIndexKind::kIr2,
+            BulkLoadKind::kStr);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stpq
+
+int main() { stpq::bench::Main(); }

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the substrate operations:
+// Hilbert transcoding, keyword-set algebra, signatures, R-tree queries,
+// and the buffer pool.
+#include <benchmark/benchmark.h>
+
+#include "hilbert/hilbert.h"
+#include "hilbert/keyword_hilbert.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "text/keyword_set.h"
+#include "text/signature.h"
+#include "util/rng.h"
+
+namespace stpq {
+namespace {
+
+void BM_HilbertKey2D(benchmark::State& state) {
+  uint32_t coords[2] = {12345, 54321};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertKey(coords, 16, 2));
+    coords[0] += 7;
+  }
+}
+BENCHMARK(BM_HilbertKey2D);
+
+void BM_HilbertKey4D(benchmark::State& state) {
+  uint32_t coords[4] = {123, 456, 789, 1011};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertKey(coords, 16, 4));
+    coords[2] += 3;
+  }
+}
+BENCHMARK(BM_HilbertKey4D);
+
+void BM_EncodeKeywords(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  Rng rng(1);
+  KeywordSet set(w);
+  for (int i = 0; i < 4; ++i) {
+    set.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeKeywords(set));
+  }
+}
+BENCHMARK(BM_EncodeKeywords)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AggregateHilbert(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  Rng rng(2);
+  KeywordSet a(w), b(w);
+  for (int i = 0; i < 4; ++i) {
+    a.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+    b.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+  }
+  HilbertValue ha = EncodeKeywords(a), hb = EncodeKeywords(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AggregateHilbert(ha, hb, w));
+  }
+}
+BENCHMARK(BM_AggregateHilbert)->Arg(128)->Arg(256);
+
+void BM_Jaccard(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  Rng rng(3);
+  KeywordSet a(w), b(w);
+  for (int i = 0; i < 4; ++i) {
+    a.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+    b.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Jaccard(b));
+  }
+}
+BENCHMARK(BM_Jaccard)->Arg(128)->Arg(256);
+
+void BM_SignatureMatch(benchmark::State& state) {
+  SignatureScheme scheme(256, 3);
+  Rng rng(4);
+  KeywordSet set(128), query(128);
+  for (int i = 0; i < 4; ++i) {
+    set.Insert(static_cast<TermId>(rng.UniformInt(0, 127)));
+    query.Insert(static_cast<TermId>(rng.UniformInt(0, 127)));
+  }
+  Signature sig = scheme.SetSignature(set);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.UpperBoundIntersect(sig, query));
+  }
+}
+BENCHMARK(BM_SignatureMatch);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<RTree<2>::Entry> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({PointRect({rng.Uniform(), rng.Uniform()}),
+                   static_cast<uint32_t>(i),
+                   {}});
+  }
+  SortByHilbertKey<2, NoAug>(&pts, ComputeDomain<2, NoAug>(pts), 16);
+  RTreeOptions opts;
+  opts.max_entries = 64;
+  RTree<2> tree(opts);
+  tree.BulkLoadSorted(pts);
+  uint64_t found = 0;
+  for (auto _ : state) {
+    double x = rng.Uniform(0, 0.95);
+    double y = rng.Uniform(0, 0.95);
+    tree.ForEachInRange(MakeRect2(x, y, x + 0.02, y + 0.02),
+                        [&](uint32_t, const Rect2&, const NoAug&) {
+                          ++found;
+                        });
+  }
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_RTreeRangeQuery)->Arg(10'000)->Arg(100'000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(6);
+  RTreeOptions opts;
+  opts.max_entries = 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    RTree<2> tree(opts);
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 1000; ++i) {
+      tree.Insert(PointRect({rng.Uniform(), rng.Uniform()}), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_RTreeInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_BufferPoolAccess(benchmark::State& state) {
+  BufferPool pool(1024);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Access(rng.UniformInt(0, 4095)));
+  }
+}
+BENCHMARK(BM_BufferPoolAccess);
+
+}  // namespace
+}  // namespace stpq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+
+#include "core/score.h"
+#include "util/logging.h"
+
+namespace stpq {
+
+double BruteForceEvaluator::ComponentScore(const Point& p, size_t set_index,
+                                           const Query& query) const {
+  const FeatureTable& table = *feature_sets_[set_index];
+  const KeywordSet& w = query.keywords[set_index];
+  double best = 0.0;
+  switch (query.variant) {
+    case ScoreVariant::kRange: {
+      const double r2 = query.radius * query.radius;
+      for (const FeatureObject& t : table.All()) {
+        if (!TextRelevant(t, w)) continue;
+        if (SquaredDistance(p, t.pos) > r2) continue;
+        best = std::max(best, PreferenceScore(t, w, query.lambda));
+      }
+      break;
+    }
+    case ScoreVariant::kInfluence: {
+      for (const FeatureObject& t : table.All()) {
+        if (!TextRelevant(t, w)) continue;
+        double s = PreferenceScore(t, w, query.lambda) *
+                   InfluenceFactor(Distance(p, t.pos), query.radius);
+        best = std::max(best, s);
+      }
+      break;
+    }
+    case ScoreVariant::kNearestNeighbor: {
+      // Nearest relevant feature; among equidistant nearest features the
+      // highest preference score wins (see DESIGN.md interpretation notes).
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (const FeatureObject& t : table.All()) {
+        if (!TextRelevant(t, w)) continue;
+        double d2 = SquaredDistance(p, t.pos);
+        double s = PreferenceScore(t, w, query.lambda);
+        if (d2 < best_d2 || (d2 == best_d2 && s > best)) {
+          best_d2 = d2;
+          best = s;
+        }
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+double BruteForceEvaluator::Tau(const Point& p, const Query& query) const {
+  double tau = 0.0;
+  for (size_t i = 0; i < feature_sets_.size(); ++i) {
+    tau += ComponentScore(p, i, query);
+  }
+  return tau;
+}
+
+std::vector<ResultEntry> BruteForceEvaluator::TopK(const Query& query) const {
+  STPQ_CHECK(query.keywords.size() == feature_sets_.size());
+  std::vector<ResultEntry> all;
+  all.reserve(objects_->size());
+  for (const DataObject& p : *objects_) {
+    all.push_back(ResultEntry{p.id, Tau(p.pos, query)});
+  }
+  std::sort(all.begin(), all.end(), [](const ResultEntry& a,
+                                       const ResultEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.object < b.object;
+  });
+  if (all.size() > query.k) all.resize(query.k);
+  return all;
+}
+
+}  // namespace stpq

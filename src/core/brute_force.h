@@ -1,0 +1,40 @@
+// Brute-force reference evaluator: computes tau(p) for every data object by
+// scanning all feature sets.  O(|O| * sum |F_i|) — used as ground truth in
+// tests and as the ultimate baseline in sanity benchmarks.
+#ifndef STPQ_CORE_BRUTE_FORCE_H_
+#define STPQ_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "index/feature_table.h"
+
+namespace stpq {
+
+/// Ground-truth evaluator over in-memory tables (no indexes, no I/O model).
+class BruteForceEvaluator {
+ public:
+  /// Neither container is owned; both must outlive the evaluator.
+  BruteForceEvaluator(const std::vector<DataObject>* objects,
+                      std::vector<const FeatureTable*> feature_sets)
+      : objects_(objects), feature_sets_(std::move(feature_sets)) {}
+
+  /// Component score tau_i(p) under the query's variant (Defs. 2, 6, 7).
+  double ComponentScore(const Point& p, size_t set_index,
+                        const Query& query) const;
+
+  /// Overall score tau(p) (Definition 3).
+  double Tau(const Point& p, const Query& query) const;
+
+  /// The k data objects with the highest tau(p), sorted descending.
+  /// Ties at the k-th position are broken by object id (ascending).
+  std::vector<ResultEntry> TopK(const Query& query) const;
+
+ private:
+  const std::vector<DataObject>* objects_;
+  std::vector<const FeatureTable*> feature_sets_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_BRUTE_FORCE_H_

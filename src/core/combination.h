@@ -1,0 +1,178 @@
+// Algorithm 4: sorted retrieval of valid combinations of feature objects.
+//
+// Per feature set, a SortedFeatureStream yields features in non-increasing
+// preference score s(t) by best-first traversal over s-hat(e), terminated
+// by the virtual feature (Section 6.1's "empty-set" member, score 0).  The
+// CombinationIterator combines the streams: it maintains the retrieved
+// lists D_i with their max_i / min_i scores, the threshold
+//   tau = max_j ( sum_{l != j} max_l + min_j ),
+// a pulling strategy (Definition 5's prioritized strategy or round-robin),
+// and a heap of candidate combinations, emitting combinations in globally
+// non-increasing score order.
+//
+// Candidate generation has two modes (see DESIGN.md Section 4):
+//   * Range variant (2r constraint enforced): the paper's product
+//     construction — each newly pulled feature e_i is combined with the
+//     already-retrieved members of the other D_j lists, discarding pairs
+//     farther than 2r.  A spatial grid over each D_j makes partner lookup
+//     O(nearby) instead of O(|D_j|), so only *valid* combinations are ever
+//     materialized.
+//   * Influence/NN variants (no distance filter): the product would
+//     materialize prod |D_i| tuples, so candidates are enumerated
+//     lattice-style over rank tuples into the sorted D_i lists, seeded at
+//     (0,..,0).  Each tuple is generated exactly once by its canonical
+//     parent (decrement at the first nonzero rank), so no visited-set is
+//     needed; every popped tuple is valid, so pops == emissions.
+// Both modes emit combinations in globally non-increasing s(C) order under
+// the same threshold scheme.
+#ifndef STPQ_CORE_COMBINATION_H_
+#define STPQ_CORE_COMBINATION_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "index/feature_index.h"
+
+namespace stpq {
+
+/// Marker id of the virtual feature (the paper's empty-set member).
+inline constexpr ObjectId kVirtualFeature = 0xffffffffu;
+
+/// Maximum number of feature sets c supported per query.
+inline constexpr size_t kMaxFeatureSets = 8;
+
+/// A fixed-size rank tuple indexing into the per-set retrieved lists.
+using RankTuple = std::array<uint32_t, kMaxFeatureSets>;
+
+/// A valid combination C = {t_1, ..., t_c} with s(C) = sum s(t_i).
+struct Combination {
+  /// One feature id per feature set; kVirtualFeature encodes the empty
+  /// member (dist 0 to everything, score 0).
+  std::vector<ObjectId> members;
+  double score = 0.0;
+};
+
+/// Streams the features of one index in non-increasing s(t), filtered to
+/// sim(t, W) > 0, with the virtual feature appended last.
+class SortedFeatureStream {
+ public:
+  /// Pointers are not owned.  `query_kw` and `stats` must stay valid.
+  SortedFeatureStream(const FeatureIndex* index, const KeywordSet* query_kw,
+                      double lambda, QueryStats* stats);
+
+  struct Item {
+    ObjectId id;
+    double score;
+  };
+
+  /// Next feature (or the final virtual feature); nullopt afterwards.
+  std::optional<Item> Next();
+
+  /// True once the virtual feature has been returned.
+  bool Exhausted() const { return virtual_emitted_; }
+
+ private:
+  struct HeapEntry {
+    double priority;
+    uint32_t id;
+    bool is_feature;
+    bool operator<(const HeapEntry& other) const {
+      return priority < other.priority;
+    }
+  };
+
+  const FeatureIndex* index_;
+  const KeywordSet* query_kw_;
+  double lambda_;
+  QueryStats* stats_;
+  std::priority_queue<HeapEntry> heap_;
+  std::vector<FeatureBranch> scratch_;
+  bool virtual_emitted_ = false;
+};
+
+/// Emits valid combinations in non-increasing s(C) (Algorithm 4).
+class CombinationIterator {
+ public:
+  /// `enforce_range_constraint` applies Definition 4's pairwise
+  /// dist(t_i, t_j) <= 2r filter (range variant); the influence and NN
+  /// variants construct the iterator without it (Section 7).
+  CombinationIterator(std::vector<const FeatureIndex*> indexes,
+                      const Query& query, bool enforce_range_constraint,
+                      PullingStrategy strategy, QueryStats* stats);
+
+  /// The next valid combination with the highest score, or nullopt when no
+  /// combinations remain.
+  std::optional<Combination> Next();
+
+ private:
+  struct Retrieved {
+    ObjectId id;
+    double score;
+    Point pos;       // undefined for the virtual feature
+    bool is_virtual;
+  };
+
+  struct Tuple {
+    double score;
+    RankTuple ranks;
+    bool operator<(const Tuple& other) const { return score < other.score; }
+  };
+
+  /// Pulls the next feature from stream `m` into D_m, reactivating tuples
+  /// stalled on m.
+  void Pull(size_t m);
+
+  /// Threshold tau over the non-exhausted streams; -infinity if all are
+  /// exhausted (drain the heap).
+  double Threshold() const;
+
+  /// Prioritized (Definition 5) or round-robin choice of the next stream.
+  size_t NextFeatureSet();
+
+  /// Lattice mode: pushes the canonical children of `ranks` — increment at
+  /// position i is allowed only when every rank before i is zero, so each
+  /// tuple has exactly one generating parent.
+  void ExpandSuccessors(const RankTuple& ranks);
+
+  /// Lattice mode: pushes a tuple if within bounds, or stalls/drops it.
+  void PushTuple(const RankTuple& ranks);
+
+  /// Product mode: generates every valid combination whose member from set
+  /// `m` is the newest retrieved feature (grid-accelerated, Definition 4).
+  void GenerateValidWithNew(size_t m);
+
+  double TupleScore(const RankTuple& ranks) const;
+  Combination MakeCombination(const RankTuple& ranks) const;
+
+  std::vector<const FeatureIndex*> indexes_;
+  const Query& query_;
+  bool enforce_range_;
+  PullingStrategy strategy_;
+  QueryStats* stats_;
+
+  std::vector<SortedFeatureStream> streams_;
+  std::vector<std::vector<Retrieved>> retrieved_;  // D_i
+  std::vector<double> max_score_;                  // max_i
+  std::vector<double> min_score_;                  // min_i
+  std::vector<bool> stream_done_;                  // virtual emitted
+
+  std::priority_queue<Tuple> tuple_heap_;
+  /// Lattice mode: tuples waiting for D_j to grow, per feature set j.
+  std::vector<std::vector<RankTuple>> stalled_;
+  /// Product mode: spatial grid (cell size 2r) over each D_j's real
+  /// members, mapping cell -> ranks, for partner lookup within 2r.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> grids_;
+  std::vector<bool> has_virtual_;  ///< whether the empty member is in D_j
+
+  size_t round_robin_next_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_COMBINATION_H_

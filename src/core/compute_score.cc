@@ -1,0 +1,215 @@
+#include "core/compute_score.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/score.h"
+#include "geom/rect.h"
+#include "util/logging.h"
+
+namespace stpq {
+
+namespace {
+
+/// Search-heap entry: max-heap on priority.
+struct HeapItem {
+  double priority;
+  uint32_t id;
+  bool is_feature;
+
+  bool operator<(const HeapItem& other) const {
+    return priority < other.priority;
+  }
+};
+
+using MaxHeap = std::priority_queue<HeapItem>;
+
+/// Min-heap wrapper for the NN variant (ascending squared distance).
+struct MinHeapItem {
+  double priority;
+  uint32_t id;
+  bool is_feature;
+
+  bool operator<(const MinHeapItem& other) const {
+    return priority > other.priority;
+  }
+};
+
+using MinHeap = std::priority_queue<MinHeapItem>;
+
+}  // namespace
+
+BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
+                             const KeywordSet& query_kw, double lambda,
+                             double r, QueryStats* stats) {
+  if (index.RootId() == kInvalidNodeId) return {};
+  const double r2 = r * r;
+  MaxHeap heap;
+  heap.push({1.0, index.RootId(), false});
+  std::vector<FeatureBranch> scratch;
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+    if (top.is_feature) {
+      // Features enter the heap pre-filtered (dist <= r, sim > 0), sorted
+      // by exact s(t): the first one popped is tau_i(p) (Algorithm 2).
+      ++stats->features_retrieved;
+      return {top.id, top.priority,
+              Distance(p, index.table().Get(top.id).pos)};
+    }
+    index.VisitChildren(top.id, query_kw, lambda, &scratch);
+    for (const FeatureBranch& b : scratch) {
+      if (!b.text_match) continue;
+      if (MinSquaredDistance(p, b.mbr) > r2) continue;
+      heap.push({b.score_bound, b.id, b.is_feature});
+      ++stats->heap_pushes;
+    }
+  }
+  return {};
+}
+
+double ComputeScoreRange(const FeatureIndex& index, const Point& p,
+                         const KeywordSet& query_kw, double lambda, double r,
+                         QueryStats* stats) {
+  return ComputeBestRange(index, p, query_kw, lambda, r, stats).score;
+}
+
+BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
+                                 const KeywordSet& query_kw, double lambda,
+                                 double r, QueryStats* stats) {
+  if (index.RootId() == kInvalidNodeId) return {};
+  MaxHeap heap;
+  heap.push({1.0, index.RootId(), false});
+  std::vector<FeatureBranch> scratch;
+  while (!heap.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+    if (top.is_feature) {
+      ++stats->features_retrieved;
+      return {top.id, top.priority,
+              Distance(p, index.table().Get(top.id).pos)};
+    }
+    index.VisitChildren(top.id, query_kw, lambda, &scratch);
+    for (const FeatureBranch& b : scratch) {
+      if (!b.text_match) continue;
+      // s-hat(e) decayed at mindist upper-bounds the influence score of
+      // every feature below e (score <= s-hat, distance >= mindist).
+      double pri =
+          b.score_bound * InfluenceFactor(MinDistance(p, b.mbr), r);
+      heap.push({pri, b.id, b.is_feature});
+      ++stats->heap_pushes;
+    }
+  }
+  return {};
+}
+
+double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
+                             const KeywordSet& query_kw, double lambda,
+                             double r, QueryStats* stats) {
+  return ComputeBestInfluence(index, p, query_kw, lambda, r, stats).score;
+}
+
+BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
+                                       const Point& p,
+                                       const KeywordSet& query_kw,
+                                       double lambda, QueryStats* stats) {
+  if (index.RootId() == kInvalidNodeId) return {};
+  MinHeap heap;
+  heap.push({0.0, index.RootId(), false});
+  std::vector<FeatureBranch> scratch;
+  bool found = false;
+  double nearest_d2 = std::numeric_limits<double>::infinity();
+  BestFeature best;
+  while (!heap.empty()) {
+    MinHeapItem top = heap.top();
+    // Once the nearest relevant feature is known, only exact-distance ties
+    // can still matter (they take the max preference score).
+    if (found && top.priority > nearest_d2) break;
+    heap.pop();
+    if (top.is_feature) {
+      ++stats->features_retrieved;
+      const FeatureObject& t = index.table().Get(top.id);
+      double s = PreferenceScore(t, query_kw, lambda);
+      if (!found || top.priority < nearest_d2 ||
+          (top.priority == nearest_d2 && s > best.score)) {
+        found = true;
+        nearest_d2 = top.priority;
+        best = {top.id, s, std::sqrt(top.priority)};
+      }
+      continue;
+    }
+    index.VisitChildren(top.id, query_kw, lambda, &scratch);
+    for (const FeatureBranch& b : scratch) {
+      if (!b.text_match) continue;
+      heap.push({MinSquaredDistance(p, b.mbr), b.id, b.is_feature});
+      ++stats->heap_pushes;
+    }
+  }
+  return found ? best : BestFeature{};
+}
+
+double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
+                                   const KeywordSet& query_kw, double lambda,
+                                   QueryStats* stats) {
+  return ComputeBestNearestNeighbor(index, p, query_kw, lambda, stats).score;
+}
+
+void ComputeScoresRangeBatch(const FeatureIndex& index,
+                             std::span<const BatchObject> batch,
+                             const Rect2& batch_mbr,
+                             const KeywordSet& query_kw, double lambda,
+                             double r, std::span<double> scores,
+                             QueryStats* stats) {
+  STPQ_CHECK(scores.size() == batch.size());
+  std::fill(scores.begin(), scores.end(), 0.0);
+  if (index.RootId() == kInvalidNodeId || batch.empty()) return;
+  const double r2 = r * r;
+
+  // Indices of batch members whose score is still unresolved.
+  std::vector<uint32_t> active(batch.size());
+  for (uint32_t i = 0; i < batch.size(); ++i) active[i] = i;
+
+  MaxHeap heap;
+  heap.push({1.0, index.RootId(), false});
+  std::vector<FeatureBranch> scratch;
+  while (!heap.empty() && !active.empty()) {
+    HeapItem top = heap.top();
+    heap.pop();
+    if (top.is_feature) {
+      ++stats->features_retrieved;
+      const FeatureObject& t = index.table().Get(top.id);
+      // Features pop in descending s(t): the first one within range of a
+      // batch member resolves that member.
+      for (size_t a = 0; a < active.size();) {
+        uint32_t i = active[a];
+        if (SquaredDistance(batch[i].pos, t.pos) <= r2) {
+          scores[i] = top.priority;
+          active[a] = active.back();
+          active.pop_back();
+        } else {
+          ++a;
+        }
+      }
+      continue;
+    }
+    index.VisitChildren(top.id, query_kw, lambda, &scratch);
+    for (const FeatureBranch& b : scratch) {
+      if (!b.text_match) continue;
+      // Cheap prefilter on the whole batch MBR, then the exact exists-test
+      // of Section 5: expand only if at least one active p is in range.
+      if (MinDistance(batch_mbr, b.mbr) > r) continue;
+      bool any = false;
+      for (uint32_t i : active) {
+        if (MinSquaredDistance(batch[i].pos, b.mbr) <= r2) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      heap.push({b.score_bound, b.id, b.is_feature});
+      ++stats->heap_pushes;
+    }
+  }
+}
+
+}  // namespace stpq

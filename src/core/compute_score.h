@@ -1,0 +1,77 @@
+// Algorithm 2: spatio-textual score computation tau_i(p) on one feature
+// index, plus the influence / nearest-neighbor adaptations (Section 7) and
+// the batched improvement of Section 5.
+//
+// All traversals are best-first over s-hat(e) (or distance, for the NN
+// variant); sub-trees are pruned when the spatial constraint cannot be met
+// or no query keyword can occur below the entry.
+#ifndef STPQ_CORE_COMPUTE_SCORE_H_
+#define STPQ_CORE_COMPUTE_SCORE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/query.h"
+#include "index/feature_index.h"
+#include "util/metrics.h"
+
+namespace stpq {
+
+/// The feature realizing a component score tau_i(p) (for explanations).
+struct BestFeature {
+  /// 0xffffffff (no feature) when nothing qualifies.
+  uint32_t feature = 0xffffffffu;
+  double score = 0.0;     ///< the component score tau_i(p)
+  double distance = 0.0;  ///< dist(p, feature); undefined when none
+};
+
+/// Definition 2 score: the best s(t) among relevant features within
+/// distance r of p, or 0 if none qualifies.
+double ComputeScoreRange(const FeatureIndex& index, const Point& p,
+                         const KeywordSet& query_kw, double lambda, double r,
+                         QueryStats* stats);
+
+/// Detailed versions: also identify the feature that realizes the score.
+BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
+                             const KeywordSet& query_kw, double lambda,
+                             double r, QueryStats* stats);
+BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
+                                 const KeywordSet& query_kw, double lambda,
+                                 double r, QueryStats* stats);
+BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
+                                       const Point& p,
+                                       const KeywordSet& query_kw,
+                                       double lambda, QueryStats* stats);
+
+/// Definition 6 score: the best s(t) * 2^(-dist(p,t)/r) among relevant
+/// features, or 0 if none qualifies.
+double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
+                             const KeywordSet& query_kw, double lambda,
+                             double r, QueryStats* stats);
+
+/// Definition 7 score: s(t) of the nearest relevant feature (max s(t) among
+/// equidistant nearest), or 0 if none qualifies.
+double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
+                                   const KeywordSet& query_kw, double lambda,
+                                   QueryStats* stats);
+
+/// One member of a batched score computation.
+struct BatchObject {
+  ObjectId id = 0;
+  Point pos;
+};
+
+/// Batched Definition 2 scores (the "performance improvements" of
+/// Section 5): one index traversal resolves every object in `batch`.
+/// `scores[i]` receives tau_i for batch[i] (0 if no feature qualifies).
+/// `batch_mbr` must cover all batch positions.
+void ComputeScoresRangeBatch(const FeatureIndex& index,
+                             std::span<const BatchObject> batch,
+                             const Rect2& batch_mbr,
+                             const KeywordSet& query_kw, double lambda,
+                             double r, std::span<double> scores,
+                             QueryStats* stats);
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_COMPUTE_SCORE_H_

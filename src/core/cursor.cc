@@ -1,0 +1,55 @@
+#include "core/cursor.h"
+
+#include "core/object_retrieval.h"
+#include "util/logging.h"
+
+namespace stpq {
+
+StpsCursor::StpsCursor(const ObjectIndex* objects,
+                       std::vector<const FeatureIndex*> feature_indexes,
+                       Query query, PullingStrategy strategy)
+    : objects_(objects),
+      feature_indexes_(std::move(feature_indexes)),
+      query_(std::move(query)),
+      claimed_(objects->size(), false) {
+  STPQ_CHECK(query_.variant == ScoreVariant::kRange &&
+             "StpsCursor supports the range score only");
+  iterator_ = std::make_unique<CombinationIterator>(
+      feature_indexes_, query_, /*enforce_range_constraint=*/true, strategy,
+      &stats_);
+}
+
+StpsCursor::~StpsCursor() = default;
+
+void StpsCursor::RefillBuffer() {
+  std::vector<Point> member_pos;
+  std::vector<ResultEntry> batch;
+  while (buffer_.empty() && !exhausted_) {
+    std::optional<Combination> combo = iterator_->Next();
+    if (!combo.has_value()) {
+      exhausted_ = true;
+      return;
+    }
+    member_pos.clear();
+    for (size_t i = 0; i < combo->members.size(); ++i) {
+      if (combo->members[i] == kVirtualFeature) continue;
+      member_pos.push_back(
+          feature_indexes_[i]->table().Get(combo->members[i]).pos);
+    }
+    batch.clear();
+    CollectObjectsInRange(*objects_, member_pos, query_.radius, combo->score,
+                          /*remaining=*/SIZE_MAX, &claimed_, &batch,
+                          &stats_);
+    for (ResultEntry& e : batch) buffer_.push_back(e);
+  }
+}
+
+std::optional<ResultEntry> StpsCursor::Next() {
+  if (buffer_.empty()) RefillBuffer();
+  if (buffer_.empty()) return std::nullopt;
+  ResultEntry e = buffer_.front();
+  buffer_.pop_front();
+  return e;
+}
+
+}  // namespace stpq

@@ -1,0 +1,60 @@
+// StpsCursor: incremental result delivery for range-score queries.
+//
+// Section 6.2 notes that STPS "can be returned to the user incrementally":
+// objects qualified by the best not-yet-processed combination are final the
+// moment they are found.  The cursor exposes exactly that — results stream
+// one at a time in non-increasing tau(p) with no k fixed up front, so a
+// caller can stop whenever it has seen enough (top-k with a posteriori k).
+//
+// Only the range variant supports this (the influence and NN variants need
+// cross-combination reconciliation before a result is final).
+#ifndef STPQ_CORE_CURSOR_H_
+#define STPQ_CORE_CURSOR_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/combination.h"
+#include "core/query.h"
+#include "index/object_index.h"
+
+namespace stpq {
+
+/// Streams range-score results in non-increasing tau(p).
+class StpsCursor {
+ public:
+  /// `objects` and `feature_indexes` are not owned and must outlive the
+  /// cursor.  `query.k` is ignored — the cursor is unbounded.
+  /// `query.variant` must be kRange.
+  StpsCursor(const ObjectIndex* objects,
+             std::vector<const FeatureIndex*> feature_indexes, Query query,
+             PullingStrategy strategy = PullingStrategy::kPrioritized);
+
+  ~StpsCursor();
+  StpsCursor(StpsCursor&&) = delete;
+  StpsCursor& operator=(StpsCursor&&) = delete;
+
+  /// The next result, or nullopt once every data object has been returned.
+  std::optional<ResultEntry> Next();
+
+  /// Cost counters accumulated so far.
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  void RefillBuffer();
+
+  const ObjectIndex* objects_;
+  std::vector<const FeatureIndex*> feature_indexes_;
+  Query query_;  // owned copy; the iterator references it
+  QueryStats stats_;
+  std::unique_ptr<CombinationIterator> iterator_;
+  std::vector<bool> claimed_;
+  std::deque<ResultEntry> buffer_;
+  bool exhausted_ = false;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_CURSOR_H_

@@ -1,0 +1,95 @@
+#include "core/engine.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace stpq {
+
+Engine::Engine(std::vector<DataObject> objects,
+               std::vector<FeatureTable> feature_tables,
+               EngineOptions options)
+    : options_(options),
+      objects_(std::move(objects)),
+      feature_tables_(std::move(feature_tables)) {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    objects_[i].id = static_cast<ObjectId>(i);
+  }
+  object_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+  feature_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+
+  ObjectIndexOptions obj_opts;
+  obj_opts.page_size_bytes = options_.page_size_bytes;
+  obj_opts.buffer_pool = object_pool_.get();
+  obj_opts.fill = options_.fill;
+  object_index_ = std::make_unique<ObjectIndex>(&objects_, obj_opts);
+
+  // Feature indexes share one pool; page_base keeps their page ids apart.
+  constexpr PageId kIndexStride = PageId{1} << 32;
+  std::vector<const FeatureIndex*> index_ptrs;
+  for (size_t i = 0; i < feature_tables_.size(); ++i) {
+    FeatureIndexOptions fopts;
+    fopts.page_size_bytes = options_.page_size_bytes;
+    fopts.buffer_pool = feature_pool_.get();
+    fopts.page_base = kIndexStride * (i + 1);
+    fopts.bulk_load = options_.bulk_load;
+    fopts.fill = options_.fill;
+    fopts.signature_bits = options_.signature_bits;
+    fopts.signature_hashes = options_.signature_hashes;
+    switch (options_.index_kind) {
+      case FeatureIndexKind::kSrt:
+        feature_indexes_.push_back(
+            std::make_unique<SrtIndex>(&feature_tables_[i], fopts));
+        break;
+      case FeatureIndexKind::kIr2:
+        feature_indexes_.push_back(
+            std::make_unique<Ir2Tree>(&feature_tables_[i], fopts));
+        break;
+    }
+    index_ptrs.push_back(feature_indexes_.back().get());
+  }
+
+  stds_ = std::make_unique<Stds>(object_index_.get(), index_ptrs);
+  stps_ = std::make_unique<Stps>(object_index_.get(), index_ptrs);
+  stps_->set_influence_mode(options_.influence_mode);
+  if (options_.reuse_voronoi_cells) {
+    voronoi_cache_ = std::make_unique<VoronoiCellCache>();
+    stps_->set_voronoi_cache(voronoi_cache_.get());
+  }
+
+  // Construction touched the pools; queries start from a clean slate.
+  object_pool_->Clear();
+  object_pool_->ResetStats();
+  feature_pool_->Clear();
+  feature_pool_->ResetStats();
+}
+
+std::unique_ptr<StpsCursor> Engine::OpenCursor(const Query& query) {
+  STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  std::vector<const FeatureIndex*> ptrs;
+  for (const auto& idx : feature_indexes_) ptrs.push_back(idx.get());
+  return std::make_unique<StpsCursor>(object_index_.get(), std::move(ptrs),
+                                      query, options_.pulling);
+}
+
+QueryResult Engine::Execute(const Query& query, Algorithm algorithm) {
+  STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  if (options_.cold_cache_per_query) {
+    object_pool_->Clear();
+    feature_pool_->Clear();
+  }
+  const BufferPoolStats obj_before = object_pool_->stats();
+  const BufferPoolStats feat_before = feature_pool_->stats();
+  Timer timer;
+  QueryResult result = algorithm == Algorithm::kStds
+                           ? stds_->Execute(query, options_.stds_batching)
+                           : stps_->Execute(query, options_.pulling);
+  result.stats.cpu_ms = timer.ElapsedMillis();
+  const BufferPoolStats obj_delta = object_pool_->stats() - obj_before;
+  const BufferPoolStats feat_delta = feature_pool_->stats() - feat_before;
+  result.stats.object_index_reads = obj_delta.reads;
+  result.stats.feature_index_reads = feat_delta.reads;
+  result.stats.buffer_hits = obj_delta.hits + feat_delta.hits;
+  return result;
+}
+
+}  // namespace stpq

@@ -1,0 +1,119 @@
+// Engine: the library's main entry point.
+//
+// Owns the data objects, the feature tables, their indexes and the
+// simulated-disk buffer pools, and executes top-k spatio-textual preference
+// queries with either algorithm.  See examples/quickstart.cc for usage.
+#ifndef STPQ_CORE_ENGINE_H_
+#define STPQ_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cursor.h"
+#include "core/query.h"
+#include "core/stds.h"
+#include "core/stps.h"
+#include "core/voronoi_cache.h"
+#include "index/feature_index.h"
+#include "index/ir2_tree.h"
+#include "index/object_index.h"
+#include "index/srt_index.h"
+#include "storage/buffer_pool.h"
+
+namespace stpq {
+
+/// Query processing algorithms (Sections 5 and 6).
+enum class Algorithm {
+  kStds,  ///< Spatio-Textual Data Scan (baseline)
+  kStps,  ///< Spatio-Textual Preference Search
+};
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Which feature index to build (the benchmark axis SRT vs IR2).
+  FeatureIndexKind index_kind = FeatureIndexKind::kSrt;
+  /// Bulk-load ordering for the feature indexes.
+  BulkLoadKind bulk_load = BulkLoadKind::kHilbert;
+  uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  /// Buffer pool capacity in pages per pool (object pool + shared feature
+  /// pool); 0 = unbounded.
+  uint64_t buffer_pool_pages = 0;
+  /// Clear the pools before each query, so reported I/O is the number of
+  /// distinct pages a query touches (deterministic and machine-independent).
+  bool cold_cache_per_query = true;
+  /// Target node occupancy for bulk loading.
+  double fill = 1.0;
+  /// IR2-tree signature parameters (see FeatureIndexOptions).
+  uint32_t signature_bits = 0;
+  uint32_t signature_hashes = 3;
+  /// STPS feature-pulling strategy.
+  PullingStrategy pulling = PullingStrategy::kPrioritized;
+  /// STDS batched score computation (Section 5 improvement).
+  bool stds_batching = true;
+  /// Reuse Voronoi cells across NN-variant queries with identical keyword
+  /// sets (Section 8.5's precomputation remark).
+  bool reuse_voronoi_cells = false;
+  /// Influence-variant strategy: anchored retrieval (default) or the
+  /// paper's Algorithm 5 (see InfluenceMode).
+  InfluenceMode influence_mode = InfluenceMode::kAnchored;
+};
+
+/// A fully indexed dataset ready to answer STPQ queries.
+class Engine {
+ public:
+  /// Builds the object index and one feature index per table.
+  Engine(std::vector<DataObject> objects,
+         std::vector<FeatureTable> feature_tables, EngineOptions options = {});
+
+  /// Executes `query` with the given algorithm.  The result carries the
+  /// entries sorted by descending tau(p) and the cost counters (CPU time,
+  /// simulated page reads per index family).
+  QueryResult Execute(const Query& query, Algorithm algorithm);
+
+  QueryResult ExecuteStds(const Query& query) {
+    return Execute(query, Algorithm::kStds);
+  }
+  QueryResult ExecuteStps(const Query& query) {
+    return Execute(query, Algorithm::kStps);
+  }
+
+  /// Opens an incremental cursor over a range-score query (k is ignored;
+  /// results stream in non-increasing tau(p) until the caller stops).
+  /// The engine must outlive the cursor.
+  std::unique_ptr<StpsCursor> OpenCursor(const Query& query);
+
+  /// The shared Voronoi cell cache (nullptr unless reuse_voronoi_cells).
+  VoronoiCellCache* voronoi_cache() { return voronoi_cache_.get(); }
+
+  size_t num_feature_sets() const { return feature_indexes_.size(); }
+  const std::vector<DataObject>& objects() const { return objects_; }
+  const FeatureTable& feature_table(size_t i) const {
+    return feature_tables_[i];
+  }
+  const FeatureIndex& feature_index(size_t i) const {
+    return *feature_indexes_[i];
+  }
+  const ObjectIndex& object_index() const { return *object_index_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Name of the feature index in use ("SRT" or "IR2").
+  const char* IndexName() const {
+    return feature_indexes_.empty() ? "none" : feature_indexes_[0]->Name();
+  }
+
+ private:
+  EngineOptions options_;
+  std::vector<DataObject> objects_;
+  std::vector<FeatureTable> feature_tables_;
+  std::unique_ptr<BufferPool> object_pool_;
+  std::unique_ptr<BufferPool> feature_pool_;
+  std::unique_ptr<ObjectIndex> object_index_;
+  std::vector<std::unique_ptr<FeatureIndex>> feature_indexes_;
+  std::unique_ptr<Stds> stds_;
+  std::unique_ptr<Stps> stps_;
+  std::unique_ptr<VoronoiCellCache> voronoi_cache_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_ENGINE_H_

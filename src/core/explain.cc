@@ -1,0 +1,47 @@
+#include "core/explain.h"
+
+#include "util/logging.h"
+
+namespace stpq {
+
+Explanation ExplainScore(Engine* engine, const Query& query,
+                         ObjectId object) {
+  STPQ_CHECK(query.keywords.size() == engine->num_feature_sets());
+  STPQ_CHECK(object < engine->objects().size());
+  Explanation out;
+  out.object = object;
+  const Point& p = engine->objects()[object].pos;
+  QueryStats scratch_stats;
+  for (size_t i = 0; i < engine->num_feature_sets(); ++i) {
+    const FeatureIndex& index = engine->feature_index(i);
+    BestFeature best;
+    switch (query.variant) {
+      case ScoreVariant::kRange:
+        best = ComputeBestRange(index, p, query.keywords[i], query.lambda,
+                                query.radius, &scratch_stats);
+        break;
+      case ScoreVariant::kInfluence:
+        best = ComputeBestInfluence(index, p, query.keywords[i],
+                                    query.lambda, query.radius,
+                                    &scratch_stats);
+        break;
+      case ScoreVariant::kNearestNeighbor:
+        best = ComputeBestNearestNeighbor(index, p, query.keywords[i],
+                                          query.lambda, &scratch_stats);
+        break;
+    }
+    Contribution c;
+    c.feature_set = i;
+    c.has_feature = best.feature != 0xffffffffu;
+    if (c.has_feature) {
+      c.feature = best.feature;
+      c.score = best.score;
+      c.distance = best.distance;
+    }
+    out.total += c.score;
+    out.contributions.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace stpq

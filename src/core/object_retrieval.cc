@@ -1,0 +1,55 @@
+#include "core/object_retrieval.h"
+
+#include "geom/rect.h"
+#include "rtree/rtree.h"
+
+namespace stpq {
+
+void CollectObjectsInRange(const ObjectIndex& objects,
+                           const std::vector<Point>& member_pos,
+                           double radius, double score, size_t remaining,
+                           std::vector<bool>* claimed,
+                           std::vector<ResultEntry>* result,
+                           QueryStats* stats) {
+  if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
+  const double r2 = radius * radius;
+  size_t added = 0;
+  std::vector<NodeId> stack{objects.tree().root_id()};
+  while (!stack.empty() && added < remaining) {
+    NodeId nid = stack.back();
+    stack.pop_back();
+    const RTree<2>::Node& node = objects.tree().ReadNode(nid);
+    for (const auto& e : node.entries) {
+      if (added >= remaining) break;
+      // Prune entries out of range of any real member (Section 6.4).
+      bool ok = true;
+      for (const Point& t : member_pos) {
+        if (MinSquaredDistance(t, e.rect) > r2) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (node.IsLeaf()) {
+        if ((*claimed)[e.id]) continue;
+        Point p{e.rect.lo[0], e.rect.lo[1]};
+        bool in_range = true;
+        for (const Point& t : member_pos) {
+          if (SquaredDistance(p, t) > r2) {
+            in_range = false;
+            break;
+          }
+        }
+        if (!in_range) continue;
+        (*claimed)[e.id] = true;
+        ++stats->objects_scored;
+        result->push_back(ResultEntry{e.id, score});
+        ++added;
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+}
+
+}  // namespace stpq

@@ -1,0 +1,27 @@
+// Shared qualified-object retrieval for the range score (Section 6.4).
+#ifndef STPQ_CORE_OBJECT_RETRIEVAL_H_
+#define STPQ_CORE_OBJECT_RETRIEVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/query.h"
+#include "index/object_index.h"
+
+namespace stpq {
+
+/// getDataObjects(C): every unclaimed object within distance `radius` of
+/// all of `member_pos` (the combination's real members) is claimed and
+/// appended to `result` with score `score`.  Collection stops once
+/// `remaining` objects were added (SIZE_MAX = unbounded).  Entries whose
+/// MBR is out of range of any member are pruned.
+void CollectObjectsInRange(const ObjectIndex& objects,
+                           const std::vector<Point>& member_pos,
+                           double radius, double score, size_t remaining,
+                           std::vector<bool>* claimed,
+                           std::vector<ResultEntry>* result,
+                           QueryStats* stats);
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_OBJECT_RETRIEVAL_H_

@@ -1,0 +1,55 @@
+// The top-k spatio-textual preference query (Problem 1) and its results.
+#ifndef STPQ_CORE_QUERY_H_
+#define STPQ_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/feature.h"
+#include "text/keyword_set.h"
+#include "util/metrics.h"
+
+namespace stpq {
+
+/// Score definitions of Sections 3 and 7.
+enum class ScoreVariant {
+  kRange,            ///< Definition 2: max s(t) within distance r
+  kInfluence,        ///< Definition 6: max s(t) * 2^(-dist/r)
+  kNearestNeighbor,  ///< Definition 7: s(t) of the nearest relevant feature
+};
+
+/// STPS feature-pulling strategies (Section 6.3).
+enum class PullingStrategy {
+  kPrioritized,  ///< Definition 5: pull from the set holding the threshold
+  kRoundRobin,   ///< simple alternative mentioned by the paper (ablation)
+};
+
+/// A top-k spatio-textual preference query Q = (k, r, lambda, W_1..W_c).
+struct Query {
+  uint32_t k = 10;
+  double radius = 0.01;  ///< r, in the normalized [0,1] space
+  double lambda = 0.5;   ///< smoothing between t.s and textual similarity
+  /// Query keywords per feature set; keywords.size() must equal the number
+  /// of feature sets c of the engine executing the query.
+  std::vector<KeywordSet> keywords;
+  ScoreVariant variant = ScoreVariant::kRange;
+};
+
+/// One result row: a data object and its spatio-textual score tau(p).
+struct ResultEntry {
+  ObjectId object = 0;
+  double score = 0.0;
+
+  bool operator==(const ResultEntry& other) const = default;
+};
+
+/// Query result: up to k entries sorted by descending score, plus the cost
+/// counters accumulated while executing.
+struct QueryResult {
+  std::vector<ResultEntry> entries;
+  QueryStats stats;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_QUERY_H_

@@ -1,0 +1,19 @@
+#include "core/score.h"
+
+#include "core/query.h"
+
+namespace stpq {
+
+const char* VariantName(ScoreVariant variant) {
+  switch (variant) {
+    case ScoreVariant::kRange:
+      return "range";
+    case ScoreVariant::kInfluence:
+      return "influence";
+    case ScoreVariant::kNearestNeighbor:
+      return "nn";
+  }
+  return "unknown";
+}
+
+}  // namespace stpq

@@ -1,0 +1,36 @@
+// Scoring functions of Sections 3 and 7.
+#ifndef STPQ_CORE_SCORE_H_
+#define STPQ_CORE_SCORE_H_
+
+#include <cmath>
+
+#include "index/feature.h"
+#include "text/keyword_set.h"
+
+namespace stpq {
+
+/// Definition 1: s(t) = (1 - lambda) * t.s + lambda * sim(t, W), with
+/// sim = Jaccard.
+inline double PreferenceScore(const FeatureObject& t, const KeywordSet& query,
+                              double lambda) {
+  return (1.0 - lambda) * t.score + lambda * t.keywords.Jaccard(query);
+}
+
+/// The influence decay factor 2^(-dist / r) of Definition 6.
+inline double InfluenceFactor(double dist, double r) {
+  return std::exp2(-dist / r);
+}
+
+/// Whether feature t is textually relevant (sim(t, W) > 0).
+inline bool TextRelevant(const FeatureObject& t, const KeywordSet& query) {
+  return t.keywords.Intersects(query);
+}
+
+enum class ScoreVariant;
+
+/// Human-readable variant name ("range", "influence", "nn").
+const char* VariantName(ScoreVariant variant);
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_SCORE_H_

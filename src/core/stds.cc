@@ -1,0 +1,126 @@
+#include "core/stds.h"
+
+#include <algorithm>
+
+#include "core/compute_score.h"
+#include "util/logging.h"
+#include "util/topk.h"
+
+namespace stpq {
+
+namespace {
+
+/// Scores one object against every feature set with partial-score pruning
+/// (Algorithm 1, lines 3-6).  Returns tau(p), or a negative value if the
+/// object was pruned.
+double ScoreObjectPruned(const std::vector<const FeatureIndex*>& indexes,
+                         const Query& query, const Point& pos,
+                         double threshold, QueryStats* stats) {
+  const size_t c = indexes.size();
+  double partial = 0.0;
+  for (size_t i = 0; i < c; ++i) {
+    // tau-hat(p): known components + 1 for each unknown one.
+    double bound = partial + static_cast<double>(c - i);
+    if (bound < threshold) return -1.0;
+    double tau_i = 0.0;
+    switch (query.variant) {
+      case ScoreVariant::kRange:
+        tau_i = ComputeScoreRange(*indexes[i], pos, query.keywords[i],
+                                  query.lambda, query.radius, stats);
+        break;
+      case ScoreVariant::kInfluence:
+        tau_i = ComputeScoreInfluence(*indexes[i], pos, query.keywords[i],
+                                      query.lambda, query.radius, stats);
+        break;
+      case ScoreVariant::kNearestNeighbor:
+        tau_i = ComputeScoreNearestNeighbor(*indexes[i], pos,
+                                            query.keywords[i], query.lambda,
+                                            stats);
+        break;
+    }
+    partial += tau_i;
+  }
+  return partial;
+}
+
+}  // namespace
+
+QueryResult Stds::Execute(const Query& query, bool use_batching) const {
+  STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  QueryResult result;
+  QueryStats* stats = &result.stats;
+  TopK<ObjectId> topk(query.k);
+  const size_t c = feature_indexes_.size();
+
+  if (query.variant == ScoreVariant::kRange && use_batching) {
+    // Batched STDS: every object-R-tree leaf block is one batch.
+    std::vector<BatchObject> batch;
+    std::vector<double> partial;
+    std::vector<double> set_scores;
+    objects_->ForEachLeafBlock([&](std::span<const ObjectId> ids,
+                                   const Rect2& mbr) {
+      batch.clear();
+      for (ObjectId id : ids) {
+        batch.push_back(BatchObject{id, objects_->Get(id).pos});
+      }
+      partial.assign(batch.size(), 0.0);
+      std::vector<bool> alive(batch.size(), true);
+      std::vector<BatchObject> sub;
+      std::vector<uint32_t> sub_index;
+      for (size_t i = 0; i < c; ++i) {
+        // Prune objects whose upper bound cannot beat the k-th score.
+        double remaining = static_cast<double>(c - i);
+        double threshold = topk.Threshold();
+        sub.clear();
+        sub_index.clear();
+        Rect2 sub_mbr = Rect2::Empty();
+        for (size_t j = 0; j < batch.size(); ++j) {
+          if (!alive[j]) continue;
+          if (topk.Full() && partial[j] + remaining < threshold) {
+            alive[j] = false;
+            continue;
+          }
+          sub.push_back(batch[j]);
+          sub_index.push_back(static_cast<uint32_t>(j));
+          sub_mbr.EnlargePoint({batch[j].pos.x, batch[j].pos.y});
+        }
+        if (sub.empty()) break;
+        (void)mbr;  // sub_mbr shrinks as objects are pruned
+        set_scores.assign(sub.size(), 0.0);
+        ComputeScoresRangeBatch(*feature_indexes_[i], sub, sub_mbr,
+                                query.keywords[i], query.lambda, query.radius,
+                                set_scores, stats);
+        for (size_t s = 0; s < sub.size(); ++s) {
+          partial[sub_index[s]] += set_scores[s];
+        }
+      }
+      for (size_t j = 0; j < batch.size(); ++j) {
+        if (!alive[j]) continue;
+        ++stats->objects_scored;
+        topk.Push(partial[j], batch[j].id);
+      }
+    });
+  } else {
+    // Per-object scan (Algorithm 1 verbatim).
+    objects_->ForEachLeafBlock([&](std::span<const ObjectId> ids,
+                                   const Rect2&) {
+      for (ObjectId id : ids) {
+        const Point& pos = objects_->Get(id).pos;
+        double tau = ScoreObjectPruned(feature_indexes_, query, pos,
+                                       topk.Full() ? topk.Threshold() : -1.0,
+                                       stats);
+        if (tau >= 0.0) {
+          ++stats->objects_scored;
+          topk.Push(tau, id);
+        }
+      }
+    });
+  }
+
+  for (auto& scored : topk.TakeSortedDescending()) {
+    result.entries.push_back(ResultEntry{scored.item, scored.score});
+  }
+  return result;
+}
+
+}  // namespace stpq

@@ -1,0 +1,41 @@
+// Spatio-Textual Data Scan (STDS), Section 5 / Algorithm 1.
+//
+// The baseline: computes tau(p) for every data object and keeps the best k.
+// Two optimizations from the paper are implemented:
+//   * partial-score pruning: after computing tau_i(p) for a prefix of the
+//     feature sets, the upper bound tau-hat(p) (unknown components bounded
+//     by 1) is tested against the running k-th best score;
+//   * batched score computation: objects are processed per object-R-tree
+//     leaf block, and Algorithm 2 resolves a whole block per traversal
+//     (range variant; the other variants score per object).
+#ifndef STPQ_CORE_STDS_H_
+#define STPQ_CORE_STDS_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "index/feature_index.h"
+#include "index/object_index.h"
+
+namespace stpq {
+
+/// STDS executor bound to one object index and c feature indexes.
+class Stds {
+ public:
+  /// Pointers are not owned and must outlive the executor.
+  Stds(const ObjectIndex* objects,
+       std::vector<const FeatureIndex*> feature_indexes)
+      : objects_(objects), feature_indexes_(std::move(feature_indexes)) {}
+
+  /// Runs the query; `use_batching` toggles the Section 5 improvement
+  /// (ignored for non-range variants, which always score per object).
+  QueryResult Execute(const Query& query, bool use_batching = true) const;
+
+ private:
+  const ObjectIndex* objects_;
+  std::vector<const FeatureIndex*> feature_indexes_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_STDS_H_

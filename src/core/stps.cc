@@ -1,0 +1,53 @@
+#include "core/stps.h"
+
+#include <vector>
+
+#include "core/combination.h"
+#include "core/object_retrieval.h"
+#include "util/logging.h"
+
+namespace stpq {
+
+QueryResult Stps::Execute(const Query& query,
+                          PullingStrategy strategy) const {
+  STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  switch (query.variant) {
+    case ScoreVariant::kRange:
+      return ExecuteRange(query, strategy);
+    case ScoreVariant::kInfluence:
+      return influence_mode_ == InfluenceMode::kAnchored
+                 ? ExecuteInfluenceAnchored(query, strategy)
+                 : ExecuteInfluence(query, strategy);
+    case ScoreVariant::kNearestNeighbor:
+      return ExecuteNearestNeighbor(query, strategy);
+  }
+  STPQ_CHECK(false && "unknown score variant");
+}
+
+QueryResult Stps::ExecuteRange(const Query& query,
+                               PullingStrategy strategy) const {
+  QueryResult result;
+  CombinationIterator it(feature_indexes_, query,
+                         /*enforce_range_constraint=*/true, strategy,
+                         &result.stats);
+  std::vector<bool> claimed(objects_->size(), false);
+  std::vector<Point> member_pos;
+  // Algorithm 3: emit combinations best-first; objects qualified by their
+  // best covering combination have exactly tau(p) = s(C).
+  while (result.entries.size() < query.k) {
+    std::optional<Combination> combo = it.Next();
+    if (!combo.has_value()) break;
+    member_pos.clear();
+    for (size_t i = 0; i < combo->members.size(); ++i) {
+      if (combo->members[i] == kVirtualFeature) continue;
+      member_pos.push_back(
+          feature_indexes_[i]->table().Get(combo->members[i]).pos);
+    }
+    CollectObjectsInRange(*objects_, member_pos, query.radius, combo->score,
+                          query.k - result.entries.size(), &claimed,
+                          &result.entries, &result.stats);
+  }
+  return result;
+}
+
+}  // namespace stpq

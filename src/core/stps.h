@@ -1,0 +1,75 @@
+// Spatio-Textual Preference Search (STPS), Sections 6 and 7.
+//
+// STPS inverts STDS's strategy: it first retrieves highly ranked valid
+// combinations of feature objects (Algorithm 4) and then fetches the data
+// objects qualified by each combination.  Objects retrieved for the best
+// combination covering them receive exactly tau(p) = s(C), so results are
+// produced incrementally in descending score order.
+#ifndef STPQ_CORE_STPS_H_
+#define STPQ_CORE_STPS_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/voronoi_cache.h"
+#include "index/feature_index.h"
+#include "index/object_index.h"
+
+namespace stpq {
+
+/// How the influence variant drives object retrieval (Section 7.1).
+enum class InfluenceMode {
+  /// Anchored retrieval (default): every object's score is bounded via its
+  /// nearest realizing feature a* by
+  ///   tau(p) <= (s(a*) + sum_{j != set(a*)} max_s(F_j)) * 2^(-d(p,a*)/r),
+  /// so streaming features ("anchors") in decreasing s(t) and fetching the
+  /// objects inside each anchor's shrinking radius covers every candidate
+  /// with *exact* scoring and no combination enumeration.  Equivalent
+  /// results to Algorithm 5, typically orders of magnitude cheaper for
+  /// c >= 3 (see DESIGN.md).
+  kAnchored,
+  /// The paper's Algorithm 5 verbatim: combinations ordered by s(C) with
+  /// per-combination top-k object retrieval.  Exact but combinatorial when
+  /// many combinations score above the final threshold.
+  kCombinations,
+};
+
+/// STPS executor bound to one object index and c feature indexes.
+class Stps {
+ public:
+  /// Pointers are not owned and must outlive the executor.
+  Stps(const ObjectIndex* objects,
+       std::vector<const FeatureIndex*> feature_indexes)
+      : objects_(objects), feature_indexes_(std::move(feature_indexes)) {}
+
+  /// Enables cross-query Voronoi cell reuse for the NN variant (Section
+  /// 8.5's precomputation remark).  The cache is not owned.
+  void set_voronoi_cache(VoronoiCellCache* cache) { voronoi_cache_ = cache; }
+
+  /// Selects the influence-variant strategy (default: anchored).
+  void set_influence_mode(InfluenceMode mode) { influence_mode_ = mode; }
+
+  /// Runs the query under its score variant (Algorithm 3, Algorithm 5, or
+  /// the Voronoi-based NN retrieval of Section 7.2).
+  QueryResult Execute(
+      const Query& query,
+      PullingStrategy strategy = PullingStrategy::kPrioritized) const;
+
+ private:
+  QueryResult ExecuteRange(const Query& query, PullingStrategy strategy) const;
+  QueryResult ExecuteInfluence(const Query& query,
+                               PullingStrategy strategy) const;
+  QueryResult ExecuteInfluenceAnchored(const Query& query,
+                                       PullingStrategy strategy) const;
+  QueryResult ExecuteNearestNeighbor(const Query& query,
+                                     PullingStrategy strategy) const;
+
+  const ObjectIndex* objects_;
+  std::vector<const FeatureIndex*> feature_indexes_;
+  VoronoiCellCache* voronoi_cache_ = nullptr;
+  InfluenceMode influence_mode_ = InfluenceMode::kAnchored;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_STPS_H_

@@ -1,0 +1,363 @@
+// STPS for the influence score variant (Section 7.1, Algorithm 5).
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/combination.h"
+#include "core/compute_score.h"
+#include "core/score.h"
+#include "core/stps.h"
+#include "util/logging.h"
+#include "util/topk.h"
+
+namespace stpq {
+
+namespace {
+
+struct ScoredObject {
+  ObjectId id;
+  double score;
+};
+
+/// Top-k traversal of the object R-tree ordered by the combination's
+/// influence score sum_i s(t_i) * 2^(-dist(p, t_i)/r).  Internal entries
+/// are bounded via mindist; retrieval stops after k objects or when the
+/// bound falls to `stop_threshold` (both Section 7.1 optimizations).
+std::vector<ScoredObject> TopKInfluenceObjects(
+    const ObjectIndex& objects, const std::vector<Point>& member_pos,
+    const std::vector<double>& member_score, double radius, size_t k,
+    double stop_threshold, QueryStats* stats) {
+  std::vector<ScoredObject> out;
+  if (objects.tree().root_id() == kInvalidNodeId) return out;
+
+  struct HeapEntry {
+    double priority;
+    NodeId id;
+    bool is_object;
+    bool operator<(const HeapEntry& other) const {
+      return priority < other.priority;
+    }
+  };
+  auto bound_for = [&](const Rect2& rect, bool exact_point) {
+    double s = 0.0;
+    for (size_t i = 0; i < member_pos.size(); ++i) {
+      double d = exact_point
+                     ? Distance(Point{rect.lo[0], rect.lo[1]}, member_pos[i])
+                     : MinDistance(member_pos[i], rect);
+      s += member_score[i] * InfluenceFactor(d, radius);
+    }
+    return s;
+  };
+
+  // Root bound: the combination score itself (influence at distance 0).
+  double root_bound = 0.0;
+  for (double s : member_score) root_bound += s;
+  std::priority_queue<HeapEntry> heap;
+  heap.push({root_bound, objects.tree().root_id(), false});
+  while (!heap.empty() && out.size() < k) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    // Strict comparison: candidates tied with the threshold may still fill
+    // result slots (e.g. all-zero scores when nothing is relevant).
+    if (top.priority < stop_threshold) break;
+    if (top.is_object) {
+      out.push_back(ScoredObject{top.id, top.priority});
+      ++stats->objects_scored;
+      continue;
+    }
+    const RTree<2>::Node& node = objects.tree().ReadNode(top.id);
+    for (const auto& e : node.entries) {
+      double pri = bound_for(e.rect, node.IsLeaf());
+      if (pri < stop_threshold) continue;
+      heap.push({pri, e.id, node.IsLeaf()});
+      ++stats->heap_pushes;
+    }
+  }
+  return out;
+}
+
+/// Current k-th best score among the merged candidates (0 if fewer than k).
+double KthScore(const std::unordered_map<ObjectId, double>& best, size_t k) {
+  if (best.size() < k) return 0.0;
+  std::vector<double> scores;
+  scores.reserve(best.size());
+  for (const auto& [id, s] : best) scores.push_back(s);
+  std::nth_element(scores.begin(), scores.begin() + (k - 1), scores.end(),
+                   std::greater<>());
+  return scores[k - 1];
+}
+
+/// Upper bound on the influence score any single location can collect from
+/// this combination.  For members i, j at distance D, every p satisfies
+/// d(p,i) + d(p,j) >= D, and x -> 2^(-x/r) is convex, so the pair's joint
+/// contribution is maximized at an endpoint (p at one of the members):
+///   s_i + s_j * 2^(-D/r)   or   s_j + s_i * 2^(-D/r).
+/// Minimizing over pairs (others bounded by factor 1) tightens s(C) for
+/// spread-out combinations, letting the search skip their object retrieval
+/// once the k-th candidate beats the bound.
+double AchievableBound(const std::vector<Point>& pos,
+                       const std::vector<double>& score, double radius) {
+  double total = 0.0;
+  for (double s : score) total += s;
+  double bound = total;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    for (size_t j = i + 1; j < pos.size(); ++j) {
+      double decay = InfluenceFactor(Distance(pos[i], pos[j]), radius);
+      double pair_best =
+          std::max(score[i] + score[j] * decay, score[j] + score[i] * decay);
+      bound = std::min(bound,
+                       total - score[i] - score[j] + pair_best);
+    }
+  }
+  return bound;
+}
+
+}  // namespace
+
+QueryResult Stps::ExecuteInfluence(const Query& query,
+                                   PullingStrategy strategy) const {
+  QueryResult result;
+  // nextCombination without the 2r validity filter (Section 7.1).
+  CombinationIterator it(feature_indexes_, query,
+                         /*enforce_range_constraint=*/false, strategy,
+                         &result.stats);
+  // Influence scores of a data object differ per combination; keep the max
+  // over all combinations processed (Algorithm 5, line 6).
+  std::unordered_map<ObjectId, double> best;
+  double tau = 0.0;
+  std::vector<Point> member_pos;
+  std::vector<double> member_score;
+  while (true) {
+    std::optional<Combination> combo = it.Next();
+    if (!combo.has_value()) break;
+    // s(C) bounds the influence score of any object under any unseen
+    // combination (it is the score at distance 0); terminate when it can
+    // no longer improve the top-k (Algorithm 5, line 3).
+    if (best.size() >= query.k && combo->score <= tau) break;
+    member_pos.clear();
+    member_score.clear();
+    for (size_t i = 0; i < combo->members.size(); ++i) {
+      if (combo->members[i] == kVirtualFeature) continue;
+      const FeatureObject& t =
+          feature_indexes_[i]->table().Get(combo->members[i]);
+      member_pos.push_back(t.pos);
+      member_score.push_back(
+          PreferenceScore(t, query.keywords[i], query.lambda));
+    }
+    // Spread-out combinations cannot produce a competitive object: skip
+    // their retrieval entirely.
+    if (best.size() >= query.k &&
+        AchievableBound(member_pos, member_score, query.radius) <= tau) {
+      continue;
+    }
+    std::vector<ScoredObject> candidates = TopKInfluenceObjects(
+        *objects_, member_pos, member_score, query.radius, query.k, tau,
+        &result.stats);
+    bool changed = false;
+    for (const ScoredObject& c : candidates) {
+      auto [iter, inserted] = best.try_emplace(c.id, c.score);
+      if (inserted) {
+        changed = true;
+      } else if (c.score > iter->second) {
+        iter->second = c.score;
+        changed = true;
+      }
+    }
+    if (changed) tau = KthScore(best, query.k);
+  }
+
+  std::vector<ResultEntry> all;
+  all.reserve(best.size());
+  for (const auto& [id, s] : best) all.push_back(ResultEntry{id, s});
+  std::sort(all.begin(), all.end(), [](const ResultEntry& a,
+                                       const ResultEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.object < b.object;
+  });
+  if (all.size() > query.k) all.resize(query.k);
+  result.entries = std::move(all);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Anchored influence retrieval (InfluenceMode::kAnchored).
+//
+// For any object p, let a* be the nearest among its per-set realizing
+// features (the argmax features of Definition 6).  Every realizing feature
+// is at distance >= d(p, a*), so
+//
+//   tau(p) <= (s(a*) + sum_{j != set(a*)} max_s(F_j)) * 2^(-d(p,a*)/r).
+//
+// Streaming the relevant features of every set in non-increasing s(t)
+// ("anchors") therefore covers all candidates: an anchor a with current
+// k-th score tau_k only needs the objects within
+//
+//   R_a = r * log2((s(a) + sum_other_max) / tau_k),
+//
+// and the per-set streams can stop as soon as even s(next) + sum_other_max
+// <= tau_k.  Retrieved objects get their *exact* tau(p) via per-set
+// influence traversals, which drives tau_k up quickly and shrinks every
+// subsequent radius.  Results are identical to Algorithm 5's; the cost no
+// longer depends on the number of combinations scoring above tau_k.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Ids of the `k` objects nearest to `center` (incremental NN on the
+/// object R-tree); used to seed tau_k before any radius can be bounded.
+std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
+                                     const Point& center, size_t k,
+                                     QueryStats* stats) {
+  std::vector<ObjectId> out;
+  if (objects.tree().root_id() == kInvalidNodeId) return out;
+  struct HeapEntry {
+    double d2;
+    uint32_t id;
+    bool is_object;
+    bool operator<(const HeapEntry& other) const { return d2 > other.d2; }
+  };
+  std::priority_queue<HeapEntry> heap;
+  heap.push({0.0, objects.tree().root_id(), false});
+  while (!heap.empty() && out.size() < k) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.is_object) {
+      out.push_back(top.id);
+      continue;
+    }
+    const RTree<2>::Node& node = objects.tree().ReadNode(top.id);
+    for (const auto& e : node.entries) {
+      Point lo{e.rect.lo[0], e.rect.lo[1]};
+      double d2 = node.IsLeaf() ? SquaredDistance(center, lo)
+                                : MinSquaredDistance(center, e.rect);
+      heap.push({d2, e.id, node.IsLeaf()});
+      ++stats->heap_pushes;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
+                                           PullingStrategy strategy) const {
+  QueryResult result;
+  const size_t c = feature_indexes_.size();
+  std::vector<SortedFeatureStream> streams;
+  streams.reserve(c);
+  for (size_t i = 0; i < c; ++i) {
+    streams.emplace_back(feature_indexes_[i], &query.keywords[i],
+                         query.lambda, &result.stats);
+  }
+
+  // Per-set bookkeeping: the top score (fixed after the first pull) and
+  // the score of the most recent pull (upper-bounds the next one).
+  std::vector<double> max_score(c, 0.0), last_score(c, 0.0);
+  std::vector<bool> done(c, false);
+  std::vector<std::optional<SortedFeatureStream::Item>> pending(c);
+  for (size_t i = 0; i < c; ++i) {
+    pending[i] = streams[i].Next();
+    if (pending[i].has_value() && pending[i]->id != kVirtualFeature) {
+      max_score[i] = pending[i]->score;
+      last_score[i] = pending[i]->score;
+    } else {
+      done[i] = true;
+    }
+  }
+  double sum_max = 0.0;
+  for (double m : max_score) sum_max += m;
+
+  TopK<ObjectId> topk(query.k);
+  std::vector<bool> scored(objects_->size(), false);
+  auto exactify = [&](ObjectId id) {
+    if (scored[id]) return;
+    scored[id] = true;
+    ++result.stats.objects_scored;
+    const Point& p = objects_->Get(id).pos;
+    double tau = 0.0;
+    for (size_t i = 0; i < c; ++i) {
+      tau += ComputeScoreInfluence(*feature_indexes_[i], p,
+                                   query.keywords[i], query.lambda,
+                                   query.radius, &result.stats);
+    }
+    topk.Push(tau, id);
+  };
+
+  size_t round_robin = 0;
+  while (true) {
+    // Optimistic value of the next anchor per live set.
+    double tau = topk.Full() ? topk.Threshold() : 0.0;
+    size_t pick = c;
+    double pick_value = -1.0;
+    for (size_t step = 0; step < c; ++step) {
+      size_t i = strategy == PullingStrategy::kRoundRobin
+                     ? (round_robin + step) % c
+                     : step;
+      if (done[i]) continue;
+      double value = last_score[i] + (sum_max - max_score[i]);
+      if (strategy == PullingStrategy::kRoundRobin) {
+        if (value > tau) {
+          pick = i;
+          pick_value = value;
+          break;
+        }
+        continue;
+      }
+      if (value > pick_value) {
+        pick = i;
+        pick_value = value;
+      }
+    }
+    if (pick == c || (topk.Full() && pick_value <= tau)) break;
+    round_robin = (pick + 1) % c;
+
+    // Take the pending item (or pull the next) from the chosen stream.
+    std::optional<SortedFeatureStream::Item> item = pending[pick];
+    pending[pick] = streams[pick].Next();
+    if (!pending[pick].has_value() ||
+        pending[pick]->id == kVirtualFeature) {
+      done[pick] = true;
+    } else {
+      last_score[pick] = pending[pick]->score;
+    }
+    if (!item.has_value() || item->id == kVirtualFeature) continue;
+    const FeatureObject& anchor = feature_indexes_[pick]->table().Get(
+        item->id);
+    double cap = item->score + (sum_max - max_score[pick]);
+    if (topk.Full() && cap <= topk.Threshold()) continue;
+
+    // Seed tau_k near this anchor while the result set is short.
+    if (!topk.Full()) {
+      for (ObjectId id : NearestObjects(*objects_, anchor.pos, query.k,
+                                        &result.stats)) {
+        exactify(id);
+      }
+    }
+    double tau_now = topk.Threshold();
+    if (topk.Full() && tau_now > 0.0 && cap > tau_now) {
+      double radius = query.radius * std::log2(cap / tau_now);
+      for (ObjectId id : objects_->RangeQuery(anchor.pos, radius)) {
+        exactify(id);
+      }
+    }
+  }
+
+  // Degenerate completion: with fewer than k objects scored (k close to
+  // |O|, or no relevant features anywhere) the radius pruning never
+  // engaged and coverage is not guaranteed — score everything.
+  if (!topk.Full()) {
+    for (ObjectId id = 0; id < objects_->size(); ++id) {
+      exactify(static_cast<ObjectId>(id));
+    }
+  }
+
+  for (auto& e : topk.TakeSortedDescending()) {
+    result.entries.push_back(ResultEntry{e.item, e.score});
+  }
+  return result;
+}
+
+}  // namespace stpq

@@ -1,0 +1,125 @@
+// STPS for the nearest-neighbor score variant (Section 7.2).
+//
+// For a combination C, the qualifying objects are those whose nearest
+// relevant feature of every F_i is C's member t_i — the intersection of the
+// members' Voronoi cells.  Cells are computed incrementally and cached per
+// feature; combinations whose intersection turns empty are discarded early.
+#include <unordered_map>
+#include <vector>
+
+#include "core/combination.h"
+#include "core/stps.h"
+#include "core/voronoi.h"
+#include "util/logging.h"
+
+namespace stpq {
+
+namespace {
+
+/// Appends up to `remaining` unclaimed objects inside `region` to `result`
+/// with score `score`.
+void CollectObjectsInRegion(const ObjectIndex& objects,
+                            const ConvexPolygon& region, double score,
+                            size_t remaining, std::vector<bool>* claimed,
+                            std::vector<ResultEntry>* result,
+                            QueryStats* stats) {
+  if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
+  const Rect2 bbox = region.BoundingBox();
+  size_t added = 0;
+  std::vector<NodeId> stack{objects.tree().root_id()};
+  while (!stack.empty() && added < remaining) {
+    NodeId nid = stack.back();
+    stack.pop_back();
+    const RTree<2>::Node& node = objects.tree().ReadNode(nid);
+    for (const auto& e : node.entries) {
+      if (added >= remaining) break;
+      if (!bbox.Intersects(e.rect)) continue;
+      if (node.IsLeaf()) {
+        if ((*claimed)[e.id]) continue;
+        Point p{e.rect.lo[0], e.rect.lo[1]};
+        if (!region.Contains(p)) continue;
+        (*claimed)[e.id] = true;
+        ++stats->objects_scored;
+        result->push_back(ResultEntry{e.id, score});
+        ++added;
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
+                                         PullingStrategy strategy) const {
+  QueryResult result;
+  CombinationIterator it(feature_indexes_, query,
+                         /*enforce_range_constraint=*/false, strategy,
+                         &result.stats);
+  const size_t c = feature_indexes_.size();
+
+  // A virtual member at position i matches an object only when F_i has no
+  // relevant feature at all (otherwise every object has a real nearest
+  // neighbor in F_i).  Probe each set once.
+  std::vector<bool> set_has_relevant(c, false);
+  for (size_t i = 0; i < c; ++i) {
+    SortedFeatureStream probe(feature_indexes_[i], &query.keywords[i],
+                              query.lambda, &result.stats);
+    std::optional<SortedFeatureStream::Item> first = probe.Next();
+    set_has_relevant[i] =
+        first.has_value() && first->id != kVirtualFeature;
+  }
+
+  std::vector<bool> claimed(objects_->size(), false);
+  // Voronoi cells cached per (feature set, feature): combinations share
+  // members.  With an engine-level cache attached, cells are additionally
+  // reused across queries with the same keyword sets (Section 8.5's
+  // precomputation remark).
+  std::unordered_map<uint64_t, ConvexPolygon> cell_cache;
+  const Rect2& domain = objects_->domain();
+  auto cell_for = [&](size_t i, ObjectId member) -> const ConvexPolygon& {
+    uint64_t key = (static_cast<uint64_t>(i) << 32) | member;
+    auto local = cell_cache.find(key);
+    if (local != cell_cache.end()) return local->second;
+    if (voronoi_cache_ != nullptr) {
+      const ConvexPolygon* shared =
+          voronoi_cache_->Find(i, member, query.keywords[i]);
+      if (shared != nullptr) {
+        ++result.stats.voronoi_cache_hits;
+        return cell_cache.emplace(key, *shared).first->second;
+      }
+    }
+    ConvexPolygon cell =
+        ComputeVoronoiCell(*feature_indexes_[i], member, query.keywords[i],
+                           query.lambda, domain, &result.stats);
+    if (voronoi_cache_ != nullptr) {
+      voronoi_cache_->Put(i, member, query.keywords[i], cell);
+    }
+    return cell_cache.emplace(key, std::move(cell)).first->second;
+  };
+
+  while (result.entries.size() < query.k) {
+    std::optional<Combination> combo = it.Next();
+    if (!combo.has_value()) break;
+    ConvexPolygon region = ConvexPolygon::FromRect(domain);
+    bool feasible = true;
+    for (size_t i = 0; i < c && feasible; ++i) {
+      ObjectId member = combo->members[i];
+      if (member == kVirtualFeature) {
+        // tau_i(p) = 0 is only possible when F_i has nothing relevant.
+        if (set_has_relevant[i]) feasible = false;
+        continue;
+      }
+      IntersectConvex(&region, cell_for(i, member));
+      if (region.IsEmpty()) feasible = false;
+    }
+    if (!feasible || region.IsEmpty()) continue;
+    CollectObjectsInRegion(*objects_, region, combo->score,
+                           query.k - result.entries.size(), &claimed,
+                           &result.entries, &result.stats);
+  }
+  return result;
+}
+
+}  // namespace stpq

@@ -1,0 +1,79 @@
+#include "core/voronoi.h"
+
+#include <queue>
+
+#include "util/timer.h"
+
+namespace stpq {
+
+ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
+                                 ObjectId center_id,
+                                 const KeywordSet& query_kw, double lambda,
+                                 const Rect2& domain, QueryStats* stats) {
+  Timer timer;
+  const BufferPoolStats before =
+      index.buffer_pool() != nullptr ? index.buffer_pool()->stats()
+                                     : BufferPoolStats{};
+  const Point center = index.table().Get(center_id).pos;
+  ConvexPolygon cell = ConvexPolygon::FromRect(domain);
+  ++stats->voronoi_cells;
+
+  struct HeapEntry {
+    double d2;  // squared mindist from the center
+    uint32_t id;
+    bool is_feature;
+    bool operator<(const HeapEntry& other) const { return d2 > other.d2; }
+  };
+  std::priority_queue<HeapEntry> heap;
+  if (index.RootId() != kInvalidNodeId) {
+    heap.push({0.0, index.RootId(), false});
+  }
+  std::vector<FeatureBranch> scratch;
+  double max_vertex = cell.MaxDistanceFrom(center);
+  while (!heap.empty() && !cell.IsEmpty()) {
+    HeapEntry top = heap.top();
+    // Termination: a feature at distance d can only cut the cell if
+    // d / 2 < max vertex distance.
+    if (top.d2 >= 4.0 * max_vertex * max_vertex) break;
+    heap.pop();
+    if (top.is_feature) {
+      if (top.id == center_id) continue;
+      const FeatureObject& t = index.table().Get(top.id);
+      if (t.pos == center) continue;  // co-located: bisector undefined
+      ++stats->voronoi_clip_features;
+      cell.Clip(BisectorHalfPlane(center, t.pos));
+      max_vertex = cell.MaxDistanceFrom(center);
+      continue;
+    }
+    index.VisitChildren(top.id, query_kw, lambda, &scratch);
+    for (const FeatureBranch& b : scratch) {
+      if (!b.text_match) continue;  // only relevant features define cells
+      heap.push({MinSquaredDistance(center, b.mbr), b.id, b.is_feature});
+    }
+  }
+
+  if (index.buffer_pool() != nullptr) {
+    stats->voronoi_reads += (index.buffer_pool()->stats() - before).reads;
+  }
+  stats->voronoi_cpu_ms += timer.ElapsedMillis();
+  return cell;
+}
+
+void IntersectConvex(ConvexPolygon* poly, const ConvexPolygon& other) {
+  if (other.IsEmpty()) {
+    *poly = ConvexPolygon();
+    return;
+  }
+  const std::vector<Point>& v = other.vertices();
+  for (size_t i = 0; i < v.size() && !poly->IsEmpty(); ++i) {
+    const Point& a = v[i];
+    const Point& b = v[(i + 1) % v.size()];
+    // CCW edge (a -> b): the inside is the left side, i.e.
+    // cross(b - a, p - a) >= 0  <=>  (-dy)*p.x + dx*p.y <= dx*a.y - dy*a.x.
+    double dx = b.x - a.x;
+    double dy = b.y - a.y;
+    poly->Clip(HalfPlane{dy, -dx, dy * a.x - dx * a.y});
+  }
+}
+
+}  // namespace stpq

@@ -1,0 +1,35 @@
+// Incremental Voronoi-cell computation for the NN variant (Section 7.2).
+//
+// The qualifying region of a feature t_i (the points whose nearest relevant
+// feature of F_i is t_i) is t_i's Voronoi cell with respect to the relevant
+// features of F_i.  The cell is computed incrementally: relevant features
+// are streamed by ascending distance from t_i and their perpendicular
+// bisectors clip the domain rectangle; once the next feature is at least
+// twice as far as the farthest cell vertex, no further feature can shrink
+// the cell and it is final.
+#ifndef STPQ_CORE_VORONOI_H_
+#define STPQ_CORE_VORONOI_H_
+
+#include "geom/polygon.h"
+#include "index/feature_index.h"
+#include "text/keyword_set.h"
+#include "util/metrics.h"
+
+namespace stpq {
+
+/// Computes the Voronoi cell of feature `center_id` among the features of
+/// `index` with sim(t, query_kw) > 0, clipped to `domain`.  Charges the
+/// feature index's buffer pool; cost is recorded in the voronoi_* counters
+/// of `stats` (the striped bars of the paper's Figures 13-14).
+ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
+                                 ObjectId center_id,
+                                 const KeywordSet& query_kw, double lambda,
+                                 const Rect2& domain, QueryStats* stats);
+
+/// Intersects `poly` with `other` in place (clips by every edge of
+/// `other`); both must be convex with CCW vertex order.
+void IntersectConvex(ConvexPolygon* poly, const ConvexPolygon& other);
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_VORONOI_H_

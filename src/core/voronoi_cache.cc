@@ -1,0 +1,30 @@
+#include "core/voronoi_cache.h"
+
+namespace stpq {
+
+const ConvexPolygon* VoronoiCellCache::Find(size_t feature_set,
+                                            ObjectId feature,
+                                            const KeywordSet& query_kw) {
+  Key key{static_cast<uint32_t>(feature_set), feature, query_kw.blocks()};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void VoronoiCellCache::Put(size_t feature_set, ObjectId feature,
+                           const KeywordSet& query_kw, ConvexPolygon cell) {
+  Key key{static_cast<uint32_t>(feature_set), feature, query_kw.blocks()};
+  cells_[key] = std::move(cell);
+}
+
+void VoronoiCellCache::Clear() {
+  cells_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace stpq

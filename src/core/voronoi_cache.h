@@ -1,0 +1,67 @@
+// Cross-query Voronoi cell cache.
+//
+// Section 8.5: "for static data the Voronoi cells can be pre-computed in a
+// special structure, and therefore significantly reduce the execution
+// time."  A cell depends on the feature, its feature set, and the query
+// keywords (they select which features are relevant) — but not on lambda,
+// k, or r — so cells can be reused across queries with the same keyword
+// sets.  The cache memoizes cells on first use, which converges to the
+// paper's precomputation for workloads with recurring keyword sets.
+#ifndef STPQ_CORE_VORONOI_CACHE_H_
+#define STPQ_CORE_VORONOI_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "index/feature.h"
+#include "text/keyword_set.h"
+
+namespace stpq {
+
+/// Memoizes Voronoi cells keyed by (feature set, feature, query keywords).
+class VoronoiCellCache {
+ public:
+  /// Returns the cached cell or nullptr.
+  const ConvexPolygon* Find(size_t feature_set, ObjectId feature,
+                            const KeywordSet& query_kw);
+
+  /// Stores a cell (overwrites an existing entry).
+  void Put(size_t feature_set, ObjectId feature, const KeywordSet& query_kw,
+           ConvexPolygon cell);
+
+  void Clear();
+
+  size_t size() const { return cells_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    uint32_t feature_set;
+    ObjectId feature;
+    std::vector<uint64_t> keyword_blocks;
+
+    bool operator==(const Key& other) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.feature_set;
+      h = (h ^ k.feature) * 0xbf58476d1ce4e5b9ULL;
+      for (uint64_t b : k.keyword_blocks) {
+        h ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::unordered_map<Key, ConvexPolygon, KeyHash> cells_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_VORONOI_CACHE_H_

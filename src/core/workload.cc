@@ -1,0 +1,70 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace stpq {
+
+namespace {
+
+MetricSummary Summarize(std::vector<double> values) {
+  MetricSummary out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  auto percentile = [&](double p) {
+    size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+  };
+  out.p50 = percentile(0.50);
+  out.p95 = percentile(0.95);
+  out.max = values.back();
+  return out;
+}
+
+}  // namespace
+
+std::string WorkloadSummary::ToString() const {
+  std::ostringstream os;
+  os << queries << " queries: total mean=" << total_ms.mean
+     << "ms p50=" << total_ms.p50 << " p95=" << total_ms.p95
+     << " max=" << total_ms.max << " (cpu mean=" << cpu_ms.mean
+     << ", io mean=" << io_ms.mean << ", reads/query=" << mean_page_reads
+     << ")";
+  return os.str();
+}
+
+WorkloadSummary RunWorkload(Engine* engine, const std::vector<Query>& queries,
+                            Algorithm algorithm, double io_unit_cost_ms) {
+  STPQ_CHECK(engine != nullptr);
+  WorkloadSummary out;
+  out.queries = queries.size();
+  std::vector<double> cpu, io, total;
+  cpu.reserve(queries.size());
+  io.reserve(queries.size());
+  total.reserve(queries.size());
+  uint64_t reads = 0;
+  for (const Query& q : queries) {
+    QueryResult r = engine->Execute(q, algorithm);
+    double io_ms = r.stats.IoMillis(io_unit_cost_ms);
+    cpu.push_back(r.stats.cpu_ms);
+    io.push_back(io_ms);
+    total.push_back(r.stats.cpu_ms + io_ms);
+    reads += r.stats.TotalReads();
+    out.aggregate += r.stats;
+  }
+  out.cpu_ms = Summarize(std::move(cpu));
+  out.io_ms = Summarize(std::move(io));
+  out.total_ms = Summarize(std::move(total));
+  if (!queries.empty()) {
+    out.mean_page_reads =
+        static_cast<double>(reads) / static_cast<double>(queries.size());
+  }
+  return out;
+}
+
+}  // namespace stpq

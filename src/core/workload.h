@@ -1,0 +1,46 @@
+// Workload evaluation: run a query batch and summarize per-query costs.
+//
+// This is the measurement harness the paper's evaluation implies ("every
+// reported value is the average of 1,000 random queries"), packaged as a
+// library utility so users can benchmark their own datasets: means and
+// tail percentiles for CPU, simulated I/O and total time, plus the
+// aggregated algorithm counters.
+#ifndef STPQ_CORE_WORKLOAD_H_
+#define STPQ_CORE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/query.h"
+
+namespace stpq {
+
+/// Distribution summary of one per-query cost metric (milliseconds).
+struct MetricSummary {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Result of running a workload through one engine + algorithm.
+struct WorkloadSummary {
+  size_t queries = 0;
+  MetricSummary cpu_ms;
+  MetricSummary io_ms;
+  MetricSummary total_ms;
+  double mean_page_reads = 0.0;
+  QueryStats aggregate;  ///< summed counters over the whole workload
+
+  std::string ToString() const;
+};
+
+/// Executes every query and summarizes costs.  `io_unit_cost_ms` prices
+/// one simulated page read (the paper's dark-bar constant).
+WorkloadSummary RunWorkload(Engine* engine, const std::vector<Query>& queries,
+                            Algorithm algorithm, double io_unit_cost_ms);
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_WORKLOAD_H_

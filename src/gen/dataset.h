@@ -1,0 +1,23 @@
+// Generated dataset container shared by the synthetic and real-like
+// generators.
+#ifndef STPQ_GEN_DATASET_H_
+#define STPQ_GEN_DATASET_H_
+
+#include <vector>
+
+#include "index/feature_table.h"
+#include "text/vocabulary.h"
+
+namespace stpq {
+
+/// A complete STPQ workload input: data objects plus c feature tables.
+struct Dataset {
+  std::vector<DataObject> objects;
+  std::vector<FeatureTable> feature_tables;
+  /// Vocabulary per feature set (universe of W_i).
+  std::vector<Vocabulary> vocabularies;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_GEN_DATASET_H_

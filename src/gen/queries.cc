@@ -1,0 +1,44 @@
+#include "gen/queries.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace stpq {
+
+std::vector<Query> GenerateQueries(const Dataset& dataset,
+                                   const QueryWorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Query> out;
+  out.reserve(config.count);
+  for (uint32_t q = 0; q < config.count; ++q) {
+    Query query;
+    query.k = config.k;
+    query.radius = config.radius;
+    query.lambda = config.lambda;
+    query.variant = config.variant;
+    for (const FeatureTable& table : dataset.feature_tables) {
+      KeywordSet kw(table.universe_size());
+      // Sample keywords data-distributed: adopt keywords of random features
+      // until the requested count is reached (capped by the universe).
+      uint32_t want = std::min(config.keywords_per_set,
+                               table.universe_size());
+      uint32_t guard = 0;
+      while (kw.Count() < want && guard < 1000) {
+        const FeatureObject& f =
+            table.Get(static_cast<ObjectId>(
+                rng.UniformInt(0, table.size() - 1)));
+        for (TermId t : f.keywords.ToTerms()) {
+          if (kw.Count() >= want) break;
+          kw.Insert(t);
+        }
+        ++guard;
+      }
+      STPQ_CHECK(!kw.Empty());
+      query.keywords.push_back(std::move(kw));
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace stpq

@@ -1,0 +1,35 @@
+// Query workload generator.
+//
+// The paper: "Every reported value is the average of 1,000 random queries,
+// which are generated in a similar way as the synthetic data and follow the
+// same data distribution."  Query keywords are sampled from the keyword
+// distribution of each feature set by drawing random features and adopting
+// their keywords, so popular keywords are queried proportionally often.
+#ifndef STPQ_GEN_QUERIES_H_
+#define STPQ_GEN_QUERIES_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "gen/dataset.h"
+
+namespace stpq {
+
+/// Knobs for the query workload (defaults = Table 2 bold values).
+struct QueryWorkloadConfig {
+  uint64_t seed = 99;
+  uint32_t count = 50;
+  uint32_t k = 10;
+  double radius = 0.01;
+  double lambda = 0.5;
+  uint32_t keywords_per_set = 3;
+  ScoreVariant variant = ScoreVariant::kRange;
+};
+
+/// Generates `config.count` random queries over `dataset`.
+std::vector<Query> GenerateQueries(const Dataset& dataset,
+                                   const QueryWorkloadConfig& config);
+
+}  // namespace stpq
+
+#endif  // STPQ_GEN_QUERIES_H_

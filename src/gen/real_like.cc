@@ -1,0 +1,139 @@
+#include "gen/real_like.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace stpq {
+
+namespace {
+
+// Seed terms for readable vocabularies; remaining terms are generated.
+constexpr const char* kCuisines[] = {
+    "american",  "italian",   "mexican",    "chinese",   "japanese",
+    "thai",      "indian",    "greek",      "french",    "spanish",
+    "pizza",     "burgers",   "seafood",    "steak",     "barbecue",
+    "sushi",     "vegan",     "vegetarian", "mediterranean", "korean",
+    "vietnamese", "sandwiches", "subs",     "buffet",    "bistro",
+    "asian",     "european",  "cajun",      "southern",  "breakfast",
+    "brunch",    "deli",      "diner",      "tapas",     "noodles",
+    "ramen",     "dumplings", "tacos",      "burritos",  "wings",
+};
+
+constexpr const char* kCafeTerms[] = {
+    "espresso",  "cappuccino", "latte",     "mocha",    "macchiato",
+    "decaf",     "tea",        "muffins",   "croissants", "cake",
+    "bread",     "pastries",   "toast",     "donuts",   "bagels",
+    "cookies",   "brownies",   "smoothies", "juice",    "iced-coffee",
+};
+
+Vocabulary MakeVocabulary(const char* const* seeds, size_t seed_count,
+                          uint32_t size, const char* prefix) {
+  Vocabulary v;
+  for (size_t i = 0; i < seed_count && v.size() < size; ++i) {
+    v.Intern(seeds[i]);
+  }
+  char buf[32];
+  for (uint32_t i = v.size(); i < size; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%03u", prefix, i);
+    v.Intern(buf);
+  }
+  return v;
+}
+
+/// Town centers: `num_states` macro clusters, each with sub-clusters.
+std::vector<Point> MakeTowns(Rng* rng, const RealLikeConfig& cfg) {
+  std::vector<Point> towns;
+  for (uint32_t s = 0; s < cfg.num_states; ++s) {
+    Point state{rng->Uniform(0.1, 0.9), rng->Uniform(0.1, 0.9)};
+    for (uint32_t t = 0; t < cfg.towns_per_state; ++t) {
+      towns.push_back(Point{
+          rng->ClampedGaussian(state.x, cfg.state_stddev, 0.0, 1.0),
+          rng->ClampedGaussian(state.y, cfg.state_stddev, 0.0, 1.0)});
+    }
+  }
+  return towns;
+}
+
+Point TownPoint(Rng* rng, const std::vector<Point>& towns, double stddev) {
+  const Point& t = towns[rng->UniformInt(0, towns.size() - 1)];
+  return Point{rng->ClampedGaussian(t.x, stddev, 0.0, 1.0),
+               rng->ClampedGaussian(t.y, stddev, 0.0, 1.0)};
+}
+
+/// Zipf-skewed keyword set of 1-3 terms.
+KeywordSet ZipfKeywords(Rng* rng, uint32_t universe, double theta) {
+  KeywordSet kw(universe);
+  uint32_t n = static_cast<uint32_t>(rng->UniformInt(1, 3));
+  for (uint32_t i = 0; i < n; ++i) {
+    kw.Insert(std::min(rng->Zipf(universe, theta), universe - 1));
+  }
+  return kw;
+}
+
+uint32_t Scaled(uint32_t n, double scale) {
+  return std::max(1u, static_cast<uint32_t>(n * scale));
+}
+
+}  // namespace
+
+Dataset GenerateRealLike(const RealLikeConfig& config) {
+  Rng rng(config.seed);
+  Dataset ds;
+  std::vector<Point> towns = MakeTowns(&rng, config);
+
+  const uint32_t num_hotels = Scaled(config.num_hotels, config.scale);
+  const uint32_t num_restaurants =
+      Scaled(config.num_restaurants, config.scale);
+  const uint32_t num_cafes = Scaled(config.num_cafes, config.scale);
+
+  ds.objects.reserve(num_hotels);
+  for (uint32_t i = 0; i < num_hotels; ++i) {
+    ds.objects.push_back(
+        DataObject{i, TownPoint(&rng, towns, config.town_stddev),
+                   "hotel-" + std::to_string(i)});
+  }
+
+  // Feature set 0: restaurants with cuisine keywords.
+  {
+    std::vector<FeatureObject> restaurants;
+    restaurants.reserve(num_restaurants);
+    for (uint32_t i = 0; i < num_restaurants; ++i) {
+      FeatureObject f;
+      f.pos = TownPoint(&rng, towns, config.town_stddev);
+      // Ratings cluster high, like review-site data.
+      f.score = rng.ClampedGaussian(0.7, 0.15, 0.0, 1.0);
+      f.keywords = ZipfKeywords(&rng, config.cuisine_vocabulary,
+                                config.keyword_zipf_theta);
+      f.name = "restaurant-" + std::to_string(i);
+      restaurants.push_back(std::move(f));
+    }
+    ds.feature_tables.emplace_back(std::move(restaurants),
+                                   config.cuisine_vocabulary);
+    ds.vocabularies.push_back(
+        MakeVocabulary(kCuisines, std::size(kCuisines),
+                       config.cuisine_vocabulary, "cuisine"));
+  }
+
+  // Feature set 1: coffeehouses with menu keywords.
+  {
+    std::vector<FeatureObject> cafes;
+    cafes.reserve(num_cafes);
+    for (uint32_t i = 0; i < num_cafes; ++i) {
+      FeatureObject f;
+      f.pos = TownPoint(&rng, towns, config.town_stddev);
+      f.score = rng.ClampedGaussian(0.65, 0.18, 0.0, 1.0);
+      f.keywords = ZipfKeywords(&rng, config.cafe_vocabulary,
+                                config.keyword_zipf_theta);
+      f.name = "cafe-" + std::to_string(i);
+      cafes.push_back(std::move(f));
+    }
+    ds.feature_tables.emplace_back(std::move(cafes), config.cafe_vocabulary);
+    ds.vocabularies.push_back(MakeVocabulary(
+        kCafeTerms, std::size(kCafeTerms), config.cafe_vocabulary, "cafe"));
+  }
+  return ds;
+}
+
+}  // namespace stpq

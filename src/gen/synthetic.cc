@@ -1,0 +1,71 @@
+#include "gen/synthetic.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace stpq {
+
+namespace {
+
+/// Cluster centers uniform in [0,1]^2.
+std::vector<Point> MakeClusterCenters(Rng* rng, uint32_t n) {
+  std::vector<Point> centers(n);
+  for (Point& c : centers) {
+    c.x = rng->Uniform();
+    c.y = rng->Uniform();
+  }
+  return centers;
+}
+
+/// A point Gaussian-scattered around a random cluster, clamped to [0,1]^2.
+Point ClusteredPoint(Rng* rng, const std::vector<Point>& centers,
+                     double stddev) {
+  const Point& c = centers[rng->UniformInt(0, centers.size() - 1)];
+  return Point{rng->ClampedGaussian(c.x, stddev, 0.0, 1.0),
+               rng->ClampedGaussian(c.y, stddev, 0.0, 1.0)};
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  STPQ_CHECK(config.num_feature_sets >= 1);
+  STPQ_CHECK(config.min_keywords_per_feature >= 1);
+  STPQ_CHECK(config.max_keywords_per_feature >=
+             config.min_keywords_per_feature);
+  Rng rng(config.seed);
+  Dataset ds;
+
+  std::vector<Point> centers =
+      MakeClusterCenters(&rng, std::max(1u, config.num_clusters));
+
+  ds.objects.reserve(config.num_objects);
+  for (uint32_t i = 0; i < config.num_objects; ++i) {
+    ds.objects.push_back(DataObject{
+        i, ClusteredPoint(&rng, centers, config.cluster_stddev), {}});
+  }
+
+  for (uint32_t set = 0; set < config.num_feature_sets; ++set) {
+    std::vector<FeatureObject> features;
+    features.reserve(config.num_features_per_set);
+    for (uint32_t i = 0; i < config.num_features_per_set; ++i) {
+      FeatureObject f;
+      f.pos = ClusteredPoint(&rng, centers, config.cluster_stddev);
+      f.score = rng.Uniform();
+      f.keywords = KeywordSet(config.vocabulary_size);
+      uint32_t nkw = static_cast<uint32_t>(
+          rng.UniformInt(config.min_keywords_per_feature,
+                         config.max_keywords_per_feature));
+      for (uint32_t j = 0; j < nkw; ++j) {
+        f.keywords.Insert(static_cast<TermId>(
+            rng.UniformInt(0, config.vocabulary_size - 1)));
+      }
+      features.push_back(std::move(f));
+    }
+    ds.feature_tables.emplace_back(std::move(features),
+                                   config.vocabulary_size);
+    ds.vocabularies.push_back(Vocabulary::Synthetic(config.vocabulary_size));
+  }
+  return ds;
+}
+
+}  // namespace stpq

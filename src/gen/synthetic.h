@@ -1,0 +1,36 @@
+// Clustered synthetic dataset generator (Section 8.1).
+//
+// "Approximately 10,000 clusters constitute each synthetic dataset.  The
+// number of distinct keywords is set to 256 as a default value and each
+// feature object is characterized by one or more keywords that are picked
+// randomly.  The spatial constituent of all datasets has been normalized
+// in [0,1] x [0,1]."  (The experiment sweeps use Table 2's bold defaults:
+// 100K objects/features, c=2, 128 indexed keywords.)
+#ifndef STPQ_GEN_SYNTHETIC_H_
+#define STPQ_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "gen/dataset.h"
+
+namespace stpq {
+
+/// Knobs for the clustered synthetic generator.
+struct SyntheticConfig {
+  uint64_t seed = 42;
+  uint32_t num_objects = 100'000;
+  uint32_t num_features_per_set = 100'000;
+  uint32_t num_feature_sets = 2;   ///< c
+  uint32_t vocabulary_size = 128;  ///< indexed keywords
+  uint32_t num_clusters = 10'000;
+  double cluster_stddev = 0.005;   ///< Gaussian spread within a cluster
+  uint32_t min_keywords_per_feature = 1;
+  uint32_t max_keywords_per_feature = 4;
+};
+
+/// Generates a clustered dataset; deterministic in `config.seed`.
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace stpq
+
+#endif  // STPQ_GEN_SYNTHETIC_H_

@@ -1,0 +1,31 @@
+// 2-D points and Euclidean distance (the paper's dist(p, t)).
+#ifndef STPQ_GEOM_POINT_H_
+#define STPQ_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace stpq {
+
+/// A point in the normalized [0,1] x [0,1] space of the paper's datasets.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& other) const = default;
+};
+
+/// Squared Euclidean distance (used to avoid sqrt in comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance, the paper's dist(p, t).
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace stpq
+
+#endif  // STPQ_GEOM_POINT_H_

@@ -1,0 +1,99 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace stpq {
+
+void AxesToTranspose(uint32_t* x, int b, int n) {
+  uint32_t m = uint32_t{1} << (b - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(uint32_t* x, int b, int n) {
+  uint32_t nbit = uint32_t{2} << (b - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != nbit; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+uint64_t HilbertKey(const uint32_t* coords, int b, int n) {
+  STPQ_DCHECK(b >= 1 && n >= 1 && b * n <= 64);
+  uint32_t x[16];
+  STPQ_CHECK(n <= 16);
+  std::copy(coords, coords + n, x);
+  AxesToTranspose(x, b, n);
+  // Interleave the transposed bits, most significant bit-plane first.
+  uint64_t key = 0;
+  for (int j = b - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      key = (key << 1) | ((x[i] >> j) & 1u);
+    }
+  }
+  return key;
+}
+
+void HilbertKeyToAxes(uint64_t key, int b, int n, uint32_t* coords) {
+  STPQ_DCHECK(b >= 1 && n >= 1 && b * n <= 64);
+  uint32_t x[16];
+  STPQ_CHECK(n <= 16);
+  std::fill(x, x + n, 0u);
+  // De-interleave: the key's MSB belongs to bit-plane (b-1) of x[0].
+  int bit = b * n - 1;
+  for (int j = b - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      x[i] |= static_cast<uint32_t>((key >> bit) & 1u) << j;
+      --bit;
+    }
+  }
+  TransposeToAxes(x, b, n);
+  std::copy(x, x + n, coords);
+}
+
+uint64_t HilbertKeyFromUnit(const double* unit_coords, int b, int n) {
+  uint32_t coords[16];
+  STPQ_CHECK(n <= 16);
+  const uint32_t max_coord = (uint32_t{1} << b) - 1;
+  for (int i = 0; i < n; ++i) {
+    double v = std::clamp(unit_coords[i], 0.0, 1.0);
+    uint32_t q = static_cast<uint32_t>(v * static_cast<double>(max_coord + 1));
+    coords[i] = std::min(q, max_coord);
+  }
+  return HilbertKey(coords, b, n);
+}
+
+}  // namespace stpq

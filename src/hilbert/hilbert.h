@@ -1,0 +1,37 @@
+// Hilbert curve transcoding (Skilling's algorithm) for small dimensions.
+//
+// Used for Hilbert bulk loading (Kamel & Faloutsos [9], as the paper uses
+// for the SRT-index): each record is mapped to a Hilbert key of its
+// quantized coordinates, records are sorted by key and packed bottom-up.
+#ifndef STPQ_HILBERT_HILBERT_H_
+#define STPQ_HILBERT_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stpq {
+
+/// In-place conversion of `n` coordinates of `b` bits each into the
+/// "transposed" Hilbert index (Skilling, AIP Conf. Proc. 707, 2004).
+/// After the call, reading bit (b-1-j) of x[0..n-1] for j = 0..b-1 in
+/// row-major order yields the Hilbert index MSB-first.
+void AxesToTranspose(uint32_t* x, int b, int n);
+
+/// Inverse of AxesToTranspose.
+void TransposeToAxes(uint32_t* x, int b, int n);
+
+/// Hilbert index of `n` coordinates (each < 2^b) packed into a uint64.
+/// Requires n * b <= 64.
+uint64_t HilbertKey(const uint32_t* coords, int b, int n);
+
+/// Inverse of HilbertKey: decodes `key` into `n` coordinates of `b` bits.
+void HilbertKeyToAxes(uint64_t key, int b, int n, uint32_t* coords);
+
+/// Convenience: Hilbert key of a point with coordinates in [0,1]^n,
+/// quantized to `b` bits per dimension.  Coordinates outside [0,1] are
+/// clamped.  Requires n * b <= 64.
+uint64_t HilbertKeyFromUnit(const double* unit_coords, int b, int n);
+
+}  // namespace stpq
+
+#endif  // STPQ_HILBERT_HILBERT_H_

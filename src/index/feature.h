@@ -1,0 +1,34 @@
+// Object model: data objects (ranked) and feature objects (facilities).
+#ifndef STPQ_INDEX_FEATURE_H_
+#define STPQ_INDEX_FEATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/point.h"
+#include "text/keyword_set.h"
+
+namespace stpq {
+
+using ObjectId = uint32_t;
+
+/// A data object p in O: the entities being ranked (e.g. hotels).
+struct DataObject {
+  ObjectId id = 0;
+  Point pos;
+  std::string name;  ///< optional display name (examples/real-like data)
+};
+
+/// A feature object t in F_i: a facility with a quality score in [0,1] and
+/// a textual description t.W (Section 3).
+struct FeatureObject {
+  ObjectId id = 0;
+  Point pos;
+  double score = 0.0;  ///< non-spatial score t.s
+  KeywordSet keywords;  ///< t.W
+  std::string name;    ///< optional display name
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_INDEX_FEATURE_H_

@@ -1,0 +1,66 @@
+// FeatureIndex: the common abstraction over the paper's feature indexes.
+//
+// Section 4.1: any hierarchical spatio-textual index works, provided each
+// entry e maintains (i) the max non-spatial score e.s below it and (ii) a
+// keyword summary e.W, so that a query-time bound s-hat(e) >= s(t) holds
+// for every descendant feature t.  STDS's score computation (Algorithm 2)
+// and STPS's sorted feature retrieval (Algorithm 4) are written once against
+// this interface; the SRT-index and the modified IR2-tree implement it.
+#ifndef STPQ_INDEX_FEATURE_INDEX_H_
+#define STPQ_INDEX_FEATURE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "index/feature_table.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+
+namespace stpq {
+
+/// One child of a visited index node, with everything the algorithms need:
+/// spatial extent for distance pruning, the score bound s-hat(e) for
+/// priority ordering, and the textual sim-may-be-positive filter.
+struct FeatureBranch {
+  uint32_t id = 0;        ///< feature id if is_feature, else child node id
+  bool is_feature = false;
+  Rect2 mbr;              ///< spatial MBR (degenerate point for features)
+  double score_bound = 0.0;  ///< s-hat(e); exact s(t) for features
+  bool text_match = false;   ///< whether sim(., W) may be > 0
+};
+
+/// Read-only hierarchical access to one indexed feature set.
+class FeatureIndex {
+ public:
+  virtual ~FeatureIndex() = default;
+
+  /// Root node id, or kInvalidNodeId for an empty index.
+  virtual NodeId RootId() const = 0;
+
+  /// Appends the children of `node_id` to `out` (which is cleared first),
+  /// computing score bounds against the query keywords `query_kw` and the
+  /// smoothing parameter `lambda`.  Charges one page access.
+  virtual void VisitChildren(NodeId node_id, const KeywordSet& query_kw,
+                             double lambda,
+                             std::vector<FeatureBranch>* out) const = 0;
+
+  /// The record store this index was built over.
+  virtual const FeatureTable& table() const = 0;
+
+  /// The buffer pool charged by this index (for I/O accounting).
+  virtual BufferPool* buffer_pool() const = 0;
+
+  /// Human-readable index name ("SRT", "IR2"), for benchmark labels.
+  virtual const char* Name() const = 0;
+};
+
+/// Which feature-index implementation to build (benchmark axis).
+enum class FeatureIndexKind {
+  kSrt,  ///< the paper's SRT-index (Section 4)
+  kIr2,  ///< modified IR2-tree baseline (Section 8)
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_INDEX_FEATURE_INDEX_H_

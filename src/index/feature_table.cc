@@ -1,0 +1,17 @@
+#include "index/feature_table.h"
+
+#include "util/logging.h"
+
+namespace stpq {
+
+FeatureTable::FeatureTable(std::vector<FeatureObject> features,
+                           uint32_t universe_size)
+    : features_(std::move(features)), universe_size_(universe_size) {
+  for (size_t i = 0; i < features_.size(); ++i) {
+    features_[i].id = static_cast<ObjectId>(i);
+    STPQ_CHECK(features_[i].keywords.universe_size() == universe_size_);
+    domain_.EnlargePoint({features_[i].pos.x, features_[i].pos.y});
+  }
+}
+
+}  // namespace stpq

@@ -1,0 +1,98 @@
+#include "index/ir2_tree.h"
+
+#include "rtree/bulk_load.h"
+
+namespace stpq {
+
+namespace {
+
+uint32_t EffectiveSignatureBits(const FeatureIndexOptions& opts,
+                                uint32_t universe_size) {
+  // The signature must scale with the vocabulary so that larger keyword
+  // universes preserve selectivity (the paper's Fig 7(d) observes node
+  // capacity dropping with more indexed keywords for both indexes).
+  return opts.signature_bits != 0 ? opts.signature_bits
+                                  : std::max(64u, 2 * universe_size);
+}
+
+RTreeOptions MakeTreeOptions(const FeatureIndexOptions& opts,
+                             uint32_t signature_bits) {
+  RTreeOptions t;
+  uint32_t aug_bytes = 8 + signature_bits / 8;
+  t.max_entries = FanOutForPage(opts.page_size_bytes, 2, aug_bytes);
+  t.buffer_pool = opts.buffer_pool;
+  t.page_base = opts.page_base;
+  return t;
+}
+
+}  // namespace
+
+Ir2Tree::Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options)
+    : table_(table),
+      scheme_(EffectiveSignatureBits(options, table->universe_size()),
+              options.signature_hashes),
+      tree_(MakeTreeOptions(options, scheme_.signature_bits())) {
+  using Entry = RTree<2, Ir2Aug>::Entry;
+  std::vector<Entry> records;
+  records.reserve(table_->size());
+  for (const FeatureObject& f : table_->All()) {
+    records.push_back(Entry{PointRect(f.pos), f.id,
+                            Ir2Aug{f.score, scheme_.SetSignature(f.keywords)}});
+  }
+  switch (options.bulk_load) {
+    case BulkLoadKind::kHilbert: {
+      // Spatial-only Hilbert packing: the IR2-tree clusters by location.
+      Rect2 domain = ComputeDomain<2, Ir2Aug>(records);
+      SortByHilbertKey<2, Ir2Aug>(&records, domain, /*bits_per_dim=*/16);
+      tree_.BulkLoadSorted(records, options.fill);
+      break;
+    }
+    case BulkLoadKind::kStr: {
+      SortSTR<2, Ir2Aug>(&records, tree_.options().max_entries);
+      tree_.BulkLoadSorted(records, options.fill);
+      break;
+    }
+    case BulkLoadKind::kInsert: {
+      for (const Entry& r : records) tree_.Insert(r.rect, r.id, r.aug);
+      break;
+    }
+  }
+}
+
+NodeId Ir2Tree::RootId() const { return tree_.root_id(); }
+
+BufferPool* Ir2Tree::buffer_pool() const {
+  return tree_.options().buffer_pool;
+}
+
+void Ir2Tree::VisitChildren(NodeId node_id, const KeywordSet& query_kw,
+                            double lambda,
+                            std::vector<FeatureBranch>* out) const {
+  out->clear();
+  const RTree<2, Ir2Aug>::Node& node = tree_.ReadNode(node_id);
+  const uint32_t query_count = query_kw.Count();
+  out->reserve(node.entries.size());
+  for (const auto& e : node.entries) {
+    FeatureBranch b;
+    b.id = e.id;
+    b.is_feature = node.IsLeaf();
+    b.mbr = e.rect;
+    if (b.is_feature) {
+      const FeatureObject& f = table_->Get(e.id);
+      double sim = f.keywords.Jaccard(query_kw);
+      b.score_bound = (1.0 - lambda) * f.score + lambda * sim;
+      b.text_match = sim > 0.0;
+    } else {
+      uint32_t inter = scheme_.UpperBoundIntersect(e.aug.signature, query_kw);
+      double text_bound =
+          query_count > 0
+              ? static_cast<double>(inter) / static_cast<double>(query_count)
+              : 0.0;
+      b.score_bound = (1.0 - lambda) * e.aug.max_score + lambda * text_bound;
+      b.text_match = inter > 0;
+    }
+    out->push_back(std::move(b));
+  }
+}
+
+}  // namespace stpq

@@ -1,0 +1,58 @@
+// The modified IR2-tree baseline (Section 8).
+//
+// Felipe et al.'s IR2-tree [8] combines an R-tree with signature files; the
+// paper modifies it for preference queries by storing, per leaf, the
+// feature's non-spatial score, and per internal entry the max enclosed
+// score.  The s-hat(e) bound uses the signature's (over-)estimate of
+// |e.W n W|, which is a valid upper bound because signatures admit false
+// positives but never false negatives.
+#ifndef STPQ_INDEX_IR2_TREE_H_
+#define STPQ_INDEX_IR2_TREE_H_
+
+#include <vector>
+
+#include "index/feature_index.h"
+#include "index/srt_index.h"  // FeatureIndexOptions, BulkLoadKind
+#include "rtree/rtree.h"
+#include "text/signature.h"
+
+namespace stpq {
+
+/// Entry augmentation of the IR2-tree: max score + keyword signature.
+struct Ir2Aug {
+  double max_score = 0.0;
+  Signature signature;
+
+  static Ir2Aug Merge(const Ir2Aug& a, const Ir2Aug& b) {
+    Ir2Aug out{std::max(a.max_score, b.max_score), a.signature};
+    out.signature.UnionWith(b.signature);
+    return out;
+  }
+};
+
+/// The modified IR2-tree over one feature set.
+class Ir2Tree : public FeatureIndex {
+ public:
+  /// Builds the index over `table` (not owned; must outlive the index).
+  Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options);
+
+  NodeId RootId() const override;
+  void VisitChildren(NodeId node_id, const KeywordSet& query_kw,
+                     double lambda,
+                     std::vector<FeatureBranch>* out) const override;
+  const FeatureTable& table() const override { return *table_; }
+  BufferPool* buffer_pool() const override;
+  const char* Name() const override { return "IR2"; }
+
+  const RTree<2, Ir2Aug>& tree() const { return tree_; }
+  const SignatureScheme& scheme() const { return scheme_; }
+
+ private:
+  const FeatureTable* table_;
+  SignatureScheme scheme_;
+  RTree<2, Ir2Aug> tree_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_INDEX_IR2_TREE_H_

@@ -1,0 +1,70 @@
+#include "index/object_index.h"
+
+#include "rtree/bulk_load.h"
+
+namespace stpq {
+
+namespace {
+RTreeOptions MakeTreeOptions(const ObjectIndexOptions& opts) {
+  RTreeOptions t;
+  t.max_entries = FanOutForPage(opts.page_size_bytes, 2, /*aug_bytes=*/0);
+  t.buffer_pool = opts.buffer_pool;
+  t.page_base = opts.page_base;
+  return t;
+}
+}  // namespace
+
+ObjectIndex::ObjectIndex(const std::vector<DataObject>* objects,
+                         const ObjectIndexOptions& options)
+    : objects_(objects), tree_(MakeTreeOptions(options)) {
+  using Entry = RTree<2>::Entry;
+  std::vector<Entry> records;
+  records.reserve(objects_->size());
+  for (size_t i = 0; i < objects_->size(); ++i) {
+    records.push_back(
+        Entry{PointRect((*objects_)[i].pos), static_cast<uint32_t>(i), {}});
+  }
+  domain_ = ComputeDomain<2, NoAug>(records);
+  SortByHilbertKey<2, NoAug>(&records, domain_, /*bits_per_dim=*/16);
+  tree_.BulkLoadSorted(records, options.fill);
+}
+
+std::vector<ObjectId> ObjectIndex::RangeQuery(const Point& center,
+                                              double radius) const {
+  std::vector<ObjectId> out;
+  if (tree_.root_id() == kInvalidNodeId) return out;
+  Rect2 box = MakeRect2(center.x - radius, center.y - radius,
+                        center.x + radius, center.y + radius);
+  const double r2 = radius * radius;
+  tree_.ForEachInRange(box, [&](uint32_t id, const Rect2& rect, const NoAug&) {
+    Point p{rect.lo[0], rect.lo[1]};
+    if (SquaredDistance(p, center) <= r2) out.push_back(id);
+  });
+  return out;
+}
+
+void ObjectIndex::ForEachLeafBlock(
+    const std::function<void(std::span<const ObjectId>, const Rect2&)>& fn)
+    const {
+  if (tree_.root_id() == kInvalidNodeId) return;
+  std::vector<NodeId> stack{tree_.root_id()};
+  std::vector<ObjectId> ids;
+  while (!stack.empty()) {
+    NodeId nid = stack.back();
+    stack.pop_back();
+    const RTree<2>::Node& node = tree_.ReadNode(nid);
+    if (node.IsLeaf()) {
+      ids.clear();
+      Rect2 mbr = Rect2::Empty();
+      for (const auto& e : node.entries) {
+        ids.push_back(e.id);
+        mbr.Enlarge(e.rect);
+      }
+      fn(ids, mbr);
+    } else {
+      for (const auto& e : node.entries) stack.push_back(e.id);
+    }
+  }
+}
+
+}  // namespace stpq

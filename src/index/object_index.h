@@ -1,0 +1,58 @@
+// ObjectIndex: the R-tree over the data objects O ("rtree" in the paper).
+#ifndef STPQ_INDEX_OBJECT_INDEX_H_
+#define STPQ_INDEX_OBJECT_INDEX_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "index/feature.h"
+#include "rtree/rtree.h"
+
+namespace stpq {
+
+/// Build-time knobs for the object index.
+struct ObjectIndexOptions {
+  uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  BufferPool* buffer_pool = nullptr;
+  PageId page_base = 0;
+  double fill = 1.0;
+};
+
+/// 2-D R-tree over data objects, Hilbert bulk-loaded.
+class ObjectIndex {
+ public:
+  /// Builds over `objects` (not owned; must outlive the index).
+  ObjectIndex(const std::vector<DataObject>* objects,
+              const ObjectIndexOptions& options);
+
+  const DataObject& Get(ObjectId id) const { return (*objects_)[id]; }
+  size_t size() const { return objects_->size(); }
+
+  /// Ids of all objects within Euclidean distance `radius` of `center`.
+  std::vector<ObjectId> RangeQuery(const Point& center, double radius) const;
+
+  /// Calls `fn` once per leaf node with the leaf's object ids and its MBR.
+  /// Used by batched STDS: each leaf is a spatially clustered batch.
+  void ForEachLeafBlock(
+      const std::function<void(std::span<const ObjectId>, const Rect2&)>& fn)
+      const;
+
+  /// Underlying tree for custom traversals (STPS object retrieval).
+  const RTree<2>& tree() const { return tree_; }
+
+  BufferPool* buffer_pool() const { return tree_.options().buffer_pool; }
+
+  /// Spatial bounding box of all data objects (the NN variant's Voronoi
+  /// domain).
+  const Rect2& domain() const { return domain_; }
+
+ private:
+  const std::vector<DataObject>* objects_;
+  RTree<2> tree_;
+  Rect2 domain_ = Rect2::Empty();
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_INDEX_OBJECT_INDEX_H_

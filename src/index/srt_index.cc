@@ -1,0 +1,95 @@
+#include "index/srt_index.h"
+
+#include "rtree/bulk_load.h"
+
+namespace stpq {
+
+namespace {
+
+RTreeOptions MakeTreeOptions(const FeatureIndexOptions& opts,
+                             uint32_t universe_size) {
+  RTreeOptions t;
+  // Aug bytes: 8 (max score) + the aggregated Hilbert value.
+  uint32_t aug_bytes = 8 + 8 * ((universe_size + 63) / 64);
+  t.max_entries = FanOutForPage(opts.page_size_bytes, 4, aug_bytes);
+  t.buffer_pool = opts.buffer_pool;
+  t.page_base = opts.page_base;
+  return t;
+}
+
+}  // namespace
+
+SrtIndex::SrtIndex(const FeatureTable* table,
+                   const FeatureIndexOptions& options)
+    : table_(table), tree_(MakeTreeOptions(options, table->universe_size())) {
+  using Entry = RTree<4, SrtAug>::Entry;
+  std::vector<Entry> records;
+  records.reserve(table_->size());
+  for (const FeatureObject& f : table_->All()) {
+    HilbertValue hv = EncodeKeywords(f.keywords);
+    // The mapped 4-D point of Section 4.2: {x, y, score, H(W)}.
+    std::array<double, 4> p{f.pos.x, f.pos.y, f.score, hv.ToUnitDouble()};
+    records.push_back(Entry{Rect4::FromPoint(p), f.id,
+                            SrtAug{f.score, std::move(hv), f.keywords}});
+  }
+  switch (options.bulk_load) {
+    case BulkLoadKind::kHilbert: {
+      // Bulk insertion [9]: sort by the Hilbert key of the mapped 4-D point.
+      Rect4 domain = ComputeDomain<4, SrtAug>(records);
+      SortByHilbertKey<4, SrtAug>(&records, domain, /*bits_per_dim=*/16);
+      tree_.BulkLoadSorted(records, options.fill);
+      break;
+    }
+    case BulkLoadKind::kStr: {
+      SortSTR<4, SrtAug>(&records, tree_.options().max_entries);
+      tree_.BulkLoadSorted(records, options.fill);
+      break;
+    }
+    case BulkLoadKind::kInsert: {
+      for (const Entry& r : records) tree_.Insert(r.rect, r.id, r.aug);
+      break;
+    }
+  }
+}
+
+NodeId SrtIndex::RootId() const { return tree_.root_id(); }
+
+BufferPool* SrtIndex::buffer_pool() const {
+  return tree_.options().buffer_pool;
+}
+
+void SrtIndex::VisitChildren(NodeId node_id, const KeywordSet& query_kw,
+                             double lambda,
+                             std::vector<FeatureBranch>* out) const {
+  out->clear();
+  const RTree<4, SrtAug>::Node& node = tree_.ReadNode(node_id);
+  const uint32_t query_count = query_kw.Count();
+  out->reserve(node.entries.size());
+  for (const auto& e : node.entries) {
+    FeatureBranch b;
+    b.id = e.id;
+    b.is_feature = node.IsLeaf();
+    // Spatial projection of the 4-D MBR.
+    b.mbr = Rect2{{e.rect.lo[0], e.rect.lo[1]}, {e.rect.hi[0], e.rect.hi[1]}};
+    if (b.is_feature) {
+      // Exact preference score s(t) (Definition 1).
+      const FeatureObject& f = table_->Get(e.id);
+      double sim = f.keywords.Jaccard(query_kw);
+      b.score_bound = (1.0 - lambda) * f.score + lambda * sim;
+      b.text_match = sim > 0.0;
+    } else {
+      // e.W is the decoded aggregated Hilbert value (cached at build time,
+      // see SrtAug); the bound uses |e.W n W| / |W| >= Jaccard.
+      uint32_t inter = e.aug.keywords.IntersectCount(query_kw);
+      double text_bound =
+          query_count > 0
+              ? static_cast<double>(inter) / static_cast<double>(query_count)
+              : 0.0;
+      b.score_bound = (1.0 - lambda) * e.aug.max_score + lambda * text_bound;
+      b.text_match = inter > 0;
+    }
+    out->push_back(std::move(b));
+  }
+}
+
+}  // namespace stpq

@@ -1,0 +1,88 @@
+// The SRT-index (Section 4): an R-tree over the mapped 4-D space
+// (x, y, t.s, H(t.W)) whose entries keep the max descendant score and the
+// aggregated Hilbert value of all descendant keywords.
+//
+// Because the index clusters by spatial location, score AND textual
+// description simultaneously, the bound
+//   s-hat(e) = (1-lambda) * e.s + lambda * |e.W n W| / |W|
+// is tight, which is what makes STPS's sorted feature retrieval cheap.
+#ifndef STPQ_INDEX_SRT_INDEX_H_
+#define STPQ_INDEX_SRT_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "hilbert/keyword_hilbert.h"
+#include "index/feature_index.h"
+#include "rtree/rtree.h"
+
+namespace stpq {
+
+/// How a feature index organizes its records at build time.
+enum class BulkLoadKind {
+  kHilbert,  ///< Hilbert-sort packing (Kamel & Faloutsos [9]; the paper's choice)
+  kStr,      ///< Sort-Tile-Recursive packing (spatial-only; ablation)
+  kInsert,   ///< one-at-a-time Guttman insertion (ablation/testing)
+};
+
+/// Build-time knobs shared by the feature indexes.
+struct FeatureIndexOptions {
+  uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  BufferPool* buffer_pool = nullptr;
+  PageId page_base = 0;
+  BulkLoadKind bulk_load = BulkLoadKind::kHilbert;
+  double fill = 1.0;  ///< target node occupancy for bulk loading
+  /// IR2-tree only: signature width in bits (0 = 2x the keyword universe).
+  uint32_t signature_bits = 0;
+  /// IR2-tree only: bits set per keyword.
+  uint32_t signature_hashes = 3;
+};
+
+/// Entry augmentation of the SRT-index: e.s and H(e.W) of Section 4.1.
+///
+/// The aggregated Hilbert value is what the paper's node entry stores (and
+/// what the fan-out accounting charges); `keywords` caches its decoded
+/// form so query-time bound computation skips the per-visit decode — the
+/// two are kept consistent by construction (Merge re-derives the cache
+/// through the Hilbert aggregation path, exactly as Section 4.2 updates
+/// node values).
+struct SrtAug {
+  double max_score = 0.0;
+  HilbertValue keyword_hilbert;
+  KeywordSet keywords;
+
+  static SrtAug Merge(const SrtAug& a, const SrtAug& b) {
+    HilbertValue merged = AggregateHilbert(a.keyword_hilbert,
+                                           b.keyword_hilbert,
+                                           a.keyword_hilbert.bits());
+    KeywordSet decoded = DecodeKeywords(merged, a.keywords.universe_size());
+    return SrtAug{std::max(a.max_score, b.max_score), std::move(merged),
+                  std::move(decoded)};
+  }
+};
+
+/// The SRT-index over one feature set.
+class SrtIndex : public FeatureIndex {
+ public:
+  /// Builds the index over `table` (not owned; must outlive the index).
+  SrtIndex(const FeatureTable* table, const FeatureIndexOptions& options);
+
+  NodeId RootId() const override;
+  void VisitChildren(NodeId node_id, const KeywordSet& query_kw,
+                     double lambda,
+                     std::vector<FeatureBranch>* out) const override;
+  const FeatureTable& table() const override { return *table_; }
+  BufferPool* buffer_pool() const override;
+  const char* Name() const override { return "SRT"; }
+
+  /// Underlying tree (tests and ablations).
+  const RTree<4, SrtAug>& tree() const { return tree_; }
+
+ private:
+  const FeatureTable* table_;
+  RTree<4, SrtAug> tree_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_INDEX_SRT_INDEX_H_

@@ -1,0 +1,57 @@
+// Dataset serialization: CSV for interchange, a binary format for speed.
+//
+// The paper's corpora (factual.com extracts, synthetic sets) are flat
+// tables; these readers/writers let users bring their own data instead of
+// the built-in generators:
+//
+//   objects CSV:   id,x,y,name
+//   features CSV:  id,x,y,score,keywords,name    (keywords = 'a|b|c')
+//
+// The binary format (.stpq) stores a whole Dataset (objects + all feature
+// tables + vocabularies) with a magic/version header and explicit sizes;
+// it is byte-order dependent (little-endian hosts) like most page formats.
+#ifndef STPQ_IO_DATASET_IO_H_
+#define STPQ_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace stpq {
+
+// ---------------------------------------------------------------- CSV
+
+/// Writes data objects as CSV (with header).
+Status WriteObjectsCsv(const std::string& path,
+                       const std::vector<DataObject>& objects);
+
+/// Reads data objects from CSV produced by WriteObjectsCsv (or compatible).
+Result<std::vector<DataObject>> ReadObjectsCsv(const std::string& path);
+
+/// Writes one feature table as CSV; keyword ids are rendered through
+/// `vocab` and joined with '|'.
+Status WriteFeaturesCsv(const std::string& path, const FeatureTable& table,
+                        const Vocabulary& vocab);
+
+/// Reads a feature table from CSV.  Keywords are interned into `vocab`
+/// (which may start empty); the resulting table's universe is
+/// `universe_size` if nonzero, else the final vocabulary size.
+Result<FeatureTable> ReadFeaturesCsv(const std::string& path,
+                                     Vocabulary* vocab,
+                                     uint32_t universe_size = 0);
+
+// -------------------------------------------------------------- binary
+
+/// Serializes a whole dataset to a .stpq binary file.
+Status WriteDatasetBinary(const std::string& path, const Dataset& dataset);
+
+/// Loads a dataset written by WriteDatasetBinary; rejects bad magic,
+/// unsupported versions, and truncated files.
+Result<Dataset> ReadDatasetBinary(const std::string& path);
+
+}  // namespace stpq
+
+#endif  // STPQ_IO_DATASET_IO_H_

@@ -1,0 +1,90 @@
+// Bulk-load orderings for RTree::BulkLoadSorted.
+//
+// The paper bulk loads the SRT-index with Hilbert packing (Kamel &
+// Faloutsos [9]) over the mapped 4-D space; STR is provided for ablation
+// (bench_ablation_srt compares the packings).
+#ifndef STPQ_RTREE_BULK_LOAD_H_
+#define STPQ_RTREE_BULK_LOAD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hilbert/hilbert.h"
+#include "rtree/rtree.h"
+
+namespace stpq {
+
+/// Sorts records by the Hilbert key of their rectangle centers, quantized
+/// within `domain`.  Requires D * bits_per_dim <= 64.
+template <int D, typename Aug>
+void SortByHilbertKey(std::vector<typename RTree<D, Aug>::Entry>* records,
+                      const Rect<D>& domain, int bits_per_dim = 64 / D / 2) {
+  struct Keyed {
+    uint64_t key;
+    size_t index;
+  };
+  std::vector<Keyed> keyed(records->size());
+  for (size_t i = 0; i < records->size(); ++i) {
+    double unit[D];
+    for (int d = 0; d < D; ++d) {
+      double extent = domain.hi[d] - domain.lo[d];
+      unit[d] = extent > 0.0
+                    ? ((*records)[i].rect.Center(d) - domain.lo[d]) / extent
+                    : 0.0;
+    }
+    keyed[i] = {HilbertKeyFromUnit(unit, bits_per_dim, D), i};
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  std::vector<typename RTree<D, Aug>::Entry> out;
+  out.reserve(records->size());
+  for (const Keyed& k : keyed) out.push_back((*records)[k.index]);
+  *records = std::move(out);
+}
+
+namespace internal {
+
+/// Recursive Sort-Tile-Recursive pass over dimensions [dim, D).
+template <int D, typename Entry>
+void StrRecurse(Entry* begin, Entry* end, int dim, uint32_t leaf_capacity) {
+  size_t n = static_cast<size_t>(end - begin);
+  if (n <= leaf_capacity || dim >= D) return;
+  std::sort(begin, end, [dim](const Entry& a, const Entry& b) {
+    return a.rect.Center(dim) < b.rect.Center(dim);
+  });
+  // Number of slabs along this dimension: P^(1/(D-dim)) where P is the
+  // number of leaves needed.
+  double leaves = std::ceil(static_cast<double>(n) / leaf_capacity);
+  size_t slabs = static_cast<size_t>(
+      std::ceil(std::pow(leaves, 1.0 / (D - dim))));
+  slabs = std::max<size_t>(1, slabs);
+  size_t per_slab = (n + slabs - 1) / slabs;
+  for (size_t i = 0; i < n; i += per_slab) {
+    size_t hi = std::min(n, i + per_slab);
+    StrRecurse<D>(begin + i, begin + hi, dim + 1, leaf_capacity);
+  }
+}
+
+}  // namespace internal
+
+/// Sort-Tile-Recursive ordering (Leutenegger et al.).
+template <int D, typename Aug>
+void SortSTR(std::vector<typename RTree<D, Aug>::Entry>* records,
+             uint32_t leaf_capacity) {
+  if (records->empty()) return;
+  internal::StrRecurse<D>(records->data(), records->data() + records->size(),
+                          0, leaf_capacity);
+}
+
+/// Computes the domain rectangle of a record set (union of all MBRs).
+template <int D, typename Aug>
+Rect<D> ComputeDomain(const std::vector<typename RTree<D, Aug>::Entry>& recs) {
+  Rect<D> domain = Rect<D>::Empty();
+  for (const auto& r : recs) domain.Enlarge(r.rect);
+  return domain;
+}
+
+}  // namespace stpq
+
+#endif  // STPQ_RTREE_BULK_LOAD_H_

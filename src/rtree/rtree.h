@@ -1,0 +1,562 @@
+// R-tree substrate: Guttman insertion with quadratic split, bottom-up bulk
+// packing, and pluggable entry augmentation.
+//
+// Both of the paper's feature indexes are R-trees in disguise:
+//   * the SRT-index (Section 4) is an R-tree over the mapped 4-D space whose
+//     entries carry {max score, aggregated keyword Hilbert value};
+//   * the modified IR2-tree (Section 8) is a 2-D R-tree whose entries carry
+//     {max score, keyword signature};
+//   * the object index ("rtree" in the paper) is a plain 2-D R-tree.
+// The shared mechanics live here; augmentation is a policy type with a
+// Merge() so internal entries summarize their subtrees (e.s and e.W of
+// Section 4.1 are exactly such summaries).
+//
+// Every node access is charged to a BufferPool to simulate disk residency.
+#ifndef STPQ_RTREE_RTREE_H_
+#define STPQ_RTREE_RTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/rect.h"
+#include "storage/buffer_pool.h"
+#include "util/logging.h"
+
+namespace stpq {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+
+/// Augmentation for plain R-trees (no extra per-entry payload).
+struct NoAug {
+  static NoAug Merge(const NoAug&, const NoAug&) { return {}; }
+  static constexpr uint32_t kEntryBytes = 0;
+};
+
+/// R-tree sizing and storage knobs.
+struct RTreeOptions {
+  /// Maximum entries per node (fan-out).  Derive from the page size with
+  /// FanOutForPage() to mirror a disk layout.
+  uint32_t max_entries = 64;
+  /// Minimum fill after a split, as a fraction of max_entries.
+  double min_fill = 0.4;
+  /// Pool charged on node access; may be nullptr (no I/O accounting).
+  BufferPool* buffer_pool = nullptr;
+  /// Page-id namespace offset so multiple indexes can share one pool.
+  PageId page_base = 0;
+};
+
+/// Fan-out of a node stored on a page of `page_bytes`, with entries of
+/// 2*D*8 rect bytes + 4 id bytes + `aug_bytes` augmentation bytes.
+inline uint32_t FanOutForPage(uint32_t page_bytes, int dims,
+                              uint32_t aug_bytes) {
+  uint32_t entry_bytes = 2u * dims * 8u + 4u + aug_bytes;
+  uint32_t header_bytes = 16;  // level, count, page metadata
+  uint32_t fanout = (page_bytes - header_bytes) / entry_bytes;
+  return std::max(fanout, 4u);
+}
+
+/// R-tree over D-dimensional rectangles with Aug-augmented entries.
+///
+/// Aug must provide `static Aug Merge(const Aug&, const Aug&)`.
+template <int D, typename Aug = NoAug>
+class RTree {
+ public:
+  struct Entry {
+    Rect<D> rect;
+    uint32_t id;  ///< child NodeId (internal) or caller's record id (leaf)
+    Aug aug;
+  };
+
+  struct Node {
+    uint16_t level = 0;  ///< 0 = leaf
+    std::vector<Entry> entries;
+    bool IsLeaf() const { return level == 0; }
+  };
+
+  explicit RTree(RTreeOptions options = {}) : options_(options) {
+    STPQ_CHECK(options_.max_entries >= 4);
+    min_entries_ = std::max<uint32_t>(
+        2, static_cast<uint32_t>(options_.max_entries * options_.min_fill));
+  }
+
+  /// Number of indexed records.
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  NodeId root_id() const { return root_; }
+  uint32_t height() const { return height_; }
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+  const RTreeOptions& options() const { return options_; }
+
+  /// Reads a node, charging the buffer pool for the page access.
+  const Node& ReadNode(NodeId id) const {
+    STPQ_DCHECK(id < nodes_.size());
+    if (options_.buffer_pool != nullptr) {
+      options_.buffer_pool->Access(options_.page_base + id);
+    }
+    return nodes_[id];
+  }
+
+  /// Inserts one record.
+  void Insert(const Rect<D>& rect, uint32_t record_id, const Aug& aug = {}) {
+    if (root_ == kInvalidNodeId) {
+      root_ = NewNode(0);
+      height_ = 1;
+    }
+    path_.clear();
+    NodeId leaf = ChooseLeaf(rect);
+    nodes_[leaf].entries.push_back(Entry{rect, record_id, aug});
+    ++size_;
+    PropagateUp(leaf);
+  }
+
+  /// Deletes the record with `record_id` stored under exactly `rect`
+  /// (Guttman's Delete with CondenseTree re-insertion).  Returns false if
+  /// no such record exists.
+  bool Delete(const Rect<D>& rect, uint32_t record_id) {
+    if (root_ == kInvalidNodeId) return false;
+    path_.clear();
+    if (!FindLeaf(root_, rect, record_id)) return false;
+    NodeId leaf = path_.empty() ? root_
+                                : nodes_[path_.back().first]
+                                      .entries[path_.back().second]
+                                      .id;
+    std::vector<Entry>& entries = nodes_[leaf].entries;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].id == record_id && RectsEqual(entries[i].rect, rect)) {
+        entries.erase(entries.begin() + i);
+        break;
+      }
+    }
+    --size_;
+    CondenseTree(leaf);
+    return true;
+  }
+
+  /// Bulk loads from records pre-sorted by the caller (e.g. by Hilbert key
+  /// per Kamel & Faloutsos, or by STR tiles).  Replaces any existing content.
+  /// `fill` is the target leaf/node occupancy fraction.
+  void BulkLoadSorted(const std::vector<Entry>& sorted_records,
+                      double fill = 1.0) {
+    nodes_.clear();
+    root_ = kInvalidNodeId;
+    height_ = 0;
+    size_ = sorted_records.size();
+    if (sorted_records.empty()) return;
+    uint32_t per_node = std::max<uint32_t>(
+        min_entries_,
+        static_cast<uint32_t>(options_.max_entries * fill));
+    per_node = std::min(per_node, options_.max_entries);
+
+    // Pack the current level into parent entries, bottom-up.
+    std::vector<Entry> level_entries;
+    uint16_t level = 0;
+    {
+      const std::vector<Entry>& recs = sorted_records;
+      for (size_t i = 0; i < recs.size(); i += per_node) {
+        size_t end = std::min(recs.size(), i + per_node);
+        NodeId nid = NewNode(0);
+        nodes_[nid].entries.assign(recs.begin() + i, recs.begin() + end);
+        level_entries.push_back(SummarizeNode(nid));
+      }
+    }
+    while (level_entries.size() > 1) {
+      ++level;
+      std::vector<Entry> next;
+      for (size_t i = 0; i < level_entries.size(); i += per_node) {
+        size_t end = std::min(level_entries.size(), i + per_node);
+        NodeId nid = NewNode(level);
+        nodes_[nid].entries.assign(level_entries.begin() + i,
+                                   level_entries.begin() + end);
+        next.push_back(SummarizeNode(nid));
+      }
+      level_entries = std::move(next);
+    }
+    root_ = level_entries.front().id;
+    height_ = level + 1;
+  }
+
+  /// Calls `fn(record_id, rect, aug)` for every leaf record whose rectangle
+  /// intersects `range`.
+  template <typename Fn>
+  void ForEachInRange(const Rect<D>& range, Fn&& fn) const {
+    if (root_ == kInvalidNodeId) return;
+    // Iterative DFS; stack holds node ids whose MBR intersects the range.
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+      NodeId nid = stack.back();
+      stack.pop_back();
+      const Node& node = ReadNode(nid);
+      for (const Entry& e : node.entries) {
+        if (!range.Intersects(e.rect)) continue;
+        if (node.IsLeaf()) {
+          fn(e.id, e.rect, e.aug);
+        } else {
+          stack.push_back(e.id);
+        }
+      }
+    }
+  }
+
+  /// Recomputes and verifies every internal entry's MBR and augmentation
+  /// (test hook).  `aug_equal` compares augmentation values.
+  template <typename AugEq>
+  bool CheckInvariants(AugEq&& aug_equal) const {
+    if (root_ == kInvalidNodeId) return true;
+    return CheckNode(root_, height_ - 1, aug_equal);
+  }
+
+ private:
+  NodeId NewNode(uint16_t level) {
+    if (!free_nodes_.empty()) {
+      NodeId id = free_nodes_.back();
+      free_nodes_.pop_back();
+      nodes_[id] = Node{level, {}};
+      return id;
+    }
+    nodes_.push_back(Node{level, {}});
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  void FreeNode(NodeId id) {
+    nodes_[id].entries.clear();
+    free_nodes_.push_back(id);
+  }
+
+  static bool RectsEqual(const Rect<D>& a, const Rect<D>& b) {
+    for (int d = 0; d < D; ++d) {
+      if (a.lo[d] != b.lo[d] || a.hi[d] != b.hi[d]) return false;
+    }
+    return true;
+  }
+
+  /// Depth-first search for the leaf holding (rect, record_id); fills
+  /// path_ with the descent on success.
+  bool FindLeaf(NodeId nid, const Rect<D>& rect, uint32_t record_id) {
+    const Node& node = nodes_[nid];
+    if (node.IsLeaf()) {
+      for (const Entry& e : node.entries) {
+        if (e.id == record_id && RectsEqual(e.rect, rect)) return true;
+      }
+      return false;
+    }
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (!node.entries[i].rect.ContainsRect(rect)) continue;
+      path_.push_back({nid, i});
+      if (FindLeaf(node.entries[i].id, rect, record_id)) return true;
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  /// Guttman's CondenseTree: walks the recorded path upward, dissolving
+  /// underfull nodes and re-inserting their entries, then shrinks the root.
+  void CondenseTree(NodeId changed) {
+    std::vector<std::pair<Entry, uint16_t>> orphans;  // entry, node level
+    while (!path_.empty()) {
+      auto [parent, slot] = path_.back();
+      path_.pop_back();
+      if (nodes_[changed].entries.size() < min_entries_) {
+        for (const Entry& e : nodes_[changed].entries) {
+          orphans.push_back({e, nodes_[changed].level});
+        }
+        FreeNode(changed);
+        nodes_[parent].entries.erase(nodes_[parent].entries.begin() + slot);
+      } else {
+        nodes_[parent].entries[slot] = SummarizeNode(changed);
+      }
+      changed = parent;
+    }
+    // Shrink the root while it is an internal node with a single child.
+    while (root_ != kInvalidNodeId && !nodes_[root_].IsLeaf() &&
+           nodes_[root_].entries.size() == 1) {
+      NodeId old = root_;
+      root_ = nodes_[root_].entries[0].id;
+      FreeNode(old);
+      --height_;
+    }
+    if (root_ != kInvalidNodeId && nodes_[root_].entries.empty()) {
+      FreeNode(root_);
+      root_ = kInvalidNodeId;
+      height_ = 0;
+    }
+    // Re-insert orphans at their original level (leaf records via Insert,
+    // which increments size_ — compensate since they were already counted).
+    for (auto& [entry, level] : orphans) {
+      if (level == 0) {
+        Insert(entry.rect, entry.id, entry.aug);
+        --size_;
+      } else {
+        InsertAtLevel(entry, level);
+      }
+    }
+  }
+
+  /// Inserts a subtree entry at a node of exactly `node_level`.  Falls back
+  /// to record-level re-insertion when the tree is now too shallow.
+  void InsertAtLevel(const Entry& entry, uint16_t node_level) {
+    if (root_ == kInvalidNodeId || nodes_[root_].level < node_level) {
+      // The tree shrank below the orphan's level: re-insert its records.
+      ReinsertRecords(entry.id);
+      FreeSubtree(entry.id);
+      return;
+    }
+    path_.clear();
+    NodeId cur = root_;
+    while (nodes_[cur].level != node_level) {
+      const Node& node = nodes_[cur];
+      size_t best = 0;
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        double enlarge = node.entries[i].rect.EnlargementArea(entry.rect);
+        if (enlarge < best_enlarge) {
+          best = i;
+          best_enlarge = enlarge;
+        }
+      }
+      path_.push_back({cur, best});
+      cur = node.entries[best].id;
+    }
+    nodes_[cur].entries.push_back(entry);
+    PropagateUp(cur);
+  }
+
+  /// Re-inserts every leaf record under node `nid` (fallback path).
+  void ReinsertRecords(NodeId nid) {
+    std::vector<Entry> records;
+    std::vector<NodeId> stack{nid};
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      const Node& node = nodes_[cur];
+      for (const Entry& e : node.entries) {
+        if (node.IsLeaf()) {
+          records.push_back(e);
+        } else {
+          stack.push_back(e.id);
+        }
+      }
+    }
+    for (const Entry& e : records) {
+      Insert(e.rect, e.id, e.aug);
+      --size_;  // already counted
+    }
+  }
+
+  /// Returns every node of the subtree rooted at `nid` to the free list.
+  void FreeSubtree(NodeId nid) {
+    std::vector<NodeId> stack{nid};
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      if (!nodes_[cur].IsLeaf()) {
+        for (const Entry& e : nodes_[cur].entries) stack.push_back(e.id);
+      }
+      FreeNode(cur);
+    }
+  }
+
+  /// Parent entry summarizing node `nid` (MBR union + Aug merge).
+  Entry SummarizeNode(NodeId nid) {
+    const Node& node = nodes_[nid];
+    STPQ_DCHECK(!node.entries.empty());
+    Entry out;
+    out.id = nid;
+    out.rect = node.entries.front().rect;
+    out.aug = node.entries.front().aug;
+    for (size_t i = 1; i < node.entries.size(); ++i) {
+      out.rect.Enlarge(node.entries[i].rect);
+      out.aug = Aug::Merge(out.aug, node.entries[i].aug);
+    }
+    return out;
+  }
+
+  /// Descends to the leaf with minimal area enlargement, recording the path
+  /// (node id, entry index within parent) for the upward adjustment pass.
+  NodeId ChooseLeaf(const Rect<D>& rect) {
+    NodeId cur = root_;
+    while (!nodes_[cur].IsLeaf()) {
+      const Node& node = nodes_[cur];
+      size_t best = 0;
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        double enlarge = node.entries[i].rect.EnlargementArea(rect);
+        double area = node.entries[i].rect.Area();
+        if (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)) {
+          best = i;
+          best_enlarge = enlarge;
+          best_area = area;
+        }
+      }
+      path_.push_back({cur, best});
+      cur = node.entries[best].id;
+    }
+    return cur;
+  }
+
+  /// Walks the recorded path upward: splits overflowing nodes and refreshes
+  /// the parent entries' MBR/augmentation.
+  void PropagateUp(NodeId changed) {
+    while (true) {
+      bool overflow = nodes_[changed].entries.size() > options_.max_entries;
+      NodeId sibling = kInvalidNodeId;
+      if (overflow) sibling = SplitNode(changed);
+
+      if (path_.empty()) {
+        if (sibling != kInvalidNodeId) {
+          // Root split: grow the tree by one level.
+          NodeId new_root = NewNode(nodes_[changed].level + 1);
+          nodes_[new_root].entries.push_back(SummarizeNode(changed));
+          nodes_[new_root].entries.push_back(SummarizeNode(sibling));
+          root_ = new_root;
+          ++height_;
+        }
+        return;
+      }
+
+      auto [parent, slot] = path_.back();
+      path_.pop_back();
+      nodes_[parent].entries[slot] = SummarizeNode(changed);
+      if (sibling != kInvalidNodeId) {
+        nodes_[parent].entries.push_back(SummarizeNode(sibling));
+      }
+      changed = parent;
+    }
+  }
+
+  /// Quadratic split (Guttman).  Returns the new sibling's id.
+  NodeId SplitNode(NodeId nid) {
+    std::vector<Entry> all = std::move(nodes_[nid].entries);
+    nodes_[nid].entries.clear();
+    NodeId sid = NewNode(nodes_[nid].level);
+
+    // Pick the pair of seeds wasting the most area together.
+    size_t seed_a = 0, seed_b = 1;
+    double worst = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < all.size(); ++i) {
+      for (size_t j = i + 1; j < all.size(); ++j) {
+        Rect<D> joined = all[i].rect;
+        joined.Enlarge(all[j].rect);
+        double waste = joined.Area() - all[i].rect.Area() -
+                       all[j].rect.Area();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+
+    std::vector<bool> assigned(all.size(), false);
+    Rect<D> rect_a = all[seed_a].rect;
+    Rect<D> rect_b = all[seed_b].rect;
+    nodes_[nid].entries.push_back(all[seed_a]);
+    nodes_[sid].entries.push_back(all[seed_b]);
+    assigned[seed_a] = assigned[seed_b] = true;
+    size_t remaining = all.size() - 2;
+
+    while (remaining > 0) {
+      size_t count_a = nodes_[nid].entries.size();
+      size_t count_b = nodes_[sid].entries.size();
+      // Force-assign if one side must take all the rest to reach min fill.
+      if (count_a + remaining == min_entries_) {
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (!assigned[i]) {
+            nodes_[nid].entries.push_back(all[i]);
+            rect_a.Enlarge(all[i].rect);
+            assigned[i] = true;
+          }
+        }
+        break;
+      }
+      if (count_b + remaining == min_entries_) {
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (!assigned[i]) {
+            nodes_[sid].entries.push_back(all[i]);
+            rect_b.Enlarge(all[i].rect);
+            assigned[i] = true;
+          }
+        }
+        break;
+      }
+      // PickNext: the entry with the largest preference between groups.
+      size_t pick = 0;
+      double best_diff = -1.0;
+      double d_a_pick = 0.0, d_b_pick = 0.0;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (assigned[i]) continue;
+        double d_a = rect_a.EnlargementArea(all[i].rect);
+        double d_b = rect_b.EnlargementArea(all[i].rect);
+        double diff = std::abs(d_a - d_b);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          d_a_pick = d_a;
+          d_b_pick = d_b;
+        }
+      }
+      bool to_a;
+      if (d_a_pick != d_b_pick) {
+        to_a = d_a_pick < d_b_pick;
+      } else if (rect_a.Area() != rect_b.Area()) {
+        to_a = rect_a.Area() < rect_b.Area();
+      } else {
+        to_a = nodes_[nid].entries.size() <= nodes_[sid].entries.size();
+      }
+      if (to_a) {
+        nodes_[nid].entries.push_back(all[pick]);
+        rect_a.Enlarge(all[pick].rect);
+      } else {
+        nodes_[sid].entries.push_back(all[pick]);
+        rect_b.Enlarge(all[pick].rect);
+      }
+      assigned[pick] = true;
+      --remaining;
+    }
+    return sid;
+  }
+
+  template <typename AugEq>
+  bool CheckNode(NodeId nid, uint16_t expected_level, AugEq& aug_equal) const {
+    const Node& node = nodes_[nid];
+    if (node.level != expected_level) return false;
+    if (node.IsLeaf()) return true;
+    for (const Entry& e : node.entries) {
+      const Node& child = nodes_[e.id];
+      if (child.entries.empty()) return false;
+      Rect<D> rect = child.entries.front().rect;
+      Aug aug = child.entries.front().aug;
+      for (size_t i = 1; i < child.entries.size(); ++i) {
+        rect.Enlarge(child.entries[i].rect);
+        aug = Aug::Merge(aug, child.entries[i].aug);
+      }
+      for (int d = 0; d < D; ++d) {
+        if (rect.lo[d] != e.rect.lo[d] || rect.hi[d] != e.rect.hi[d]) {
+          return false;
+        }
+      }
+      if (!aug_equal(aug, e.aug)) return false;
+      if (!CheckNode(e.id, expected_level - 1, aug_equal)) return false;
+    }
+    return true;
+  }
+
+  RTreeOptions options_;
+  uint32_t min_entries_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> free_nodes_;
+  NodeId root_ = kInvalidNodeId;
+  uint32_t height_ = 0;
+  uint64_t size_ = 0;
+  // Descent path scratch (node id, entry slot in that node's parent role).
+  std::vector<std::pair<NodeId, size_t>> path_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_RTREE_RTREE_H_

@@ -1,0 +1,29 @@
+#include "storage/buffer_pool.h"
+
+namespace stpq {
+
+bool BufferPool::Access(PageId page) {
+  auto it = table_.find(page);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    if (capacity_ != 0) {  // unbounded pools skip LRU maintenance
+      lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    return true;
+  }
+  ++stats_.reads;
+  lru_.push_front(page);
+  table_.emplace(page, lru_.begin());
+  if (capacity_ != 0 && lru_.size() > capacity_) {
+    table_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  table_.clear();
+}
+
+}  // namespace stpq

@@ -1,0 +1,64 @@
+// Simulated disk-resident storage: an LRU buffer pool over index pages.
+//
+// The paper evaluates over "large disk-resident data" and reports execution
+// time split into I/O and CPU.  Index nodes in this library live in memory,
+// but every node access is charged through a BufferPool: a miss counts as
+// one page read (one I/O), a hit is free.  Benchmarks convert page reads to
+// I/O time with a configurable per-read unit cost, reproducing the paper's
+// dark/white bar breakdown without a physical disk.
+#ifndef STPQ_STORAGE_BUFFER_POOL_H_
+#define STPQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace stpq {
+
+using PageId = uint64_t;
+
+/// Default simulated page size; node fan-out is derived from it.
+inline constexpr uint32_t kDefaultPageSizeBytes = 4096;
+
+/// Counters exposed by a BufferPool.
+struct BufferPoolStats {
+  uint64_t reads = 0;  ///< misses: simulated page reads from disk
+  uint64_t hits = 0;   ///< accesses served from the pool
+
+  BufferPoolStats operator-(const BufferPoolStats& other) const {
+    return {reads - other.reads, hits - other.hits};
+  }
+};
+
+/// LRU page cache.  capacity_pages == 0 means "unbounded": every page is
+/// read from disk exactly once and then pinned forever (an infinite cache).
+class BufferPool {
+ public:
+  explicit BufferPool(uint64_t capacity_pages = 0)
+      : capacity_(capacity_pages) {}
+
+  /// Touches `page`; returns true on a hit, false on a miss (a simulated
+  /// disk read).  On a miss the page is admitted, evicting the LRU page if
+  /// the pool is full.
+  bool Access(PageId page);
+
+  /// Drops all cached pages (simulates a cold cache between workloads).
+  void Clear();
+
+  /// Resets the counters without dropping pages.
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  uint64_t capacity_pages() const { return capacity_; }
+  uint64_t resident_pages() const { return lru_.size(); }
+
+ private:
+  uint64_t capacity_;
+  BufferPoolStats stats_;
+  std::list<PageId> lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<PageId>::iterator> table_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,76 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace stpq {
+
+InvertedIndex InvertedIndex::Build(uint32_t universe_size,
+                                   std::span<const KeywordSet> documents) {
+  InvertedIndex idx;
+  idx.universe_size_ = universe_size;
+  // Two passes: count frequencies, then fill CSR slots.
+  std::vector<uint64_t> counts(universe_size, 0);
+  for (const KeywordSet& doc : documents) {
+    for (TermId t : doc.ToTerms()) ++counts[t];
+  }
+  idx.offsets_.assign(universe_size + 1, 0);
+  for (uint32_t t = 0; t < universe_size; ++t) {
+    idx.offsets_[t + 1] = idx.offsets_[t] + counts[t];
+  }
+  idx.postings_.resize(idx.offsets_[universe_size]);
+  std::vector<uint64_t> cursor(idx.offsets_.begin(),
+                               idx.offsets_.end() - 1);
+  for (uint32_t doc_id = 0; doc_id < documents.size(); ++doc_id) {
+    for (TermId t : documents[doc_id].ToTerms()) {
+      idx.postings_[cursor[t]++] = doc_id;
+    }
+  }
+  return idx;
+}
+
+std::span<const uint32_t> InvertedIndex::Postings(TermId term) const {
+  if (term >= universe_size_) return {};
+  return std::span<const uint32_t>(postings_.data() + offsets_[term],
+                                   offsets_[term + 1] - offsets_[term]);
+}
+
+uint32_t InvertedIndex::DocumentFrequency(TermId term) const {
+  if (term >= universe_size_) return 0;
+  return static_cast<uint32_t>(offsets_[term + 1] - offsets_[term]);
+}
+
+std::vector<uint32_t> InvertedIndex::MatchAny(const KeywordSet& query) const {
+  std::vector<uint32_t> out;
+  for (TermId t : query.ToTerms()) {
+    std::span<const uint32_t> plist = Postings(t);
+    std::vector<uint32_t> merged;
+    merged.reserve(out.size() + plist.size());
+    std::set_union(out.begin(), out.end(), plist.begin(), plist.end(),
+                   std::back_inserter(merged));
+    out = std::move(merged);
+  }
+  return out;
+}
+
+std::vector<uint32_t> InvertedIndex::MatchAll(const KeywordSet& query) const {
+  std::vector<TermId> terms = query.ToTerms();
+  if (terms.empty()) return {};
+  // Start from the rarest term to keep intermediate results small.
+  std::sort(terms.begin(), terms.end(), [this](TermId a, TermId b) {
+    return DocumentFrequency(a) < DocumentFrequency(b);
+  });
+  std::span<const uint32_t> first = Postings(terms[0]);
+  std::vector<uint32_t> out(first.begin(), first.end());
+  for (size_t i = 1; i < terms.size() && !out.empty(); ++i) {
+    std::span<const uint32_t> plist = Postings(terms[i]);
+    std::vector<uint32_t> narrowed;
+    std::set_intersection(out.begin(), out.end(), plist.begin(), plist.end(),
+                          std::back_inserter(narrowed));
+    out = std::move(narrowed);
+  }
+  return out;
+}
+
+}  // namespace stpq

@@ -1,0 +1,53 @@
+// Hand-rolled inverted index: TermId -> sorted posting list of object ids.
+//
+// Used by the generators and tests for exact textual filtering, and
+// available as a public building block (spatio-textual indexes in the
+// literature, e.g. the IR-tree family, attach such inverted files to index
+// nodes; the SRT-index replaces them with Hilbert keyword summaries).
+#ifndef STPQ_TEXT_INVERTED_INDEX_H_
+#define STPQ_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/keyword_set.h"
+
+namespace stpq {
+
+/// Immutable-after-build inverted file over a corpus of keyword sets.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index for `universe_size` terms; document i's keywords are
+  /// `documents[i]`.  Document ids are their positions in the span.
+  static InvertedIndex Build(uint32_t universe_size,
+                             std::span<const KeywordSet> documents);
+
+  /// Sorted ids of documents containing `term` (empty if none).
+  std::span<const uint32_t> Postings(TermId term) const;
+
+  /// Number of documents containing `term`.
+  uint32_t DocumentFrequency(TermId term) const;
+
+  /// Sorted ids of documents containing at least one keyword of `query`
+  /// (the sim > 0 candidate set).
+  std::vector<uint32_t> MatchAny(const KeywordSet& query) const;
+
+  /// Sorted ids of documents containing every keyword of `query`.
+  std::vector<uint32_t> MatchAll(const KeywordSet& query) const;
+
+  uint32_t universe_size() const { return universe_size_; }
+  uint64_t TotalPostings() const { return postings_.size(); }
+
+ private:
+  uint32_t universe_size_ = 0;
+  // Concatenated posting lists with per-term offsets (CSR layout).
+  std::vector<uint32_t> postings_;
+  std::vector<uint64_t> offsets_;  // size universe_size_ + 1
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,93 @@
+#include "text/keyword_set.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace stpq {
+
+namespace {
+size_t BlockCount(uint32_t universe_size) {
+  return (static_cast<size_t>(universe_size) + 63) / 64;
+}
+}  // namespace
+
+KeywordSet::KeywordSet(uint32_t universe_size)
+    : universe_size_(universe_size), blocks_(BlockCount(universe_size), 0) {}
+
+KeywordSet::KeywordSet(uint32_t universe_size,
+                       std::initializer_list<TermId> terms)
+    : KeywordSet(universe_size) {
+  for (TermId id : terms) Insert(id);
+}
+
+void KeywordSet::Insert(TermId id) {
+  STPQ_CHECK(id < universe_size_);
+  blocks_[id / 64] |= uint64_t{1} << (id % 64);
+}
+
+bool KeywordSet::Contains(TermId id) const {
+  if (id >= universe_size_) return false;
+  return (blocks_[id / 64] >> (id % 64)) & 1u;
+}
+
+uint32_t KeywordSet::Count() const {
+  uint32_t n = 0;
+  for (uint64_t b : blocks_) n += std::popcount(b);
+  return n;
+}
+
+uint32_t KeywordSet::IntersectCount(const KeywordSet& other) const {
+  STPQ_DCHECK(universe_size_ == other.universe_size_);
+  uint32_t n = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    n += std::popcount(blocks_[i] & other.blocks_[i]);
+  }
+  return n;
+}
+
+uint32_t KeywordSet::UnionCount(const KeywordSet& other) const {
+  STPQ_DCHECK(universe_size_ == other.universe_size_);
+  uint32_t n = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    n += std::popcount(blocks_[i] | other.blocks_[i]);
+  }
+  return n;
+}
+
+bool KeywordSet::Intersects(const KeywordSet& other) const {
+  STPQ_DCHECK(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i] & other.blocks_[i]) return true;
+  }
+  return false;
+}
+
+double KeywordSet::Jaccard(const KeywordSet& other) const {
+  uint32_t u = UnionCount(other);
+  if (u == 0) return 0.0;
+  return static_cast<double>(IntersectCount(other)) / static_cast<double>(u);
+}
+
+void KeywordSet::UnionWith(const KeywordSet& other) {
+  STPQ_DCHECK(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] |= other.blocks_[i];
+}
+
+std::vector<TermId> KeywordSet::ToTerms() const {
+  std::vector<TermId> out;
+  for (uint32_t id = 0; id < universe_size_; ++id) {
+    if (Contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+KeywordSet KeywordSet::FromBlocks(uint32_t universe_size,
+                                  std::vector<uint64_t> blocks) {
+  STPQ_CHECK(blocks.size() == BlockCount(universe_size));
+  KeywordSet s(universe_size);
+  s.blocks_ = std::move(blocks);
+  return s;
+}
+
+}  // namespace stpq

@@ -1,0 +1,67 @@
+// Keyword sets as fixed-universe bitmaps with popcount-based set algebra.
+//
+// t.W in the paper.  Jaccard(t.W, W) = |t.W n W| / |t.W u W| (Section 3).
+#ifndef STPQ_TEXT_KEYWORD_SET_H_
+#define STPQ_TEXT_KEYWORD_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace stpq {
+
+/// A set of TermIds over a universe of `universe_size` keywords.
+class KeywordSet {
+ public:
+  KeywordSet() = default;
+
+  /// Empty set over a universe of `universe_size` keywords.
+  explicit KeywordSet(uint32_t universe_size);
+
+  /// Set containing the given terms.
+  KeywordSet(uint32_t universe_size, std::initializer_list<TermId> terms);
+
+  void Insert(TermId id);
+  bool Contains(TermId id) const;
+
+  /// Number of keywords in the set.
+  uint32_t Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  uint32_t universe_size() const { return universe_size_; }
+
+  /// |this n other|.
+  uint32_t IntersectCount(const KeywordSet& other) const;
+  /// |this u other|.
+  uint32_t UnionCount(const KeywordSet& other) const;
+  /// True iff the sets share at least one keyword (sim(t, W) > 0 test).
+  bool Intersects(const KeywordSet& other) const;
+
+  /// Jaccard similarity; 0 if both sets are empty.
+  double Jaccard(const KeywordSet& other) const;
+
+  /// In-place union (the node-summary aggregation of Section 4.1).
+  void UnionWith(const KeywordSet& other);
+
+  bool operator==(const KeywordSet& other) const = default;
+
+  /// The TermIds present, ascending.
+  std::vector<TermId> ToTerms() const;
+
+  /// Raw 64-bit blocks, LSB-first (bit d of block d/64 = term d).
+  const std::vector<uint64_t>& blocks() const { return blocks_; }
+
+  /// Builds a set directly from raw blocks (must match the universe size).
+  static KeywordSet FromBlocks(uint32_t universe_size,
+                               std::vector<uint64_t> blocks);
+
+ private:
+  uint32_t universe_size_ = 0;
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_TEXT_KEYWORD_SET_H_

@@ -1,0 +1,70 @@
+#include "text/signature.h"
+
+#include "util/logging.h"
+
+namespace stpq {
+
+namespace {
+// splitmix64: cheap, well-distributed stateless hash.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+void Signature::UnionWith(const Signature& other) {
+  STPQ_DCHECK(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool Signature::Covers(const Signature& needle) const {
+  STPQ_DCHECK(bits_ == needle.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((needle.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+SignatureScheme::SignatureScheme(uint32_t signature_bits,
+                                 uint32_t hashes_per_term, uint64_t seed)
+    : signature_bits_(signature_bits),
+      hashes_per_term_(hashes_per_term),
+      seed_(seed) {
+  STPQ_CHECK(signature_bits_ > 0 && hashes_per_term_ > 0);
+}
+
+Signature SignatureScheme::TermSignature(TermId term) const {
+  Signature sig(signature_bits_);
+  for (uint32_t j = 0; j < hashes_per_term_; ++j) {
+    uint64_t h = Mix(seed_ ^ (static_cast<uint64_t>(term) << 32 | j));
+    sig.SetBit(static_cast<uint32_t>(h % signature_bits_));
+  }
+  return sig;
+}
+
+Signature SignatureScheme::SetSignature(const KeywordSet& set) const {
+  Signature sig(signature_bits_);
+  for (TermId t : set.ToTerms()) sig.UnionWith(TermSignature(t));
+  return sig;
+}
+
+uint32_t SignatureScheme::UpperBoundIntersect(const Signature& signature,
+                                              const KeywordSet& query) const {
+  uint32_t n = 0;
+  for (TermId t : query.ToTerms()) {
+    if (signature.Covers(TermSignature(t))) ++n;
+  }
+  return n;
+}
+
+bool SignatureScheme::MayIntersect(const Signature& signature,
+                                   const KeywordSet& query) const {
+  for (TermId t : query.ToTerms()) {
+    if (signature.Covers(TermSignature(t))) return true;
+  }
+  return false;
+}
+
+}  // namespace stpq

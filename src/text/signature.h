@@ -1,0 +1,78 @@
+// Signature files (superimposed coding) for the IR2-tree baseline.
+//
+// Felipe et al.'s IR2-tree [8] attaches a fixed-width bit signature to each
+// node: the OR of the signatures of all keywords below the node.  A query
+// keyword *may* be present below a node iff all its signature bits are set;
+// false positives are possible, false negatives are not — so counting the
+// possibly-present query keywords yields a valid upper bound on
+// |e.W n W|, which the modified IR2-tree uses for s-hat(e).
+#ifndef STPQ_TEXT_SIGNATURE_H_
+#define STPQ_TEXT_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/keyword_set.h"
+
+namespace stpq {
+
+/// A fixed-width bit signature.
+class Signature {
+ public:
+  Signature() = default;
+  explicit Signature(uint32_t bits) : bits_(bits), words_((bits + 63) / 64) {}
+
+  uint32_t bits() const { return bits_; }
+
+  void SetBit(uint32_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+  bool TestBit(uint32_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  /// OR-in another signature (node aggregation).
+  void UnionWith(const Signature& other);
+
+  /// True iff every set bit of `needle` is set in this signature.
+  bool Covers(const Signature& needle) const;
+
+  bool operator==(const Signature& other) const = default;
+
+ private:
+  uint32_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Deterministic term -> signature hashing scheme shared by an index.
+class SignatureScheme {
+ public:
+  /// `signature_bits` is the signature width F; `hashes_per_term` is the
+  /// number of bits m each keyword sets.
+  SignatureScheme(uint32_t signature_bits, uint32_t hashes_per_term,
+                  uint64_t seed = 0x5157'4a2d'9e3b'71c5ULL);
+
+  uint32_t signature_bits() const { return signature_bits_; }
+
+  /// Signature of a single keyword.
+  Signature TermSignature(TermId term) const;
+
+  /// Signature of a keyword set (OR of its terms' signatures).
+  Signature SetSignature(const KeywordSet& set) const;
+
+  /// Upper bound on |set n query| given only `set`'s signature: the number
+  /// of query keywords whose term signature is covered.
+  uint32_t UpperBoundIntersect(const Signature& signature,
+                               const KeywordSet& query) const;
+
+  /// True iff at least one query keyword may be present (sim > 0 filter).
+  bool MayIntersect(const Signature& signature,
+                    const KeywordSet& query) const;
+
+ private:
+  uint32_t signature_bits_;
+  uint32_t hashes_per_term_;
+  uint64_t seed_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_TEXT_SIGNATURE_H_

@@ -1,0 +1,41 @@
+#include "text/vocabulary.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace stpq {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+Result<TermId> Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown keyword: " + std::string(term));
+  }
+  return it->second;
+}
+
+const std::string& Vocabulary::Term(TermId id) const {
+  STPQ_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+Vocabulary Vocabulary::Synthetic(uint32_t n) {
+  Vocabulary v;
+  char buf[16];
+  for (uint32_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "kw%03u", i);
+    v.Intern(buf);
+  }
+  return v;
+}
+
+}  // namespace stpq

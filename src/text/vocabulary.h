@@ -1,0 +1,49 @@
+// Term dictionary: maps keyword strings to dense term ids.
+//
+// The paper's keyword universe (the "indexed keywords" parameter, 64-256 in
+// the experiments) is represented by dense ids [0, size) so that keyword
+// sets can be fixed-width bitmaps and the Hilbert mapping of Section 4.2
+// can treat a keyword set as a binary vector of length w = size().
+#ifndef STPQ_TEXT_VOCABULARY_H_
+#define STPQ_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace stpq {
+
+using TermId = uint32_t;
+
+/// Bidirectional keyword <-> TermId dictionary.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or NotFound.
+  Result<TermId> Lookup(std::string_view term) const;
+
+  /// The keyword string for `id`; id must be < size().
+  const std::string& Term(TermId id) const;
+
+  /// Number of distinct keywords (the paper's w).
+  uint32_t size() const { return static_cast<uint32_t>(terms_.size()); }
+
+  /// Builds a vocabulary of `n` synthetic keywords "kw000".."kwNNN".
+  static Vocabulary Synthetic(uint32_t n);
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> ids_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_TEXT_VOCABULARY_H_

@@ -1,0 +1,28 @@
+// Assertion macros used for internal invariants.
+//
+// STPQ_DCHECK compiles away in release builds; STPQ_CHECK is always on and
+// is reserved for cheap checks guarding memory safety or API misuse.
+#ifndef STPQ_UTIL_LOGGING_H_
+#define STPQ_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define STPQ_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "STPQ_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define STPQ_DCHECK(cond) STPQ_CHECK(cond)
+#else
+#define STPQ_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // STPQ_UTIL_LOGGING_H_

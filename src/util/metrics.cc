@@ -1,0 +1,35 @@
+#include "util/metrics.h"
+
+#include <sstream>
+
+namespace stpq {
+
+QueryStats& QueryStats::operator+=(const QueryStats& other) {
+  object_index_reads += other.object_index_reads;
+  feature_index_reads += other.feature_index_reads;
+  buffer_hits += other.buffer_hits;
+  heap_pushes += other.heap_pushes;
+  features_retrieved += other.features_retrieved;
+  combinations_generated += other.combinations_generated;
+  combinations_emitted += other.combinations_emitted;
+  objects_scored += other.objects_scored;
+  voronoi_cells += other.voronoi_cells;
+  voronoi_clip_features += other.voronoi_clip_features;
+  voronoi_reads += other.voronoi_reads;
+  voronoi_cpu_ms += other.voronoi_cpu_ms;
+  voronoi_cache_hits += other.voronoi_cache_hits;
+  cpu_ms += other.cpu_ms;
+  return *this;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "reads=" << TotalReads() << " (obj=" << object_index_reads
+     << ", feat=" << feature_index_reads << ") hits=" << buffer_hits
+     << " features=" << features_retrieved
+     << " combos=" << combinations_emitted << "/" << combinations_generated
+     << " scored=" << objects_scored << " cpu_ms=" << cpu_ms;
+  return os.str();
+}
+
+}  // namespace stpq

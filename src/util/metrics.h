@@ -1,0 +1,55 @@
+// Execution metrics: per-query cost counters reported by the benchmarks.
+//
+// The paper reports average execution time per query broken down into I/O
+// time (proportional to page reads) and CPU time.  QueryStats carries both,
+// plus algorithm-internal counters that the ablation benches inspect.
+#ifndef STPQ_UTIL_METRICS_H_
+#define STPQ_UTIL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stpq {
+
+/// Cost counters accumulated while processing a single query (or a batch).
+struct QueryStats {
+  // Simulated disk reads (buffer-pool misses), split by index family.
+  uint64_t object_index_reads = 0;
+  uint64_t feature_index_reads = 0;
+  // Buffer-pool hits (no I/O charged).
+  uint64_t buffer_hits = 0;
+
+  // Algorithm-internal work counters.
+  uint64_t heap_pushes = 0;            ///< entries pushed on any search heap
+  uint64_t features_retrieved = 0;     ///< feature objects popped sorted by s(t)
+  uint64_t combinations_generated = 0; ///< valid combinations materialized
+  uint64_t combinations_emitted = 0;   ///< combinations returned by the iterator
+  uint64_t objects_scored = 0;         ///< data objects whose tau(p) was computed
+  uint64_t voronoi_cells = 0;          ///< Voronoi cells computed (NN variant)
+  uint64_t voronoi_clip_features = 0;  ///< features streamed for cell clipping
+  uint64_t voronoi_reads = 0;          ///< page reads charged to cell computation
+  double voronoi_cpu_ms = 0.0;         ///< CPU time spent computing cells
+  uint64_t voronoi_cache_hits = 0;     ///< cells served from the shared cache
+
+  // Wall-clock CPU time of the query (filled by the caller's timer).
+  double cpu_ms = 0.0;
+
+  /// Total simulated page reads.
+  uint64_t TotalReads() const {
+    return object_index_reads + feature_index_reads;
+  }
+
+  /// Simulated I/O time given a per-read unit cost in milliseconds.
+  double IoMillis(double io_unit_cost_ms) const {
+    return static_cast<double>(TotalReads()) * io_unit_cost_ms;
+  }
+
+  /// Element-wise accumulation (used to average over a query workload).
+  QueryStats& operator+=(const QueryStats& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_UTIL_METRICS_H_

@@ -1,0 +1,51 @@
+// Result<T>: value-or-Status, the return type of fallible constructors.
+#ifndef STPQ_UTIL_RESULT_H_
+#define STPQ_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace stpq {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; must only be called when ok().
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the contained value out; must only be called when ok().
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("empty result");
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_UTIL_RESULT_H_

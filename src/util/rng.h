@@ -1,0 +1,92 @@
+// Deterministic random number generation for data/query generators and tests.
+//
+// A fixed, seedable generator (splitmix64 + xoshiro-style mixing via
+// std::mt19937_64) keeps every experiment reproducible across platforms.
+#ifndef STPQ_UTIL_RNG_H_
+#define STPQ_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace stpq {
+
+/// Seedable random source with the distributions the generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Gaussian clamped into [lo, hi].
+  double ClampedGaussian(double mean, double stddev, double lo, double hi) {
+    double v = Gaussian(mean, stddev);
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Zipf-distributed integer in [0, n) with skew parameter `theta` (>0).
+  /// Rank 0 is the most frequent value.
+  uint32_t Zipf(uint32_t n, double theta) {
+    STPQ_DCHECK(n > 0);
+    // Inverse-CDF sampling over precomputed harmonic weights would need a
+    // table per n; the rejection-free approximation below (Gray et al.,
+    // "Quickly generating billion-record synthetic databases") is standard.
+    double alpha = 1.0 / (1.0 - theta);
+    double zetan = Zetan(n, theta);
+    double eta = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                 (1.0 - Zetan(2, theta) / zetan);
+    double u = Uniform();
+    double uz = u * zetan;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+    return static_cast<uint32_t>(n * std::pow(eta * u - eta + 1.0, alpha));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  double Zetan(uint32_t n, double theta) {
+    // Cache the two harmonic sums we need repeatedly.
+    if (n == cached_n_ && theta == cached_theta_) return cached_zetan_;
+    double z = 0.0;
+    for (uint32_t i = 1; i <= n; ++i) z += 1.0 / std::pow(i, theta);
+    if (n > 2) {  // only cache the expensive full-n sum
+      cached_n_ = n;
+      cached_theta_ = theta;
+      cached_zetan_ = z;
+    }
+    return z;
+  }
+
+  std::mt19937_64 engine_;
+  uint32_t cached_n_ = 0;
+  double cached_theta_ = 0.0;
+  double cached_zetan_ = 0.0;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_UTIL_RNG_H_

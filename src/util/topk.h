@@ -1,0 +1,71 @@
+// Bounded top-k accumulator ordered by descending score.
+#ifndef STPQ_UTIL_TOPK_H_
+#define STPQ_UTIL_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+namespace stpq {
+
+/// Keeps the k items with the highest scores seen so far.
+///
+/// Push is O(log k); Threshold() returns the current k-th best score (the
+/// pruning threshold used by both STDS and STPS), or `floor` while fewer
+/// than k items have been pushed.
+template <typename Item>
+class TopK {
+ public:
+  struct Scored {
+    double score;
+    Item item;
+  };
+
+  explicit TopK(size_t k, double floor = 0.0) : k_(k), floor_(floor) {}
+
+  /// Offers an item; it is kept only if it ranks among the best k.
+  void Push(double score, Item item) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({score, std::move(item)});
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    } else if (score > heap_.front().score) {
+      std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+      heap_.back() = {score, std::move(item)};
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    }
+  }
+
+  /// True once k items are held; from then on Threshold() is the k-th score.
+  bool Full() const { return heap_.size() >= k_; }
+
+  /// Current k-th best score, or the floor if fewer than k items were seen.
+  double Threshold() const {
+    return Full() && k_ > 0 ? heap_.front().score : floor_;
+  }
+
+  size_t Size() const { return heap_.size(); }
+
+  /// Extracts the items sorted by descending score (destructive).
+  std::vector<Scored> TakeSortedDescending() {
+    std::vector<Scored> out = std::move(heap_);
+    std::sort(out.begin(), out.end(), [](const Scored& a, const Scored& b) {
+      return a.score > b.score;
+    });
+    return out;
+  }
+
+ private:
+  static bool MinFirst(const Scored& a, const Scored& b) {
+    return a.score > b.score;  // min-heap on score
+  }
+
+  size_t k_;
+  double floor_;
+  std::vector<Scored> heap_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_UTIL_TOPK_H_

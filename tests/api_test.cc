@@ -1,0 +1,388 @@
+// Tests for the extended public API: the incremental StpsCursor, result
+// explanation, the Voronoi cell cache, index introspection, and R-tree
+// deletion.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/cursor.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/score.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+#include "index/index_stats.h"
+#include "paper_example.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace stpq {
+namespace {
+
+namespace ex = testing_example;
+
+std::vector<const FeatureTable*> TablePtrs(const Dataset& ds) {
+  std::vector<const FeatureTable*> out;
+  for (const FeatureTable& t : ds.feature_tables) out.push_back(&t);
+  return out;
+}
+
+// ----------------------------------------------------------------- cursor
+
+TEST(CursorTest, StreamsWholeDatasetInScoreOrder) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 300;
+  cfg.num_features_per_set = 200;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 16;
+  cfg.num_clusters = 40;
+  Dataset ds = GenerateSynthetic(cfg);
+  BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 1;
+  qcfg.radius = 0.05;
+  Query q = GenerateQueries(ds, qcfg)[0];
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q);
+  std::set<ObjectId> seen;
+  double prev = std::numeric_limits<double>::infinity();
+  size_t count = 0;
+  while (auto e = cursor->Next()) {
+    EXPECT_LE(e->score, prev + 1e-9) << "cursor out of order";
+    prev = e->score;
+    EXPECT_TRUE(seen.insert(e->object).second) << "duplicate object";
+    EXPECT_NEAR(e->score, brute.Tau(engine.objects()[e->object].pos, q),
+                1e-9);
+    ++count;
+  }
+  EXPECT_EQ(count, engine.objects().size());
+  EXPECT_FALSE(cursor->Next().has_value());  // stays exhausted
+}
+
+TEST(CursorTest, PrefixMatchesTopK) {
+  Dataset ds = ex::ExampleDataset();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 5);
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  QueryResult topk = engine.ExecuteStps(q);
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q);
+  for (size_t i = 0; i < topk.entries.size(); ++i) {
+    auto e = cursor->Next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_NEAR(e->score, topk.entries[i].score, 1e-12) << "rank " << i;
+  }
+}
+
+TEST(CursorTest, AccumulatesStats) {
+  Dataset ds = ex::ExampleDataset();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 1);
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q);
+  ASSERT_TRUE(cursor->Next().has_value());
+  EXPECT_GT(cursor->stats().features_retrieved, 0u);
+  EXPECT_GT(cursor->stats().combinations_emitted, 0u);
+}
+
+// ---------------------------------------------------------------- explain
+
+TEST(ExplainTest, PaperExampleContributions) {
+  Dataset ds = ex::ExampleDataset();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
+  Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                {});
+  // Hotel p6 (id 5): tau = s(Ontario's Pizza) + s(Royal Coffe Shop).
+  Explanation e = ExplainScore(&engine, q, 5);
+  EXPECT_NEAR(e.total, ex::kTopHotelScore, 1e-9);
+  ASSERT_EQ(e.contributions.size(), 2u);
+  ASSERT_TRUE(e.contributions[0].has_feature);
+  EXPECT_EQ(ds.feature_tables[0].Get(e.contributions[0].feature).name,
+            "Ontario's Pizza");
+  EXPECT_NEAR(e.contributions[0].score, ex::kOntarioScore, 1e-12);
+  EXPECT_NEAR(e.contributions[0].distance,
+              Distance({6, 5.5}, {7, 6}), 1e-12);
+  ASSERT_TRUE(e.contributions[1].has_feature);
+  EXPECT_EQ(ds.feature_tables[1].Get(e.contributions[1].feature).name,
+            "Royal Coffe Shop");
+}
+
+TEST(ExplainTest, NoFeatureContribution) {
+  Dataset ds = ex::ExampleDataset();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
+  q.radius = 0.5;  // nothing near hotel p7 at (10, 10)
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Explanation e = ExplainScore(&engine, q, 6);
+  EXPECT_EQ(e.total, 0.0);
+  for (const Contribution& c : e.contributions) {
+    EXPECT_FALSE(c.has_feature);
+    EXPECT_EQ(c.score, 0.0);
+  }
+}
+
+TEST(ExplainTest, MatchesQueryScoresForAllVariants) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 150;
+  cfg.num_features_per_set = 150;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 16;
+  cfg.num_clusters = 30;
+  Dataset ds = GenerateSynthetic(cfg);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 1;
+  qcfg.radius = 0.05;
+  std::vector<Query> queries;
+  for (ScoreVariant v : {ScoreVariant::kRange, ScoreVariant::kInfluence,
+                         ScoreVariant::kNearestNeighbor}) {
+    qcfg.variant = v;
+    queries.push_back(GenerateQueries(ds, qcfg)[0]);
+  }
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  for (const Query& q : queries) {
+    ScoreVariant v = q.variant;
+    QueryResult r = engine.ExecuteStps(q);
+    for (const ResultEntry& entry : r.entries) {
+      Explanation e = ExplainScore(&engine, q, entry.object);
+      EXPECT_NEAR(e.total, entry.score, 1e-9) << VariantName(v);
+    }
+  }
+}
+
+// ----------------------------------------------------------- Voronoi cache
+
+TEST(VoronoiCacheTest, BasicFindPut) {
+  VoronoiCellCache cache;
+  KeywordSet kw(16, {1, 2});
+  EXPECT_EQ(cache.Find(0, 7, kw), nullptr);
+  cache.Put(0, 7, kw, ConvexPolygon::FromRect(MakeRect2(0, 0, 1, 1)));
+  const ConvexPolygon* cell = cache.Find(0, 7, kw);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_NEAR(cell->Area(), 1.0, 1e-12);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Different keywords / set / feature are distinct keys.
+  EXPECT_EQ(cache.Find(0, 7, KeywordSet(16, {1})), nullptr);
+  EXPECT_EQ(cache.Find(1, 7, kw), nullptr);
+  EXPECT_EQ(cache.Find(0, 8, kw), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(VoronoiCacheTest, EngineReusesCellsAcrossQueries) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 400;
+  cfg.num_features_per_set = 300;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 16;
+  cfg.num_clusters = 40;
+  Dataset ds = GenerateSynthetic(cfg);
+  BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 1;
+  qcfg.variant = ScoreVariant::kNearestNeighbor;
+  Query q = GenerateQueries(ds, qcfg)[0];
+  EngineOptions opts;
+  opts.reuse_voronoi_cells = true;
+  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+
+  QueryResult first = engine.ExecuteStps(q);
+  EXPECT_EQ(first.stats.voronoi_cache_hits, 0u);
+  EXPECT_GT(engine.voronoi_cache()->size(), 0u);
+  QueryResult second = engine.ExecuteStps(q);
+  EXPECT_GT(second.stats.voronoi_cache_hits, 0u);
+  EXPECT_EQ(second.stats.voronoi_cells, 0u);  // everything served cached
+  // Same results, and both correct.
+  std::vector<ResultEntry> expected = brute.TopK(q);
+  ASSERT_EQ(second.entries.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(second.entries[i].score, expected[i].score, 1e-9);
+  }
+}
+
+TEST(VoronoiCacheTest, DifferentKeywordsDontReuse) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 200;
+  cfg.num_features_per_set = 150;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 16;
+  cfg.num_clusters = 20;
+  Dataset ds = GenerateSynthetic(cfg);
+  EngineOptions opts;
+  opts.reuse_voronoi_cells = true;
+  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Query q1;
+  q1.k = 3;
+  q1.variant = ScoreVariant::kNearestNeighbor;
+  q1.keywords = {KeywordSet(16, {0, 1})};
+  Query q2 = q1;
+  q2.keywords = {KeywordSet(16, {2, 3})};
+  engine.ExecuteStps(q1);
+  QueryResult r2 = engine.ExecuteStps(q2);
+  EXPECT_EQ(r2.stats.voronoi_cache_hits, 0u);
+}
+
+// ------------------------------------------------------------ index stats
+
+TEST(IndexStatsTest, ReportsStructure) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 0;
+  cfg.num_features_per_set = 3000;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 64;
+  cfg.num_clusters = 200;
+  Dataset ds = GenerateSynthetic(cfg);
+  FeatureIndexOptions opts;
+  SrtIndex srt(&ds.feature_tables[0], opts);
+  IndexStatsReport r = AnalyzeIndex(srt);
+  EXPECT_EQ(r.record_count, 3000u);
+  EXPECT_GE(r.height, 2u);
+  EXPECT_GT(r.leaf_count, 0u);
+  EXPECT_GT(r.avg_leaf_fill, 0.5);  // bulk-loaded: nearly full
+  EXPECT_FALSE(r.ToString().empty());
+}
+
+TEST(IndexStatsTest, SrtLeavesClusterScoreAndText) {
+  // The quantified Section-4.2 claim: SRT leaves have smaller score spread
+  // and fewer distinct keywords than the spatial-only IR2 leaves.
+  SyntheticConfig cfg;
+  cfg.num_objects = 0;
+  cfg.num_features_per_set = 5000;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 64;
+  cfg.num_clusters = 300;
+  Dataset ds = GenerateSynthetic(cfg);
+  FeatureIndexOptions opts;
+  SrtIndex srt(&ds.feature_tables[0], opts);
+  Ir2Tree ir2(&ds.feature_tables[0], opts);
+  IndexStatsReport rs = AnalyzeIndex(srt);
+  IndexStatsReport ri = AnalyzeIndex(ir2);
+  EXPECT_LT(rs.avg_leaf_score_spread, ri.avg_leaf_score_spread);
+  EXPECT_LT(rs.avg_leaf_keyword_count, ri.avg_leaf_keyword_count);
+  // The price: SRT leaves are spatially wider.
+  EXPECT_GT(rs.avg_leaf_spatial_margin, ri.avg_leaf_spatial_margin);
+}
+
+// --------------------------------------------------------- rtree deletion
+
+TEST(RTreeDeleteTest, DeleteMakesRecordUnreachable) {
+  RTreeOptions opts;
+  opts.max_entries = 8;
+  RTree<2> tree(opts);
+  Rng rng(31);
+  std::vector<RTree<2>::Entry> pts;
+  for (uint32_t i = 0; i < 500; ++i) {
+    Point p{rng.Uniform(), rng.Uniform()};
+    pts.push_back({PointRect(p), i, {}});
+    tree.Insert(pts.back().rect, i);
+  }
+  EXPECT_TRUE(tree.Delete(pts[123].rect, 123));
+  EXPECT_EQ(tree.size(), 499u);
+  bool found = false;
+  tree.ForEachInRange(pts[123].rect,
+                      [&](uint32_t id, const Rect2&, const NoAug&) {
+                        if (id == 123) found = true;
+                      });
+  EXPECT_FALSE(found);
+  // Deleting again fails.
+  EXPECT_FALSE(tree.Delete(pts[123].rect, 123));
+  // Everything else still reachable.
+  std::set<uint32_t> seen;
+  tree.ForEachInRange(MakeRect2(0, 0, 1, 1),
+                      [&](uint32_t id, const Rect2&, const NoAug&) {
+                        seen.insert(id);
+                      });
+  EXPECT_EQ(seen.size(), 499u);
+}
+
+TEST(RTreeDeleteTest, DeleteAllEmptiesTree) {
+  RTreeOptions opts;
+  opts.max_entries = 4;  // aggressive splits and condensations
+  RTree<2> tree(opts);
+  Rng rng(32);
+  std::vector<RTree<2>::Entry> pts;
+  for (uint32_t i = 0; i < 200; ++i) {
+    Point p{rng.Uniform(), rng.Uniform()};
+    pts.push_back({PointRect(p), i, {}});
+    tree.Insert(pts.back().rect, i);
+  }
+  for (uint32_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tree.Delete(pts[i].rect, i)) << i;
+    EXPECT_EQ(tree.size(), 199u - i);
+    EXPECT_TRUE(tree.CheckInvariants(
+        [](const NoAug&, const NoAug&) { return true; }))
+        << "after deleting " << i;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.root_id(), kInvalidNodeId);
+  // Tree is reusable after emptying.
+  tree.Insert(PointRect({0.5, 0.5}), 42);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeDeleteTest, InterleavedInsertDeleteMatchesBruteForce) {
+  RTreeOptions opts;
+  opts.max_entries = 6;
+  RTree<2> tree(opts);
+  Rng rng(33);
+  std::map<uint32_t, Rect2> live;
+  uint32_t next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      Point p{rng.Uniform(), rng.Uniform()};
+      Rect2 r = PointRect(p);
+      tree.Insert(r, next_id);
+      live[next_id] = r;
+      ++next_id;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(0, live.size() - 1));
+      EXPECT_TRUE(tree.Delete(it->second, it->first));
+      live.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  std::set<uint32_t> seen;
+  tree.ForEachInRange(MakeRect2(0, 0, 1, 1),
+                      [&](uint32_t id, const Rect2&, const NoAug&) {
+                        seen.insert(id);
+                      });
+  std::set<uint32_t> expect;
+  for (const auto& [id, r] : live) expect.insert(id);
+  EXPECT_EQ(seen, expect);
+  EXPECT_TRUE(tree.CheckInvariants(
+      [](const NoAug&, const NoAug&) { return true; }));
+}
+
+TEST(RTreeDeleteTest, AugmentsMaintainedAfterDelete) {
+  struct MaxAug {
+    double value = 0.0;
+    static MaxAug Merge(const MaxAug& a, const MaxAug& b) {
+      return {std::max(a.value, b.value)};
+    }
+  };
+  RTreeOptions opts;
+  opts.max_entries = 4;
+  RTree<2, MaxAug> tree(opts);
+  Rng rng(34);
+  std::vector<std::pair<Rect2, double>> recs;
+  for (uint32_t i = 0; i < 300; ++i) {
+    Point p{rng.Uniform(), rng.Uniform()};
+    double v = rng.Uniform();
+    recs.push_back({PointRect(p), v});
+    tree.Insert(recs.back().first, i, MaxAug{v});
+  }
+  for (uint32_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Delete(recs[i].first, i));
+  }
+  EXPECT_TRUE(tree.CheckInvariants([](const MaxAug& a, const MaxAug& b) {
+    return a.value == b.value;
+  }));
+}
+
+TEST(RTreeDeleteTest, DeleteOnEmptyTree) {
+  RTree<2> tree;
+  EXPECT_FALSE(tree.Delete(PointRect({0.5, 0.5}), 0));
+}
+
+}  // namespace
+}  // namespace stpq

@@ -1,0 +1,244 @@
+// Tests for gen/: synthetic and real-like dataset generators and the query
+// workload generator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gen/queries.h"
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+
+namespace stpq {
+namespace {
+
+TEST(SyntheticTest, RespectsCardinalities) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 1234;
+  cfg.num_features_per_set = 567;
+  cfg.num_feature_sets = 3;
+  cfg.vocabulary_size = 64;
+  cfg.num_clusters = 50;
+  Dataset ds = GenerateSynthetic(cfg);
+  EXPECT_EQ(ds.objects.size(), 1234u);
+  ASSERT_EQ(ds.feature_tables.size(), 3u);
+  for (const FeatureTable& t : ds.feature_tables) {
+    EXPECT_EQ(t.size(), 567u);
+    EXPECT_EQ(t.universe_size(), 64u);
+  }
+  EXPECT_EQ(ds.vocabularies.size(), 3u);
+  EXPECT_EQ(ds.vocabularies[0].size(), 64u);
+}
+
+TEST(SyntheticTest, NormalizedAndScored) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 500;
+  cfg.num_features_per_set = 500;
+  cfg.num_clusters = 20;
+  Dataset ds = GenerateSynthetic(cfg);
+  for (const DataObject& o : ds.objects) {
+    EXPECT_GE(o.pos.x, 0.0);
+    EXPECT_LE(o.pos.x, 1.0);
+    EXPECT_GE(o.pos.y, 0.0);
+    EXPECT_LE(o.pos.y, 1.0);
+  }
+  for (const FeatureObject& f : ds.feature_tables[0].All()) {
+    EXPECT_GE(f.score, 0.0);
+    EXPECT_LE(f.score, 1.0);
+    EXPECT_GE(f.keywords.Count(), 1u);
+    EXPECT_LE(f.keywords.Count(), 4u);
+  }
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 100;
+  cfg.num_features_per_set = 100;
+  cfg.num_clusters = 10;
+  Dataset a = GenerateSynthetic(cfg);
+  Dataset b = GenerateSynthetic(cfg);
+  for (size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].pos, b.objects[i].pos);
+  }
+  for (size_t i = 0; i < a.feature_tables[0].size(); ++i) {
+    EXPECT_EQ(a.feature_tables[0].Get(i).score,
+              b.feature_tables[0].Get(i).score);
+    EXPECT_EQ(a.feature_tables[0].Get(i).keywords,
+              b.feature_tables[0].Get(i).keywords);
+  }
+  cfg.seed = 43;
+  Dataset c = GenerateSynthetic(cfg);
+  EXPECT_NE(a.objects[0].pos, c.objects[0].pos);
+}
+
+TEST(SyntheticTest, IsActuallyClustered) {
+  // With tight clusters, many objects must have a very close neighbor.
+  SyntheticConfig cfg;
+  cfg.num_objects = 2000;
+  cfg.num_features_per_set = 1;
+  cfg.num_clusters = 50;
+  cfg.cluster_stddev = 0.003;
+  Dataset ds = GenerateSynthetic(cfg);
+  int with_close_neighbor = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    double best = 1e9;
+    for (size_t j = 0; j < ds.objects.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, Distance(ds.objects[i].pos, ds.objects[j].pos));
+    }
+    if (best < 0.01) ++with_close_neighbor;
+  }
+  EXPECT_GT(with_close_neighbor, 150);
+}
+
+TEST(RealLikeTest, MirrorsPaperCorpus) {
+  RealLikeConfig cfg;
+  cfg.scale = 0.1;  // keep the test fast
+  Dataset ds = GenerateRealLike(cfg);
+  EXPECT_EQ(ds.objects.size(), 2500u);
+  ASSERT_EQ(ds.feature_tables.size(), 2u);
+  EXPECT_EQ(ds.feature_tables[0].size(), 7900u);
+  EXPECT_EQ(ds.feature_tables[0].universe_size(), 130u);
+  EXPECT_EQ(ds.feature_tables[1].universe_size(), 60u);
+  EXPECT_TRUE(ds.vocabularies[0].Lookup("pizza").ok());
+  EXPECT_TRUE(ds.vocabularies[1].Lookup("espresso").ok());
+}
+
+TEST(RealLikeTest, KeywordsAreZipfSkewed) {
+  RealLikeConfig cfg;
+  cfg.scale = 0.2;
+  Dataset ds = GenerateRealLike(cfg);
+  std::vector<uint32_t> freq(130, 0);
+  for (const FeatureObject& f : ds.feature_tables[0].All()) {
+    for (TermId t : f.keywords.ToTerms()) ++freq[t];
+  }
+  // Rank-0 keyword much more frequent than mid-rank ones.
+  EXPECT_GT(freq[0], 4 * std::max(freq[60], 1u));
+}
+
+TEST(RealLikeTest, RatingsConcentratedHigh) {
+  RealLikeConfig cfg;
+  cfg.scale = 0.1;
+  Dataset ds = GenerateRealLike(cfg);
+  double sum = 0;
+  for (const FeatureObject& f : ds.feature_tables[0].All()) sum += f.score;
+  double mean = sum / ds.feature_tables[0].size();
+  EXPECT_GT(mean, 0.6);
+  EXPECT_LT(mean, 0.8);
+}
+
+TEST(RealLikeTest, FewBigClustersVsSyntheticManySmall) {
+  // The paper attributes real-vs-synthetic cost differences to cluster
+  // structure; verify the real-like data is far more concentrated by
+  // comparing the fraction of occupied grid cells.
+  RealLikeConfig rcfg;
+  rcfg.scale = 0.2;
+  Dataset real = GenerateRealLike(rcfg);
+  SyntheticConfig scfg;
+  scfg.num_objects = static_cast<uint32_t>(real.objects.size());
+  scfg.num_features_per_set = 100;
+  Dataset synth = GenerateSynthetic(scfg);
+  auto occupied_cells = [](const std::vector<DataObject>& objs) {
+    std::set<int> cells;
+    for (const DataObject& o : objs) {
+      cells.insert(static_cast<int>(o.pos.x * 50) * 64 +
+                   static_cast<int>(o.pos.y * 50));
+    }
+    return cells.size();
+  };
+  EXPECT_LT(occupied_cells(real.objects), occupied_cells(synth.objects) / 2);
+}
+
+TEST(QueryGenTest, RespectsConfig) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 100;
+  cfg.num_features_per_set = 500;
+  cfg.num_feature_sets = 3;
+  cfg.vocabulary_size = 64;
+  Dataset ds = GenerateSynthetic(cfg);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 20;
+  qcfg.k = 7;
+  qcfg.radius = 0.025;
+  qcfg.lambda = 0.3;
+  qcfg.keywords_per_set = 5;
+  qcfg.variant = ScoreVariant::kInfluence;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.k, 7u);
+    EXPECT_DOUBLE_EQ(q.radius, 0.025);
+    EXPECT_DOUBLE_EQ(q.lambda, 0.3);
+    EXPECT_EQ(q.variant, ScoreVariant::kInfluence);
+    ASSERT_EQ(q.keywords.size(), 3u);
+    for (const KeywordSet& w : q.keywords) {
+      EXPECT_EQ(w.Count(), 5u);
+      EXPECT_EQ(w.universe_size(), 64u);
+    }
+  }
+}
+
+TEST(QueryGenTest, DeterministicAndSeedSensitive) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.num_features_per_set = 200;
+  Dataset ds = GenerateSynthetic(cfg);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 5;
+  std::vector<Query> a = GenerateQueries(ds, qcfg);
+  std::vector<Query> b = GenerateQueries(ds, qcfg);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords[0], b[i].keywords[0]);
+  }
+  qcfg.seed = 123;
+  std::vector<Query> c = GenerateQueries(ds, qcfg);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].keywords[0] == c[i].keywords[0])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(QueryGenTest, KeywordsFollowDataDistribution) {
+  // Popular feature keywords must be queried more often than rare ones.
+  RealLikeConfig cfg;
+  cfg.scale = 0.1;
+  Dataset ds = GenerateRealLike(cfg);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 300;
+  qcfg.keywords_per_set = 2;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  std::vector<uint32_t> qfreq(130, 0);
+  for (const Query& q : queries) {
+    for (TermId t : q.keywords[0].ToTerms()) ++qfreq[t];
+  }
+  uint32_t head = qfreq[0] + qfreq[1] + qfreq[2];
+  uint32_t tail = 0;
+  for (int t = 100; t < 130; ++t) tail += qfreq[t];
+  EXPECT_GT(head, tail);
+}
+
+TEST(QueryGenTest, MatchingFeaturesExist) {
+  // Data-distributed keywords guarantee at least one relevant feature per
+  // queried set (the terms were taken from actual features).
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.num_features_per_set = 300;
+  cfg.num_feature_sets = 2;
+  Dataset ds = GenerateSynthetic(cfg);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 20;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  for (const Query& q : queries) {
+    for (size_t i = 0; i < 2; ++i) {
+      bool any = false;
+      for (const FeatureObject& f : ds.feature_tables[i].All()) {
+        if (f.keywords.Intersects(q.keywords[i])) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stpq

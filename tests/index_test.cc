@@ -1,0 +1,425 @@
+// Tests for index/: FeatureTable, the SRT-index and the modified IR2-tree
+// (bound validity, textual filters, I/O accounting), and the ObjectIndex.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "core/score.h"
+#include "gen/synthetic.h"
+#include "index/ir2_tree.h"
+#include "index/object_index.h"
+#include "index/srt_index.h"
+#include "paper_example.h"
+#include "util/rng.h"
+
+namespace stpq {
+namespace {
+
+namespace ex = testing_example;
+
+FeatureTable RandomFeatures(uint64_t seed, uint32_t n, uint32_t universe) {
+  Rng rng(seed);
+  std::vector<FeatureObject> f;
+  for (uint32_t i = 0; i < n; ++i) {
+    FeatureObject t;
+    t.pos = {rng.Uniform(), rng.Uniform()};
+    t.score = rng.Uniform();
+    t.keywords = KeywordSet(universe);
+    uint32_t nkw = static_cast<uint32_t>(rng.UniformInt(1, 4));
+    for (uint32_t j = 0; j < nkw; ++j) {
+      t.keywords.Insert(static_cast<TermId>(rng.UniformInt(0, universe - 1)));
+    }
+    f.push_back(std::move(t));
+  }
+  return FeatureTable(std::move(f), universe);
+}
+
+TEST(FeatureTableTest, AssignsIdsAndDomain) {
+  FeatureTable t = RandomFeatures(1, 100, 32);
+  EXPECT_EQ(t.size(), 100u);
+  for (uint32_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.Get(i).id, i);
+  const Rect2& d = t.domain();
+  EXPECT_GE(d.lo[0], 0.0);
+  EXPECT_LE(d.hi[0], 1.0);
+  EXPECT_FALSE(d.IsEmpty());
+}
+
+// -------- shared FeatureIndex conformance suite (runs for SRT and IR2) ----
+
+struct IndexFactory {
+  const char* name;
+  std::function<std::unique_ptr<FeatureIndex>(const FeatureTable*,
+                                              const FeatureIndexOptions&)>
+      make;
+};
+
+class FeatureIndexConformance : public ::testing::TestWithParam<IndexFactory> {
+ protected:
+  std::unique_ptr<FeatureIndex> Build(const FeatureTable* table,
+                                      BufferPool* pool = nullptr,
+                                      BulkLoadKind bulk =
+                                          BulkLoadKind::kHilbert) {
+    FeatureIndexOptions opts;
+    opts.buffer_pool = pool;
+    opts.bulk_load = bulk;
+    opts.page_size_bytes = 1024;  // small pages, deeper trees
+    return GetParam().make(table, opts);
+  }
+};
+
+/// Every feature must be reachable, and every internal entry's bound must
+/// dominate the exact score of every feature below it (Section 4.1's
+/// s-hat(e) >= s(t) requirement) — checked by full traversal.
+TEST_P(FeatureIndexConformance, BoundDominatesDescendants) {
+  FeatureTable table = RandomFeatures(2, 2000, 64);
+  std::unique_ptr<FeatureIndex> index = Build(&table);
+  Rng rng(3);
+  for (int q = 0; q < 10; ++q) {
+    KeywordSet query(64);
+    for (int j = 0; j < 3; ++j) {
+      query.Insert(static_cast<TermId>(rng.UniformInt(0, 63)));
+    }
+    double lambda = rng.Uniform();
+    std::set<uint32_t> seen;
+    std::vector<FeatureBranch> scratch;
+    // DFS carrying the tightest ancestor bound.
+    struct Frame {
+      NodeId id;
+      double bound;
+    };
+    std::vector<Frame> stack{{index->RootId(), 1.0}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      index->VisitChildren(f.id, query, lambda, &scratch);
+      for (const FeatureBranch& b : scratch) {
+        EXPECT_LE(b.score_bound, f.bound + 1e-9)
+            << "child bound exceeds parent bound";
+        if (b.is_feature) {
+          seen.insert(b.id);
+          const FeatureObject& t = table.Get(b.id);
+          double exact = PreferenceScore(t, query, lambda);
+          EXPECT_NEAR(b.score_bound, exact, 1e-12);
+          EXPECT_EQ(b.text_match, t.keywords.Intersects(query));
+          // Leaf MBR is the feature's position.
+          EXPECT_DOUBLE_EQ(b.mbr.lo[0], t.pos.x);
+          EXPECT_DOUBLE_EQ(b.mbr.lo[1], t.pos.y);
+        } else {
+          stack.push_back({b.id, b.score_bound});
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), table.size());
+  }
+}
+
+TEST_P(FeatureIndexConformance, TextMatchNeverFalseNegative) {
+  // If an internal entry reports text_match == false, no feature below may
+  // intersect the query keywords (pruning safety).
+  FeatureTable table = RandomFeatures(4, 1500, 128);
+  std::unique_ptr<FeatureIndex> index = Build(&table);
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    KeywordSet query(128);
+    for (int j = 0; j < 2; ++j) {
+      query.Insert(static_cast<TermId>(rng.UniformInt(0, 127)));
+    }
+    std::vector<FeatureBranch> scratch;
+    std::vector<std::pair<NodeId, bool>> stack{{index->RootId(), true}};
+    while (!stack.empty()) {
+      auto [nid, ancestor_match] = stack.back();
+      stack.pop_back();
+      index->VisitChildren(nid, query, 0.5, &scratch);
+      for (const FeatureBranch& b : scratch) {
+        if (!ancestor_match) {
+          EXPECT_FALSE(b.text_match && b.is_feature &&
+                       table.Get(b.id).keywords.Intersects(query))
+              << "feature matches under a non-matching ancestor";
+        }
+        if (b.is_feature) continue;
+        stack.push_back({b.id, b.text_match});
+      }
+    }
+  }
+}
+
+TEST_P(FeatureIndexConformance, SpatialMbrCoversDescendants) {
+  FeatureTable table = RandomFeatures(6, 1000, 32);
+  std::unique_ptr<FeatureIndex> index = Build(&table);
+  KeywordSet query(32, {0});
+  std::vector<FeatureBranch> scratch;
+  struct Frame {
+    NodeId id;
+    Rect2 mbr;
+  };
+  std::vector<Frame> stack{{index->RootId(), MakeRect2(-1e9, -1e9, 1e9, 1e9)}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    index->VisitChildren(f.id, query, 0.5, &scratch);
+    for (const FeatureBranch& b : scratch) {
+      EXPECT_TRUE(f.mbr.ContainsRect(b.mbr));
+      if (!b.is_feature) stack.push_back({b.id, b.mbr});
+    }
+  }
+}
+
+TEST_P(FeatureIndexConformance, ChargesBufferPool) {
+  BufferPool pool(0);
+  FeatureTable table = RandomFeatures(7, 2000, 64);
+  std::unique_ptr<FeatureIndex> index = Build(&table, &pool);
+  pool.Clear();
+  pool.ResetStats();
+  KeywordSet query(64, {1, 2, 3});
+  std::vector<FeatureBranch> scratch;
+  index->VisitChildren(index->RootId(), query, 0.5, &scratch);
+  EXPECT_EQ(pool.stats().reads, 1u);
+  index->VisitChildren(index->RootId(), query, 0.5, &scratch);
+  EXPECT_EQ(pool.stats().reads, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(index->buffer_pool(), &pool);
+}
+
+TEST_P(FeatureIndexConformance, InsertConstructionAgrees) {
+  // kInsert builds the same logical index content as bulk loading.
+  FeatureTable table = RandomFeatures(8, 500, 32);
+  std::unique_ptr<FeatureIndex> bulk = Build(&table);
+  std::unique_ptr<FeatureIndex> ins =
+      Build(&table, nullptr, BulkLoadKind::kInsert);
+  KeywordSet query(32, {0, 5});
+  // Same reachable feature set.
+  for (FeatureIndex* idx : {bulk.get(), ins.get()}) {
+    std::set<uint32_t> seen;
+    std::vector<FeatureBranch> scratch;
+    std::vector<NodeId> stack{idx->RootId()};
+    while (!stack.empty()) {
+      NodeId nid = stack.back();
+      stack.pop_back();
+      idx->VisitChildren(nid, query, 0.5, &scratch);
+      for (const FeatureBranch& b : scratch) {
+        if (b.is_feature) {
+          seen.insert(b.id);
+        } else {
+          stack.push_back(b.id);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), table.size()) << idx->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Indexes, FeatureIndexConformance,
+    ::testing::Values(
+        IndexFactory{"SRT",
+                     [](const FeatureTable* t, const FeatureIndexOptions& o) {
+                       return std::unique_ptr<FeatureIndex>(
+                           new SrtIndex(t, o));
+                     }},
+        IndexFactory{"IR2",
+                     [](const FeatureTable* t, const FeatureIndexOptions& o) {
+                       return std::unique_ptr<FeatureIndex>(
+                           new Ir2Tree(t, o));
+                     }}),
+    [](const ::testing::TestParamInfo<IndexFactory>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------------ index-specific details
+
+TEST(SrtIndexTest, NodeSummariesAreExactKeywordUnions) {
+  FeatureTable table = RandomFeatures(9, 800, 64);
+  FeatureIndexOptions opts;
+  SrtIndex index(&table, opts);
+  // For the SRT-index, a node's aggregated Hilbert value decodes to the
+  // exact union of descendant keywords, so a query fully contained in the
+  // union yields bound >= (1-l)*e.s + l (only if all query terms present).
+  const auto& tree = index.tree();
+  std::function<KeywordSet(NodeId)> collect = [&](NodeId nid) -> KeywordSet {
+    const auto& node = tree.ReadNode(nid);
+    KeywordSet acc(64);
+    for (const auto& e : node.entries) {
+      if (node.IsLeaf()) {
+        acc.UnionWith(table.Get(e.id).keywords);
+      } else {
+        acc.UnionWith(collect(e.id));
+      }
+    }
+    return acc;
+  };
+  std::function<void(NodeId)> verify = [&](NodeId nid) {
+    const auto& node = tree.ReadNode(nid);
+    if (node.IsLeaf()) return;
+    for (const auto& e : node.entries) {
+      KeywordSet expected = collect(e.id);
+      EXPECT_EQ(DecodeKeywords(e.aug.keyword_hilbert, 64), expected);
+      verify(e.id);
+    }
+  };
+  verify(tree.root_id());
+}
+
+TEST(SrtIndexTest, FourthDimensionIsHilbertValue) {
+  FeatureTable table = RandomFeatures(10, 200, 32);
+  FeatureIndexOptions opts;
+  SrtIndex index(&table, opts);
+  const auto& tree = index.tree();
+  std::vector<NodeId> stack{tree.root_id()};
+  while (!stack.empty()) {
+    NodeId nid = stack.back();
+    stack.pop_back();
+    const auto& node = tree.ReadNode(nid);
+    for (const auto& e : node.entries) {
+      if (node.IsLeaf()) {
+        const FeatureObject& t = table.Get(e.id);
+        EXPECT_DOUBLE_EQ(e.rect.lo[2], t.score);
+        EXPECT_DOUBLE_EQ(e.rect.lo[3],
+                         EncodeKeywords(t.keywords).ToUnitDouble());
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+}
+
+TEST(SrtIndexTest, ClustersScoreAndText) {
+  // SRT leaves should have smaller score spreads than spatial-only leaves
+  // (that is the point of indexing the mapped 4-D space).
+  FeatureTable table = RandomFeatures(11, 5000, 64);
+  FeatureIndexOptions srt_opts;
+  SrtIndex srt(&table, srt_opts);
+  Ir2Tree ir2(&table, srt_opts);
+  auto mean_leaf_score_spread = [&](auto& tree) {
+    double total = 0;
+    int leaves = 0;
+    std::vector<NodeId> stack{tree.root_id()};
+    while (!stack.empty()) {
+      NodeId nid = stack.back();
+      stack.pop_back();
+      const auto& node = tree.ReadNode(nid);
+      if (node.IsLeaf()) {
+        double lo = 1e9, hi = -1e9;
+        for (const auto& e : node.entries) {
+          double s = table.Get(e.id).score;
+          lo = std::min(lo, s);
+          hi = std::max(hi, s);
+        }
+        total += hi - lo;
+        ++leaves;
+      } else {
+        for (const auto& e : node.entries) stack.push_back(e.id);
+      }
+    }
+    return total / leaves;
+  };
+  EXPECT_LT(mean_leaf_score_spread(srt.tree()),
+            mean_leaf_score_spread(ir2.tree()));
+}
+
+TEST(Ir2TreeTest, SignatureWidthScalesWithVocabulary) {
+  FeatureTable small = RandomFeatures(12, 100, 64);
+  FeatureTable large = RandomFeatures(13, 100, 256);
+  FeatureIndexOptions opts;
+  Ir2Tree a(&small, opts), b(&large, opts);
+  EXPECT_EQ(a.scheme().signature_bits(), 128u);
+  EXPECT_EQ(b.scheme().signature_bits(), 512u);
+  // Wider signatures shrink the fan-out.
+  EXPECT_GT(a.tree().options().max_entries, b.tree().options().max_entries);
+}
+
+TEST(Ir2TreeTest, ExplicitSignatureBits) {
+  FeatureTable table = RandomFeatures(14, 100, 64);
+  FeatureIndexOptions opts;
+  opts.signature_bits = 1024;
+  Ir2Tree index(&table, opts);
+  EXPECT_EQ(index.scheme().signature_bits(), 1024u);
+}
+
+// ------------------------------------------------------------ ObjectIndex
+
+TEST(ObjectIndexTest, RangeQueryMatchesBruteForce) {
+  Rng rng(15);
+  std::vector<DataObject> objects;
+  for (uint32_t i = 0; i < 3000; ++i) {
+    objects.push_back(DataObject{i, {rng.Uniform(), rng.Uniform()}, {}});
+  }
+  ObjectIndexOptions opts;
+  ObjectIndex index(&objects, opts);
+  for (int q = 0; q < 30; ++q) {
+    Point c{rng.Uniform(), rng.Uniform()};
+    double r = rng.Uniform(0.01, 0.2);
+    std::vector<ObjectId> got = index.RangeQuery(c, r);
+    std::set<ObjectId> got_set(got.begin(), got.end());
+    std::set<ObjectId> expect;
+    for (const DataObject& o : objects) {
+      if (Distance(o.pos, c) <= r) expect.insert(o.id);
+    }
+    EXPECT_EQ(got_set, expect);
+  }
+}
+
+TEST(ObjectIndexTest, LeafBlocksPartitionObjects) {
+  Rng rng(16);
+  std::vector<DataObject> objects;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    objects.push_back(DataObject{i, {rng.Uniform(), rng.Uniform()}, {}});
+  }
+  ObjectIndexOptions opts;
+  ObjectIndex index(&objects, opts);
+  std::set<ObjectId> seen;
+  index.ForEachLeafBlock([&](std::span<const ObjectId> ids, const Rect2& mbr) {
+    for (ObjectId id : ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "object in two leaf blocks";
+      EXPECT_TRUE(mbr.Contains({objects[id].pos.x, objects[id].pos.y}));
+    }
+  });
+  EXPECT_EQ(seen.size(), objects.size());
+}
+
+TEST(ObjectIndexTest, DomainCoversAllObjects) {
+  Rng rng(17);
+  std::vector<DataObject> objects;
+  for (uint32_t i = 0; i < 500; ++i) {
+    objects.push_back(
+        DataObject{i, {rng.Uniform(2.0, 5.0), rng.Uniform(-3.0, 0.0)}, {}});
+  }
+  ObjectIndexOptions opts;
+  ObjectIndex index(&objects, opts);
+  for (const DataObject& o : objects) {
+    EXPECT_TRUE(index.domain().Contains({o.pos.x, o.pos.y}));
+  }
+}
+
+// ------------------------------------------- paper example through index
+
+TEST(PaperExampleTest, OntarioAndRoyalRankFirst) {
+  Dataset ds = ex::ExampleDataset();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1]);
+  // Best restaurant under W1 = {italian, pizza} is Ontario's Pizza (0.9);
+  // best coffeehouse under W2 = {espresso, muffins} is Royal Coffe Shop.
+  double best_r = 0, best_c = 0;
+  std::string best_r_name, best_c_name;
+  for (const FeatureObject& t : ds.feature_tables[0].All()) {
+    double s = PreferenceScore(t, q.keywords[0], q.lambda);
+    if (s > best_r) {
+      best_r = s;
+      best_r_name = t.name;
+    }
+  }
+  for (const FeatureObject& t : ds.feature_tables[1].All()) {
+    double s = PreferenceScore(t, q.keywords[1], q.lambda);
+    if (s > best_c) {
+      best_c = s;
+      best_c_name = t.name;
+    }
+  }
+  EXPECT_EQ(best_r_name, "Ontario's Pizza");
+  EXPECT_DOUBLE_EQ(best_r, ex::kOntarioScore);
+  EXPECT_EQ(best_c_name, "Royal Coffe Shop");
+  EXPECT_NEAR(best_c, ex::kRoyalScore, 1e-12);
+}
+
+}  // namespace
+}  // namespace stpq

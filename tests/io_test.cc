@@ -1,0 +1,194 @@
+// Tests for io/: CSV and binary dataset round trips plus error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+#include "io/dataset_io.h"
+
+namespace stpq {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("stpq_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, ObjectsCsvRoundTrip) {
+  std::vector<DataObject> objects = {
+      {0, {0.25, 0.75}, "Grand Hotel"},
+      {1, {0.5, 0.5}, "B&B"},
+      {2, {1.0, 0.0}, ""},
+  };
+  ASSERT_TRUE(WriteObjectsCsv(Path("o.csv"), objects).ok());
+  Result<std::vector<DataObject>> back = ReadObjectsCsv(Path("o.csv"));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 3u);
+  EXPECT_EQ(back.value()[0].pos, (Point{0.25, 0.75}));
+  EXPECT_EQ(back.value()[0].name, "Grand Hotel");
+  EXPECT_EQ(back.value()[2].name, "");
+}
+
+TEST_F(IoTest, ObjectsCsvSanitizesCommas) {
+  std::vector<DataObject> objects = {{0, {0, 0}, "Hotel, with commas"}};
+  ASSERT_TRUE(WriteObjectsCsv(Path("o.csv"), objects).ok());
+  Result<std::vector<DataObject>> back = ReadObjectsCsv(Path("o.csv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()[0].name, "Hotel  with commas");
+}
+
+TEST_F(IoTest, ObjectsCsvErrors) {
+  EXPECT_FALSE(ReadObjectsCsv(Path("missing.csv")).ok());
+  {
+    std::ofstream out(Path("bad.csv"));
+    out << "id,x,y,name\n1,notanumber,2,x\n";
+  }
+  Result<std::vector<DataObject>> r = ReadObjectsCsv(Path("bad.csv"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  {
+    std::ofstream out(Path("short.csv"));
+    out << "1,2\n";
+  }
+  EXPECT_FALSE(ReadObjectsCsv(Path("short.csv")).ok());
+}
+
+TEST_F(IoTest, FeaturesCsvRoundTrip) {
+  Vocabulary vocab;
+  TermId pizza = vocab.Intern("pizza");
+  TermId sushi = vocab.Intern("sushi");
+  std::vector<FeatureObject> features;
+  features.push_back(
+      {0, {0.1, 0.2}, 0.9, KeywordSet(2, {pizza, sushi}), "Both"});
+  features.push_back({1, {0.3, 0.4}, 0.5, KeywordSet(2, {sushi}), "Sushi"});
+  FeatureTable table(std::move(features), 2);
+  ASSERT_TRUE(WriteFeaturesCsv(Path("f.csv"), table, vocab).ok());
+
+  Vocabulary vocab2;
+  Result<FeatureTable> back = ReadFeaturesCsv(Path("f.csv"), &vocab2);
+  ASSERT_TRUE(back.ok());
+  const FeatureTable& t = back.value();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.Get(0).score, 0.9);
+  EXPECT_EQ(t.Get(0).keywords.Count(), 2u);
+  EXPECT_EQ(t.Get(1).name, "Sushi");
+  EXPECT_TRUE(vocab2.Lookup("pizza").ok());
+}
+
+TEST_F(IoTest, FeaturesCsvUniverseOverride) {
+  Vocabulary vocab;
+  std::vector<FeatureObject> features;
+  features.push_back(
+      {0, {0, 0}, 0.5, KeywordSet(1, {vocab.Intern("a")}), ""});
+  FeatureTable table(std::move(features), 1);
+  ASSERT_TRUE(WriteFeaturesCsv(Path("f.csv"), table, vocab).ok());
+  Vocabulary vocab2;
+  Result<FeatureTable> wide = ReadFeaturesCsv(Path("f.csv"), &vocab2, 64);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide.value().universe_size(), 64u);
+  // Universe smaller than the keyword count is rejected.
+  Vocabulary vocab3;
+  vocab3.Intern("x");
+  vocab3.Intern("y");
+  std::ofstream(Path("two.csv")) << "id,x,y,score,keywords\n"
+                                 << "0,0,0,0.5,x|y|z\n";
+  Result<FeatureTable> narrow = ReadFeaturesCsv(Path("two.csv"), &vocab3, 2);
+  EXPECT_FALSE(narrow.ok());
+}
+
+TEST_F(IoTest, FeaturesCsvScoreRangeChecked) {
+  std::ofstream(Path("f.csv")) << "id,x,y,score,keywords\n0,0,0,1.5,a\n";
+  Vocabulary vocab;
+  Result<FeatureTable> r = ReadFeaturesCsv(Path("f.csv"), &vocab);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(IoTest, BinaryRoundTripSynthetic) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 200;
+  cfg.num_features_per_set = 150;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 32;
+  cfg.num_clusters = 20;
+  Dataset ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(WriteDatasetBinary(Path("d.stpq"), ds).ok());
+  Result<Dataset> back = ReadDatasetBinary(Path("d.stpq"));
+  ASSERT_TRUE(back.ok());
+  const Dataset& b = back.value();
+  ASSERT_EQ(b.objects.size(), ds.objects.size());
+  ASSERT_EQ(b.feature_tables.size(), 2u);
+  for (size_t i = 0; i < ds.objects.size(); ++i) {
+    EXPECT_EQ(b.objects[i].pos, ds.objects[i].pos);
+  }
+  for (size_t s = 0; s < 2; ++s) {
+    ASSERT_EQ(b.feature_tables[s].size(), ds.feature_tables[s].size());
+    EXPECT_EQ(b.vocabularies[s].size(), ds.vocabularies[s].size());
+    for (size_t i = 0; i < ds.feature_tables[s].size(); ++i) {
+      const FeatureObject& x = ds.feature_tables[s].Get(i);
+      const FeatureObject& y = b.feature_tables[s].Get(i);
+      EXPECT_EQ(x.pos, y.pos);
+      EXPECT_EQ(x.score, y.score);
+      EXPECT_EQ(x.keywords, y.keywords);
+    }
+  }
+}
+
+TEST_F(IoTest, BinaryRoundTripRealLikePreservesNames) {
+  RealLikeConfig cfg;
+  cfg.scale = 0.01;
+  Dataset ds = GenerateRealLike(cfg);
+  ASSERT_TRUE(WriteDatasetBinary(Path("r.stpq"), ds).ok());
+  Result<Dataset> back = ReadDatasetBinary(Path("r.stpq"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().objects[0].name, ds.objects[0].name);
+  EXPECT_EQ(back.value().feature_tables[0].Get(0).name,
+            ds.feature_tables[0].Get(0).name);
+  EXPECT_EQ(back.value().vocabularies[0].Term(0), ds.vocabularies[0].Term(0));
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  std::ofstream(Path("junk.stpq"), std::ios::binary) << "not an stpq file";
+  Result<Dataset> r = ReadDatasetBinary(Path("junk.stpq"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.num_features_per_set = 50;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 16;
+  Dataset ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(WriteDatasetBinary(Path("full.stpq"), ds).ok());
+  // Truncate the file in the middle.
+  auto size = std::filesystem::file_size(Path("full.stpq"));
+  std::filesystem::resize_file(Path("full.stpq"), size / 2);
+  Result<Dataset> r = ReadDatasetBinary(Path("full.stpq"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IoTest, BinaryRejectsMissingVocabulary) {
+  Dataset ds;
+  ds.objects.push_back({0, {0, 0}, ""});
+  ds.feature_tables.emplace_back(std::vector<FeatureObject>{}, 4);
+  // No vocabulary for the table.
+  Status s = WriteDatasetBinary(Path("x.stpq"), ds);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace stpq

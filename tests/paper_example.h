@@ -1,0 +1,138 @@
+// The paper's running example: the restaurants of Figure 2, the
+// coffeehouses of Figure 3, and data objects placed per Figure 6.
+// Shared by index, algorithm, and integration tests.
+#ifndef STPQ_TESTS_PAPER_EXAMPLE_H_
+#define STPQ_TESTS_PAPER_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "gen/dataset.h"
+
+namespace stpq {
+namespace testing_example {
+
+// One shared vocabulary per feature set.
+inline Vocabulary RestaurantVocab() {
+  Vocabulary v;
+  for (const char* t :
+       {"chinese", "asian", "greek", "mediterranean", "italian", "spanish",
+        "european", "buffet", "pizza", "sandwiches", "subs", "seafood",
+        "american", "coffee", "tea", "bistro"}) {
+    v.Intern(t);
+  }
+  return v;
+}
+
+inline Vocabulary CafeVocab() {
+  Vocabulary v;
+  for (const char* t :
+       {"cake", "bread", "pastries", "cappuccino", "toast", "decaf",
+        "donuts", "iced-coffee", "tea", "muffins", "croissants", "espresso",
+        "macchiato"}) {
+    v.Intern(t);
+  }
+  return v;
+}
+
+inline KeywordSet Terms(const Vocabulary& v,
+                        std::initializer_list<const char*> words) {
+  KeywordSet s(v.size());
+  for (const char* w : words) s.Insert(v.Lookup(w).value());
+  return s;
+}
+
+/// Figure 2: the eight restaurants.
+inline FeatureTable Restaurants(const Vocabulary& v) {
+  std::vector<FeatureObject> f;
+  auto add = [&](const char* name, double score, double x, double y,
+                 std::initializer_list<const char*> words) {
+    f.push_back(FeatureObject{0, {x, y}, score, Terms(v, words), name});
+  };
+  add("Beijing Restaurant", 0.6, 1, 2, {"chinese", "asian"});
+  add("Daphne's Restaurant", 0.5, 4, 1, {"greek", "mediterranean"});
+  add("Espanol Restaurant", 0.8, 5, 8, {"italian", "spanish", "european"});
+  add("Golden Wok", 0.8, 2, 3, {"chinese", "buffet"});
+  add("John's Pizza Plaza", 0.9, 8, 4, {"pizza", "sandwiches", "subs"});
+  add("Ontario's Pizza", 0.8, 7, 6, {"pizza", "italian"});
+  add("Oyster House", 0.8, 6, 10, {"seafood", "mediterranean"});
+  add("Small Bistro", 1.0, 3, 7, {"american", "coffee", "tea", "bistro"});
+  return FeatureTable(std::move(f), v.size());
+}
+
+/// Figure 3: the eight coffeehouses.
+inline FeatureTable Coffeehouses(const Vocabulary& v) {
+  std::vector<FeatureObject> f;
+  auto add = [&](const char* name, double score, double x, double y,
+                 std::initializer_list<const char*> words) {
+    f.push_back(FeatureObject{0, {x, y}, score, Terms(v, words), name});
+  };
+  add("Bakery & Cafe", 0.6, 4, 1, {"cake", "bread", "pastries"});
+  add("Coffee House", 0.5, 4, 7, {"cappuccino", "toast", "decaf"});
+  add("Coffe Time", 0.8, 3, 10, {"cake", "toast", "donuts"});
+  add("Cafe Ole", 0.6, 6, 2, {"cappuccino", "iced-coffee", "tea"});
+  add("Royal Coffe Shop", 0.9, 5, 5, {"muffins", "croissants", "espresso"});
+  add("Mocha Coffe House", 1.0, 10, 3, {"macchiato", "espresso", "decaf"});
+  add("The Terrace", 0.7, 6, 9, {"muffins", "pastries", "espresso"});
+  add("Espresso Bar", 0.4, 7, 6, {"croissants", "decaf", "tea"});
+  return FeatureTable(std::move(f), v.size());
+}
+
+/// Figure 6: ten hotels; exactly p6, p9, p10 (ids 5, 8, 9) lie within
+/// r = 3.5 of both Ontario's Pizza (7,6) and Royal Coffe Shop (5,5).
+inline std::vector<DataObject> Hotels() {
+  std::vector<DataObject> o;
+  auto add = [&](const char* name, double x, double y) {
+    o.push_back(DataObject{0, {x, y}, name});
+  };
+  add("p1", 1, 2);
+  add("p2", 0, 9);
+  add("p3", 10, 0);
+  add("p4", 2, 9);
+  add("p5", 0, 5);
+  add("p6", 6, 5.5);
+  add("p7", 10, 10);
+  add("p8", 9, 9);
+  add("p9", 6.5, 5);
+  add("p10", 5.5, 6);
+  return o;
+}
+
+/// The tourist query of Section 3: W1 = {italian, pizza},
+/// W2 = {espresso, muffins}, lambda = 0.5, r = 3.5.
+inline Query TouristQuery(const Vocabulary& rv, const Vocabulary& cv,
+                          uint32_t k = 3) {
+  Query q;
+  q.k = k;
+  q.radius = 3.5;
+  q.lambda = 0.5;
+  q.keywords.push_back(Terms(rv, {"italian", "pizza"}));
+  q.keywords.push_back(Terms(cv, {"espresso", "muffins"}));
+  return q;
+}
+
+/// Full example dataset bundle.
+inline Dataset ExampleDataset() {
+  Dataset ds;
+  Vocabulary rv = RestaurantVocab();
+  Vocabulary cv = CafeVocab();
+  ds.objects = Hotels();
+  ds.feature_tables.push_back(Restaurants(rv));
+  ds.feature_tables.push_back(Coffeehouses(cv));
+  ds.vocabularies.push_back(std::move(rv));
+  ds.vocabularies.push_back(std::move(cv));
+  return ds;
+}
+
+// Expected scores from the paper:
+//   s(r6) = 0.9, s(c5) = 0.5*0.9 + 0.5*(2/3) = 0.78333...,
+//   tau(p) = 1.68333... for p6, p9, p10.
+inline constexpr double kOntarioScore = 0.9;
+inline constexpr double kRoyalScore = 0.45 + 0.5 * (2.0 / 3.0);
+inline constexpr double kTopHotelScore = kOntarioScore + kRoyalScore;
+
+}  // namespace testing_example
+}  // namespace stpq
+
+#endif  // STPQ_TESTS_PAPER_EXAMPLE_H_

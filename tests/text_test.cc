@@ -1,0 +1,227 @@
+// Tests for text/: vocabulary, keyword sets, inverted index, signatures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/inverted_index.h"
+#include "text/keyword_set.h"
+#include "text/signature.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace stpq {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  TermId pizza = v.Intern("pizza");
+  TermId burger = v.Intern("burger");
+  EXPECT_NE(pizza, burger);
+  EXPECT_EQ(v.Intern("pizza"), pizza);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.Term(pizza), "pizza");
+}
+
+TEST(VocabularyTest, LookupMissing) {
+  Vocabulary v;
+  v.Intern("espresso");
+  EXPECT_TRUE(v.Lookup("espresso").ok());
+  Result<TermId> missing = v.Lookup("noexist");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VocabularyTest, SyntheticHasRequestedSize) {
+  Vocabulary v = Vocabulary::Synthetic(256);
+  EXPECT_EQ(v.size(), 256u);
+  EXPECT_TRUE(v.Lookup("kw000").ok());
+  EXPECT_TRUE(v.Lookup("kw255").ok());
+}
+
+TEST(KeywordSetTest, InsertContainsCount) {
+  KeywordSet s(130);
+  EXPECT_TRUE(s.Empty());
+  s.Insert(0);
+  s.Insert(129);
+  s.Insert(129);  // duplicate
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(129));
+  EXPECT_FALSE(s.Contains(64));
+}
+
+TEST(KeywordSetTest, SetAlgebra) {
+  KeywordSet a(64, {1, 2, 3});
+  KeywordSet b(64, {3, 4});
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+  EXPECT_EQ(a.UnionCount(b), 4u);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(KeywordSet(64, {10})));
+  a.UnionWith(b);
+  EXPECT_EQ(a.Count(), 4u);
+}
+
+TEST(KeywordSetTest, JaccardMatchesDefinition) {
+  KeywordSet a(64, {1, 2});
+  KeywordSet b(64, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.25);  // |{2}| / |{1,2,3,4}|
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+  EXPECT_DOUBLE_EQ(KeywordSet(64).Jaccard(KeywordSet(64)), 0.0);
+}
+
+TEST(KeywordSetTest, PaperExampleScores) {
+  // Figure 2 + Definition 1 with W = {italian, pizza}, lambda = 0.5:
+  // Ontario's Pizza (rating .8, {pizza, italian}): s = .5*.8 + .5*1 = 0.9.
+  // Beijing Restaurant (rating .6, {chinese, asian}): s = .5*.6 + 0 = 0.3.
+  Vocabulary v;
+  TermId italian = v.Intern("italian"), pizza = v.Intern("pizza");
+  TermId chinese = v.Intern("chinese"), asian = v.Intern("asian");
+  const uint32_t w = 16;
+  KeywordSet query(w, {italian, pizza});
+  KeywordSet ontario(w, {pizza, italian});
+  KeywordSet beijing(w, {chinese, asian});
+  double lambda = 0.5;
+  EXPECT_DOUBLE_EQ((1 - lambda) * 0.8 + lambda * ontario.Jaccard(query), 0.9);
+  EXPECT_DOUBLE_EQ((1 - lambda) * 0.6 + lambda * beijing.Jaccard(query), 0.3);
+}
+
+TEST(KeywordSetTest, ToTermsSorted) {
+  KeywordSet s(200, {150, 3, 64});
+  std::vector<TermId> terms = s.ToTerms();
+  EXPECT_EQ(terms, (std::vector<TermId>{3, 64, 150}));
+}
+
+TEST(KeywordSetTest, CrossWordBoundaries) {
+  KeywordSet a(192, {63, 64, 127, 128, 191});
+  KeywordSet b(192, {64, 128});
+  EXPECT_EQ(a.IntersectCount(b), 2u);
+  EXPECT_EQ(a.UnionCount(b), 5u);
+}
+
+TEST(InvertedIndexTest, PostingsAndFrequency) {
+  const uint32_t w = 8;
+  std::vector<KeywordSet> docs = {
+      KeywordSet(w, {0, 1}),
+      KeywordSet(w, {1, 2}),
+      KeywordSet(w, {2}),
+      KeywordSet(w, {1}),
+  };
+  InvertedIndex idx = InvertedIndex::Build(w, docs);
+  EXPECT_EQ(idx.DocumentFrequency(1), 3u);
+  EXPECT_EQ(idx.DocumentFrequency(7), 0u);
+  auto p1 = idx.Postings(1);
+  EXPECT_EQ(std::vector<uint32_t>(p1.begin(), p1.end()),
+            (std::vector<uint32_t>{0, 1, 3}));
+  EXPECT_TRUE(idx.Postings(200).empty());
+  EXPECT_EQ(idx.TotalPostings(), 6u);
+}
+
+TEST(InvertedIndexTest, MatchAnyAndAll) {
+  const uint32_t w = 8;
+  std::vector<KeywordSet> docs = {
+      KeywordSet(w, {0, 1}),
+      KeywordSet(w, {1, 2}),
+      KeywordSet(w, {2}),
+      KeywordSet(w, {0, 2}),
+  };
+  InvertedIndex idx = InvertedIndex::Build(w, docs);
+  EXPECT_EQ(idx.MatchAny(KeywordSet(w, {0, 1})),
+            (std::vector<uint32_t>{0, 1, 3}));
+  EXPECT_EQ(idx.MatchAll(KeywordSet(w, {0, 2})),
+            (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(idx.MatchAll(KeywordSet(w, {0, 1, 2})).empty());
+  EXPECT_TRUE(idx.MatchAny(KeywordSet(w)).empty());
+}
+
+TEST(InvertedIndexTest, MatchesBruteForceOnRandomCorpus) {
+  const uint32_t w = 32;
+  Rng rng(21);
+  std::vector<KeywordSet> docs;
+  for (int i = 0; i < 500; ++i) {
+    KeywordSet d(w);
+    uint32_t n = static_cast<uint32_t>(rng.UniformInt(1, 4));
+    for (uint32_t j = 0; j < n; ++j) {
+      d.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+    }
+    docs.push_back(std::move(d));
+  }
+  InvertedIndex idx = InvertedIndex::Build(w, docs);
+  for (int q = 0; q < 20; ++q) {
+    KeywordSet query(w);
+    for (int j = 0; j < 3; ++j) {
+      query.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+    }
+    std::vector<uint32_t> expect_any, expect_all;
+    for (uint32_t i = 0; i < docs.size(); ++i) {
+      if (docs[i].Intersects(query)) expect_any.push_back(i);
+      if (docs[i].IntersectCount(query) == query.Count()) {
+        expect_all.push_back(i);
+      }
+    }
+    EXPECT_EQ(idx.MatchAny(query), expect_any);
+    EXPECT_EQ(idx.MatchAll(query), expect_all);
+  }
+}
+
+TEST(SignatureTest, CoversAndUnion) {
+  Signature a(64), b(64);
+  a.SetBit(3);
+  a.SetBit(40);
+  b.SetBit(3);
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+  b.UnionWith(a);
+  EXPECT_TRUE(b.Covers(a));
+}
+
+TEST(SignatureSchemeTest, NoFalseNegatives) {
+  // A keyword present in the set is always reported possibly-present; the
+  // upper-bound intersection therefore never undercounts.
+  const uint32_t w = 128;
+  SignatureScheme scheme(256, 3);
+  Rng rng(31);
+  for (int iter = 0; iter < 200; ++iter) {
+    KeywordSet set(w);
+    for (int j = 0; j < 4; ++j) {
+      set.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+    }
+    Signature sig = scheme.SetSignature(set);
+    KeywordSet query(w);
+    for (int j = 0; j < 3; ++j) {
+      query.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+    }
+    uint32_t actual = set.IntersectCount(query);
+    uint32_t bound = scheme.UpperBoundIntersect(sig, query);
+    EXPECT_GE(bound, actual);
+    if (set.Intersects(query)) {
+      EXPECT_TRUE(scheme.MayIntersect(sig, query));
+    }
+  }
+}
+
+TEST(SignatureSchemeTest, FalsePositiveRateIsModerate) {
+  // Disjoint query keywords should usually not match a small signature.
+  const uint32_t w = 256;
+  SignatureScheme scheme(512, 3);
+  Rng rng(37);
+  int false_positives = 0;
+  const int trials = 1000;
+  for (int iter = 0; iter < trials; ++iter) {
+    KeywordSet set(w, {static_cast<TermId>(rng.UniformInt(0, 127))});
+    KeywordSet query(w,
+                     {static_cast<TermId>(rng.UniformInt(128, w - 1))});
+    if (scheme.UpperBoundIntersect(scheme.SetSignature(set), query) > 0) {
+      ++false_positives;
+    }
+  }
+  EXPECT_LT(false_positives, trials / 10);
+}
+
+TEST(SignatureSchemeTest, DeterministicAcrossInstances) {
+  SignatureScheme a(256, 3), b(256, 3);
+  KeywordSet set(64, {1, 7, 33});
+  EXPECT_TRUE(a.SetSignature(set) == b.SetSignature(set));
+}
+
+}  // namespace
+}  // namespace stpq

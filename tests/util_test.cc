@@ -1,0 +1,179 @@
+// Tests for util/: Status, Result, TopK, Rng, QueryStats.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/metrics.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace stpq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+Status FailsThrough() {
+  STPQ_RETURN_NOT_OK(Status::NotFound("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = FailsThrough();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 41);
+  EXPECT_EQ(r.TakeValue(), 41);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TopKTest, KeepsBestK) {
+  TopK<int> topk(3);
+  for (int i = 0; i < 10; ++i) topk.Push(static_cast<double>(i), i);
+  auto out = topk.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].item, 9);
+  EXPECT_EQ(out[1].item, 8);
+  EXPECT_EQ(out[2].item, 7);
+}
+
+TEST(TopKTest, ThresholdIsKthBest) {
+  TopK<int> topk(2);
+  EXPECT_FALSE(topk.Full());
+  EXPECT_EQ(topk.Threshold(), 0.0);
+  topk.Push(5.0, 1);
+  EXPECT_FALSE(topk.Full());
+  topk.Push(3.0, 2);
+  EXPECT_TRUE(topk.Full());
+  EXPECT_EQ(topk.Threshold(), 3.0);
+  topk.Push(4.0, 3);  // evicts 3.0
+  EXPECT_EQ(topk.Threshold(), 4.0);
+  topk.Push(1.0, 4);  // below threshold, ignored
+  EXPECT_EQ(topk.Threshold(), 4.0);
+}
+
+TEST(TopKTest, CustomFloor) {
+  TopK<int> topk(5, -1.0);
+  EXPECT_EQ(topk.Threshold(), -1.0);
+}
+
+TEST(TopKTest, ZeroKIsEmpty) {
+  TopK<int> topk(0);
+  topk.Push(1.0, 1);
+  EXPECT_EQ(topk.Size(), 0u);
+}
+
+TEST(TopKTest, FewerItemsThanK) {
+  TopK<int> topk(10);
+  topk.Push(2.0, 1);
+  topk.Push(1.0, 2);
+  auto out = topk.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].score, 2.0);
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 5));
+  EXPECT_EQ(seen, (std::set<uint64_t>{3, 4, 5}));
+}
+
+TEST(RngTest, ClampedGaussianRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.ClampedGaussian(0.5, 10.0, 0.0, 1.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfRankZeroMostFrequent) {
+  Rng rng(5);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t v = rng.Zipf(16, 0.8);
+    ASSERT_LT(v, 16u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[15]);
+}
+
+TEST(QueryStatsTest, AccumulatesAndReports) {
+  QueryStats a;
+  a.object_index_reads = 3;
+  a.feature_index_reads = 7;
+  a.cpu_ms = 1.5;
+  QueryStats b;
+  b.object_index_reads = 2;
+  b.voronoi_cells = 1;
+  b.cpu_ms = 0.5;
+  a += b;
+  EXPECT_EQ(a.object_index_reads, 5u);
+  EXPECT_EQ(a.TotalReads(), 12u);
+  EXPECT_EQ(a.voronoi_cells, 1u);
+  EXPECT_DOUBLE_EQ(a.cpu_ms, 2.0);
+  EXPECT_DOUBLE_EQ(a.IoMillis(0.1), 1.2);
+  EXPECT_NE(a.ToString().find("reads=12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stpq

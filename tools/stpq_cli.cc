@@ -1,0 +1,286 @@
+// stpq_cli: command-line front end for the stpq library.
+//
+//   stpq_cli generate --out data.stpq [--kind synthetic|real]
+//                     [--scale 0.1] [--seed 42]
+//   stpq_cli info     --data data.stpq
+//   stpq_cli query    --data data.stpq --keywords "pizza,italian;espresso"
+//                     [--k 10] [--r 0.01] [--lambda 0.5]
+//                     [--variant range|influence|nn] [--algo stps|stds]
+//                     [--index srt|ir2] [--explain]
+//   stpq_cli bench    --data data.stpq [--queries 50] [--io-ms 0.1]
+//                     [--algo stps|stds] [--index srt|ir2]
+//
+// Keyword syntax: per-feature-set lists separated by ';', terms by ','.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/score.h"
+#include "core/workload.h"
+#include "gen/queries.h"
+#include "gen/real_like.h"
+#include "gen/synthetic.h"
+#include "io/dataset_io.h"
+
+using namespace stpq;
+
+namespace {
+
+/// Minimal --flag value parser; positional[0] is the subcommand.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? def : std::atof(it->second.c_str());
+  }
+  uint32_t GetUint(const std::string& key, uint32_t def) const {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? def
+               : static_cast<uint32_t>(std::atoi(it->second.c_str()));
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.flags[key] = argv[++i];
+    } else {
+      a.flags[key] = "1";  // boolean flag
+    }
+  }
+  return a;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: stpq_cli <generate|info|query|bench> [flags]\n"
+      "  generate --out FILE [--kind synthetic|real] [--scale S] [--seed N]\n"
+      "  info     --data FILE\n"
+      "  query    --data FILE --keywords \"a,b;c\" [--k N] [--r R]\n"
+      "           [--lambda L] [--variant range|influence|nn]\n"
+      "           [--algo stps|stds] [--index srt|ir2] [--explain]\n"
+      "  bench    --data FILE [--queries N] [--io-ms MS]\n"
+      "           [--algo stps|stds] [--index srt|ir2]\n");
+  return 2;
+}
+
+Result<Dataset> LoadData(const Args& args) {
+  std::string path = args.Get("data");
+  if (path.empty()) {
+    return Status::InvalidArgument("--data FILE is required");
+  }
+  return ReadDatasetBinary(path);
+}
+
+EngineOptions MakeEngineOptions(const Args& args) {
+  EngineOptions opts;
+  if (args.Get("index", "srt") == "ir2") {
+    opts.index_kind = FeatureIndexKind::kIr2;
+  }
+  return opts;
+}
+
+int Generate(const Args& args) {
+  std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+  double scale = args.GetDouble("scale", 0.1);
+  uint64_t seed = args.GetUint("seed", 42);
+  Dataset ds;
+  if (args.Get("kind", "synthetic") == "real") {
+    RealLikeConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = seed;
+    ds = GenerateRealLike(cfg);
+  } else {
+    SyntheticConfig cfg;
+    cfg.seed = seed;
+    cfg.num_objects = static_cast<uint32_t>(100'000 * scale);
+    cfg.num_features_per_set = static_cast<uint32_t>(100'000 * scale);
+    cfg.num_clusters = std::max(100u, static_cast<uint32_t>(10'000 * scale));
+    ds = GenerateSynthetic(cfg);
+  }
+  Status st = WriteDatasetBinary(out, ds);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu objects, %zu feature sets\n", out.c_str(),
+              ds.objects.size(), ds.feature_tables.size());
+  return 0;
+}
+
+int Info(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& ds = data.value();
+  std::printf("objects: %zu\n", ds.objects.size());
+  for (size_t i = 0; i < ds.feature_tables.size(); ++i) {
+    std::printf("feature set %zu: %zu features, %u keywords (e.g.", i,
+                ds.feature_tables[i].size(),
+                ds.feature_tables[i].universe_size());
+    for (uint32_t t = 0; t < std::min(5u, ds.vocabularies[i].size()); ++t) {
+      std::printf(" %s", ds.vocabularies[i].Term(t).c_str());
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
+/// Parses "a,b;c,d" into one KeywordSet per feature set.
+bool ParseKeywords(const std::string& spec, const Dataset& ds, Query* query) {
+  std::vector<std::string> groups;
+  std::string cur;
+  for (char ch : spec) {
+    if (ch == ';') {
+      groups.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  groups.push_back(cur);
+  if (groups.size() != ds.feature_tables.size()) {
+    std::fprintf(stderr,
+                 "error: %zu keyword groups for %zu feature sets "
+                 "(separate groups with ';')\n",
+                 groups.size(), ds.feature_tables.size());
+    return false;
+  }
+  for (size_t i = 0; i < groups.size(); ++i) {
+    KeywordSet kw(ds.feature_tables[i].universe_size());
+    std::string term;
+    auto flush = [&]() {
+      if (term.empty()) return true;
+      Result<TermId> id = ds.vocabularies[i].Lookup(term);
+      if (!id.ok()) {
+        std::fprintf(stderr, "error: unknown keyword '%s' in set %zu\n",
+                     term.c_str(), i);
+        return false;
+      }
+      kw.Insert(id.value());
+      term.clear();
+      return true;
+    };
+    for (char ch : groups[i]) {
+      if (ch == ',') {
+        if (!flush()) return false;
+      } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+        term.push_back(ch);
+      }
+    }
+    if (!flush()) return false;
+    query->keywords.push_back(std::move(kw));
+  }
+  return true;
+}
+
+int RunQuery(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  Query query;
+  query.k = args.GetUint("k", 10);
+  query.radius = args.GetDouble("r", 0.01);
+  query.lambda = args.GetDouble("lambda", 0.5);
+  std::string variant = args.Get("variant", "range");
+  if (variant == "influence") query.variant = ScoreVariant::kInfluence;
+  if (variant == "nn") query.variant = ScoreVariant::kNearestNeighbor;
+  if (!ParseKeywords(args.Get("keywords"), ds, &query)) return 1;
+
+  std::vector<DataObject> objects = ds.objects;  // keep names for printing
+  Engine engine(std::move(ds.objects), std::move(ds.feature_tables),
+                MakeEngineOptions(args));
+  Algorithm algo =
+      args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
+  QueryResult result = engine.Execute(query, algo);
+  std::printf("top-%u (%s, %s, %s index):\n", query.k, VariantName(
+                  query.variant),
+              algo == Algorithm::kStds ? "STDS" : "STPS",
+              engine.IndexName());
+  for (size_t rank = 0; rank < result.entries.size(); ++rank) {
+    const ResultEntry& e = result.entries[rank];
+    const std::string& name = objects[e.object].name;
+    std::printf("%3zu. #%-8u %-20s tau = %.5f\n", rank + 1, e.object,
+                name.empty() ? "(unnamed)" : name.c_str(), e.score);
+    if (args.Has("explain")) {
+      Explanation why = ExplainScore(&engine, query, e.object);
+      for (const Contribution& c : why.contributions) {
+        if (!c.has_feature) {
+          std::printf("       set %zu: no relevant feature\n",
+                      c.feature_set);
+          continue;
+        }
+        const FeatureObject& f =
+            engine.feature_table(c.feature_set).Get(c.feature);
+        std::printf("       set %zu: %-20s s=%.4f dist=%.5f\n",
+                    c.feature_set,
+                    f.name.empty() ? "(unnamed)" : f.name.c_str(), c.score,
+                    c.distance);
+      }
+    }
+  }
+  std::printf("cost: %.3f ms CPU, %llu page reads\n", result.stats.cpu_ms,
+              static_cast<unsigned long long>(result.stats.TotalReads()));
+  return 0;
+}
+
+int Bench(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = args.GetUint("queries", 50);
+  qcfg.k = args.GetUint("k", 10);
+  qcfg.radius = args.GetDouble("r", 0.01);
+  qcfg.lambda = args.GetDouble("lambda", 0.5);
+  std::string variant = args.Get("variant", "range");
+  if (variant == "influence") qcfg.variant = ScoreVariant::kInfluence;
+  if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  Engine engine(std::move(ds.objects), std::move(ds.feature_tables),
+                MakeEngineOptions(args));
+  Algorithm algo =
+      args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
+  WorkloadSummary s = RunWorkload(&engine, queries, algo,
+                                  args.GetDouble("io-ms", 0.1));
+  std::printf("%s\n", s.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "info") return Info(args);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "bench") return Bench(args);
+  return Usage();
+}
