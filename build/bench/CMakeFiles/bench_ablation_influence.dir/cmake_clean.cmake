@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_influence.dir/bench_ablation_influence.cc.o"
+  "CMakeFiles/bench_ablation_influence.dir/bench_ablation_influence.cc.o.d"
+  "bench_ablation_influence"
+  "bench_ablation_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pulling.dir/bench_ablation_pulling.cc.o"
+  "CMakeFiles/bench_ablation_pulling.dir/bench_ablation_pulling.cc.o.d"
+  "bench_ablation_pulling"
+  "bench_ablation_pulling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pulling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

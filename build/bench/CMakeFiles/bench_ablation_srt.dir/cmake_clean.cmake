@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_srt.dir/bench_ablation_srt.cc.o"
+  "CMakeFiles/bench_ablation_srt.dir/bench_ablation_srt.cc.o.d"
+  "bench_ablation_srt"
+  "bench_ablation_srt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

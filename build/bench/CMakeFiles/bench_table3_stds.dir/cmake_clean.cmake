@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_stds.dir/bench_table3_stds.cc.o"
+  "CMakeFiles/bench_table3_stds.dir/bench_table3_stds.cc.o.d"
+  "bench_table3_stds"
+  "bench_table3_stds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_stds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainable_search.dir/explainable_search.cc.o"
+  "CMakeFiles/explainable_search.dir/explainable_search.cc.o.d"
+  "explainable_search"
+  "explainable_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainable_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/stpq.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/combination.cc" "src/CMakeFiles/stpq.dir/core/combination.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/combination.cc.o.d"
+  "/root/repo/src/core/compute_score.cc" "src/CMakeFiles/stpq.dir/core/compute_score.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/compute_score.cc.o.d"
+  "/root/repo/src/core/cursor.cc" "src/CMakeFiles/stpq.dir/core/cursor.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/cursor.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/stpq.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/stpq.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/object_retrieval.cc" "src/CMakeFiles/stpq.dir/core/object_retrieval.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/object_retrieval.cc.o.d"
+  "/root/repo/src/core/score.cc" "src/CMakeFiles/stpq.dir/core/score.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/score.cc.o.d"
+  "/root/repo/src/core/stds.cc" "src/CMakeFiles/stpq.dir/core/stds.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/stds.cc.o.d"
+  "/root/repo/src/core/stps.cc" "src/CMakeFiles/stpq.dir/core/stps.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/stps.cc.o.d"
+  "/root/repo/src/core/stps_influence.cc" "src/CMakeFiles/stpq.dir/core/stps_influence.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/stps_influence.cc.o.d"
+  "/root/repo/src/core/stps_nn.cc" "src/CMakeFiles/stpq.dir/core/stps_nn.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/stps_nn.cc.o.d"
+  "/root/repo/src/core/voronoi.cc" "src/CMakeFiles/stpq.dir/core/voronoi.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/voronoi.cc.o.d"
+  "/root/repo/src/core/voronoi_cache.cc" "src/CMakeFiles/stpq.dir/core/voronoi_cache.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/voronoi_cache.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/stpq.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/stpq.dir/core/workload.cc.o.d"
+  "/root/repo/src/gen/queries.cc" "src/CMakeFiles/stpq.dir/gen/queries.cc.o" "gcc" "src/CMakeFiles/stpq.dir/gen/queries.cc.o.d"
+  "/root/repo/src/gen/real_like.cc" "src/CMakeFiles/stpq.dir/gen/real_like.cc.o" "gcc" "src/CMakeFiles/stpq.dir/gen/real_like.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/stpq.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/stpq.dir/gen/synthetic.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/CMakeFiles/stpq.dir/geom/polygon.cc.o" "gcc" "src/CMakeFiles/stpq.dir/geom/polygon.cc.o.d"
+  "/root/repo/src/hilbert/hilbert.cc" "src/CMakeFiles/stpq.dir/hilbert/hilbert.cc.o" "gcc" "src/CMakeFiles/stpq.dir/hilbert/hilbert.cc.o.d"
+  "/root/repo/src/hilbert/keyword_hilbert.cc" "src/CMakeFiles/stpq.dir/hilbert/keyword_hilbert.cc.o" "gcc" "src/CMakeFiles/stpq.dir/hilbert/keyword_hilbert.cc.o.d"
+  "/root/repo/src/index/feature_table.cc" "src/CMakeFiles/stpq.dir/index/feature_table.cc.o" "gcc" "src/CMakeFiles/stpq.dir/index/feature_table.cc.o.d"
+  "/root/repo/src/index/index_stats.cc" "src/CMakeFiles/stpq.dir/index/index_stats.cc.o" "gcc" "src/CMakeFiles/stpq.dir/index/index_stats.cc.o.d"
+  "/root/repo/src/index/ir2_tree.cc" "src/CMakeFiles/stpq.dir/index/ir2_tree.cc.o" "gcc" "src/CMakeFiles/stpq.dir/index/ir2_tree.cc.o.d"
+  "/root/repo/src/index/object_index.cc" "src/CMakeFiles/stpq.dir/index/object_index.cc.o" "gcc" "src/CMakeFiles/stpq.dir/index/object_index.cc.o.d"
+  "/root/repo/src/index/srt_index.cc" "src/CMakeFiles/stpq.dir/index/srt_index.cc.o" "gcc" "src/CMakeFiles/stpq.dir/index/srt_index.cc.o.d"
+  "/root/repo/src/io/dataset_io.cc" "src/CMakeFiles/stpq.dir/io/dataset_io.cc.o" "gcc" "src/CMakeFiles/stpq.dir/io/dataset_io.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/stpq.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/stpq.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/stpq.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/stpq.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/keyword_set.cc" "src/CMakeFiles/stpq.dir/text/keyword_set.cc.o" "gcc" "src/CMakeFiles/stpq.dir/text/keyword_set.cc.o.d"
+  "/root/repo/src/text/signature.cc" "src/CMakeFiles/stpq.dir/text/signature.cc.o" "gcc" "src/CMakeFiles/stpq.dir/text/signature.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/stpq.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/stpq.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/util/metrics.cc" "src/CMakeFiles/stpq.dir/util/metrics.cc.o" "gcc" "src/CMakeFiles/stpq.dir/util/metrics.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/stpq.dir/util/status.cc.o" "gcc" "src/CMakeFiles/stpq.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpq_cli.dir/stpq_cli.cc.o"
+  "CMakeFiles/stpq_cli.dir/stpq_cli.cc.o.d"
+  "stpq_cli"
+  "stpq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
