@@ -73,6 +73,9 @@ std::unique_ptr<StpsCursor> Engine::OpenCursor(const Query& query) {
 
 QueryResult Engine::Execute(const Query& query, Algorithm algorithm) {
   STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  STPQ_DCHECK(query.lambda >= 0.0 && query.lambda <= 1.0);
+  STPQ_DCHECK(query.variant == ScoreVariant::kNearestNeighbor ||
+              query.radius > 0.0);
   if (options_.cold_cache_per_query) {
     object_pool_->Clear();
     feature_pool_->Clear();

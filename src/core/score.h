@@ -6,18 +6,25 @@
 
 #include "index/feature.h"
 #include "text/keyword_set.h"
+#include "util/logging.h"
 
 namespace stpq {
 
 /// Definition 1: s(t) = (1 - lambda) * t.s + lambda * sim(t, W), with
-/// sim = Jaccard.
+/// sim = Jaccard.  Requires lambda in [0,1] and t.s in [0,1] (Section 3),
+/// so the result is itself in [0,1].
 inline double PreferenceScore(const FeatureObject& t, const KeywordSet& query,
                               double lambda) {
+  STPQ_DCHECK(lambda >= 0.0 && lambda <= 1.0);
+  STPQ_DCHECK(t.score >= 0.0 && t.score <= 1.0);
   return (1.0 - lambda) * t.score + lambda * t.keywords.Jaccard(query);
 }
 
-/// The influence decay factor 2^(-dist / r) of Definition 6.
+/// The influence decay factor 2^(-dist / r) of Definition 6.  Requires
+/// r > 0 (the query radius) and a non-negative distance.
 inline double InfluenceFactor(double dist, double r) {
+  STPQ_DCHECK(r > 0.0);
+  STPQ_DCHECK(dist >= 0.0);
   return std::exp2(-dist / r);
 }
 

@@ -1,0 +1,430 @@
+#include "debug/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "hilbert/hilbert.h"
+#include "hilbert/keyword_hilbert.h"
+#include "rtree/bulk_load.h"
+
+namespace stpq {
+
+namespace {
+
+using validate_internal::FormatRect;
+
+std::string Num(double v) { return std::to_string(v); }
+std::string Num(uint64_t v) { return std::to_string(v); }
+
+/// Collects leaf entries in left-to-right tree order (the order bulk
+/// loading packed them in).
+template <int D, typename Aug>
+void CollectLeavesInOrder(const RTree<D, Aug>& tree, NodeId nid,
+                          std::vector<typename RTree<D, Aug>::Entry>* out) {
+  const auto& node = tree.PeekNode(nid);
+  if (node.IsLeaf()) {
+    out->insert(out->end(), node.entries.begin(), node.entries.end());
+    return;
+  }
+  for (const auto& e : node.entries) {
+    CollectLeavesInOrder(tree, e.id, out);
+  }
+}
+
+/// Checks that leaf records appear in non-decreasing Hilbert-key order —
+/// the packing contract of BulkLoadKind::kHilbert (Kamel & Faloutsos).
+/// Recomputes the build-time keys: centers quantized to 16 bits/dim inside
+/// the record-set domain, exactly as SortByHilbertKey does.
+template <int D, typename Aug>
+Status CheckHilbertLeafOrder(const RTree<D, Aug>& tree) {
+  if (tree.root_id() == kInvalidNodeId) return Status::OK();
+  std::vector<typename RTree<D, Aug>::Entry> leaves;
+  leaves.reserve(tree.size());
+  CollectLeavesInOrder(tree, tree.root_id(), &leaves);
+  Rect<D> domain = ComputeDomain<D, Aug>(leaves);
+  uint64_t prev_key = 0;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    double unit[D];
+    for (int d = 0; d < D; ++d) {
+      double extent = domain.hi[d] - domain.lo[d];
+      unit[d] = extent > 0.0
+                    ? (leaves[i].rect.Center(d) - domain.lo[d]) / extent
+                    : 0.0;
+    }
+    uint64_t key = HilbertKeyFromUnit(unit, /*b=*/16, D);
+    if (i > 0 && key < prev_key) {
+      return Status::Internal(
+          "leaf record " + Num(static_cast<uint64_t>(i)) + " (id " +
+          Num(static_cast<uint64_t>(leaves[i].id)) + ") breaks the Hilbert "
+          "bulk-load order: key " + Num(key) + " < predecessor key " +
+          Num(prev_key));
+    }
+    prev_key = key;
+  }
+  return Status::OK();
+}
+
+/// Verifies that leaf entry ids cover [0, expected) exactly once.
+Status CheckLeafIdBijection(std::span<const uint32_t> seen_counts,
+                            const char* what) {
+  for (size_t id = 0; id < seen_counts.size(); ++id) {
+    if (seen_counts[id] != 1) {
+      return Status::Internal(std::string(what) + " " +
+                              Num(static_cast<uint64_t>(id)) + " appears " +
+                              Num(static_cast<uint64_t>(seen_counts[id])) +
+                              " times in the leaf level (expected exactly "
+                              "once)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateSrtIndex(const SrtIndex& index) {
+  const FeatureTable& table = index.table();
+  const RTree<4, SrtAug>& tree = index.tree();
+  if (tree.size() != table.size()) {
+    return Status::Internal("SRT tree holds " + Num(tree.size()) +
+                            " records for a table of " +
+                            Num(static_cast<uint64_t>(table.size())) +
+                            " features");
+  }
+
+  std::vector<uint32_t> seen(table.size(), 0);
+
+  auto summary_check = [](const RTree<4, SrtAug>::Entry& parent,
+                          const RTree<4, SrtAug>::Entry& child) {
+    if (parent.aug.max_score < child.aug.max_score) {
+      return Status::Internal("aggregate score bound " +
+                              Num(parent.aug.max_score) +
+                              " does not dominate child score " +
+                              Num(child.aug.max_score));
+    }
+    if (parent.aug.keywords.universe_size() !=
+        child.aug.keywords.universe_size()) {
+      return Status::Internal("keyword universe mismatch between parent and "
+                              "child augmentation");
+    }
+    if (parent.aug.keywords.IntersectCount(child.aug.keywords) !=
+        child.aug.keywords.Count()) {
+      return Status::Internal(
+          "node keyword set W is not a superset of its child's (child has " +
+          Num(static_cast<uint64_t>(child.aug.keywords.Count())) +
+          " keywords, only " +
+          Num(static_cast<uint64_t>(
+              parent.aug.keywords.IntersectCount(child.aug.keywords))) +
+          " covered)");
+    }
+    return Status::OK();
+  };
+
+  auto entry_check = [&](const RTree<4, SrtAug>::Entry& e, bool is_leaf) {
+    if (e.aug.keywords.universe_size() != table.universe_size()) {
+      return Status::Internal(
+          "augmentation keyword universe " +
+          Num(static_cast<uint64_t>(e.aug.keywords.universe_size())) +
+          " != table universe " +
+          Num(static_cast<uint64_t>(table.universe_size())));
+    }
+    // The cached decoded keyword set and the stored aggregated Hilbert
+    // value must describe the same set (Section 4.2 keeps them in sync).
+    if (EncodeKeywords(e.aug.keywords) != e.aug.keyword_hilbert) {
+      return Status::Internal(
+          "aggregated Hilbert value is not the encoding of the cached "
+          "keyword set (stale e.W cache)");
+    }
+    // Dimension 2 of the mapped 4-D space is the non-spatial score.
+    if (e.rect.lo[2] < 0.0 || e.rect.hi[2] > 1.0) {
+      return Status::Internal("score dimension of mapped MBR " +
+                              FormatRect(e.rect) + " leaves [0,1]");
+    }
+    if (!is_leaf) return Status::OK();
+
+    if (e.id >= table.size()) {
+      return Status::Internal("leaf record id " +
+                              Num(static_cast<uint64_t>(e.id)) +
+                              " out of range for table of " +
+                              Num(static_cast<uint64_t>(table.size())));
+    }
+    ++seen[e.id];
+    const FeatureObject& f = table.Get(e.id);
+    HilbertValue hv = EncodeKeywords(f.keywords);
+    const std::array<double, 4> p{f.pos.x, f.pos.y, f.score,
+                                  hv.ToUnitDouble()};
+    for (int d = 0; d < 4; ++d) {
+      if (e.rect.lo[d] != p[d] || e.rect.hi[d] != p[d]) {
+        return Status::Internal(
+            "leaf rect " + FormatRect(e.rect) + " is not the mapped 4-D "
+            "point of feature " + Num(static_cast<uint64_t>(e.id)) +
+            " (dim " + std::to_string(d) + ")");
+      }
+    }
+    if (e.aug.max_score != f.score) {
+      return Status::Internal("leaf augmentation score " +
+                              Num(e.aug.max_score) + " != feature score " +
+                              Num(f.score));
+    }
+    if (!(e.aug.keywords == f.keywords)) {
+      return Status::Internal("leaf augmentation keywords differ from "
+                              "feature " +
+                              Num(static_cast<uint64_t>(e.id)) +
+                              "'s keyword set");
+    }
+    return Status::OK();
+  };
+
+  Status st = ValidateRTree<4, SrtAug>(tree, summary_check, entry_check);
+  if (!st.ok()) {
+    return Status::Internal("SRT-index: " + st.message());
+  }
+  st = CheckLeafIdBijection(seen, "SRT-index: feature");
+  STPQ_RETURN_NOT_OK(st);
+  if (index.build_kind() == BulkLoadKind::kHilbert) {
+    st = CheckHilbertLeafOrder<4, SrtAug>(tree);
+    if (!st.ok()) {
+      return Status::Internal("SRT-index: " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateIr2Tree(const Ir2Tree& index) {
+  const FeatureTable& table = index.table();
+  const SignatureScheme& scheme = index.scheme();
+  const RTree<2, Ir2Aug>& tree = index.tree();
+  if (tree.size() != table.size()) {
+    return Status::Internal("IR2-tree holds " + Num(tree.size()) +
+                            " records for a table of " +
+                            Num(static_cast<uint64_t>(table.size())) +
+                            " features");
+  }
+
+  std::vector<uint32_t> seen(table.size(), 0);
+
+  auto summary_check = [](const RTree<2, Ir2Aug>::Entry& parent,
+                          const RTree<2, Ir2Aug>::Entry& child) {
+    if (parent.aug.max_score < child.aug.max_score) {
+      return Status::Internal("aggregate score bound " +
+                              Num(parent.aug.max_score) +
+                              " does not dominate child score " +
+                              Num(child.aug.max_score));
+    }
+    if (!parent.aug.signature.Covers(child.aug.signature)) {
+      return Status::Internal(
+          "node signature does not cover its child's signature (would "
+          "create false negatives)");
+    }
+    return Status::OK();
+  };
+
+  auto entry_check = [&](const RTree<2, Ir2Aug>::Entry& e, bool is_leaf) {
+    if (e.aug.signature.bits() != scheme.signature_bits()) {
+      return Status::Internal(
+          "signature width " +
+          Num(static_cast<uint64_t>(e.aug.signature.bits())) +
+          " != scheme width " +
+          Num(static_cast<uint64_t>(scheme.signature_bits())));
+    }
+    if (!is_leaf) return Status::OK();
+    if (e.id >= table.size()) {
+      return Status::Internal("leaf record id " +
+                              Num(static_cast<uint64_t>(e.id)) +
+                              " out of range for table of " +
+                              Num(static_cast<uint64_t>(table.size())));
+    }
+    ++seen[e.id];
+    const FeatureObject& f = table.Get(e.id);
+    if (e.rect.lo[0] != f.pos.x || e.rect.hi[0] != f.pos.x ||
+        e.rect.lo[1] != f.pos.y || e.rect.hi[1] != f.pos.y) {
+      return Status::Internal("leaf rect " + FormatRect(e.rect) +
+                              " is not the point of feature " +
+                              Num(static_cast<uint64_t>(e.id)));
+    }
+    if (e.aug.max_score != f.score) {
+      return Status::Internal("leaf augmentation score " +
+                              Num(e.aug.max_score) + " != feature score " +
+                              Num(f.score));
+    }
+    if (!(e.aug.signature == scheme.SetSignature(f.keywords))) {
+      return Status::Internal("leaf signature differs from the scheme "
+                              "signature of feature " +
+                              Num(static_cast<uint64_t>(e.id)) +
+                              "'s keywords");
+    }
+    return Status::OK();
+  };
+
+  Status st = ValidateRTree<2, Ir2Aug>(tree, summary_check, entry_check);
+  if (!st.ok()) {
+    return Status::Internal("IR2-tree: " + st.message());
+  }
+  return CheckLeafIdBijection(seen, "IR2-tree: feature");
+}
+
+Status ValidateObjectIndex(const ObjectIndex& index) {
+  const RTree<2>& tree = index.tree();
+  if (tree.size() != index.size()) {
+    return Status::Internal("object R-tree holds " + Num(tree.size()) +
+                            " records for " +
+                            Num(static_cast<uint64_t>(index.size())) +
+                            " objects");
+  }
+  std::vector<uint32_t> seen(index.size(), 0);
+  auto no_summary = [](const RTree<2>::Entry&, const RTree<2>::Entry&) {
+    return Status::OK();
+  };
+  auto entry_check = [&](const RTree<2>::Entry& e, bool is_leaf) {
+    if (!is_leaf) return Status::OK();
+    if (e.id >= index.size()) {
+      return Status::Internal("leaf record id " +
+                              Num(static_cast<uint64_t>(e.id)) +
+                              " out of range for " +
+                              Num(static_cast<uint64_t>(index.size())) +
+                              " objects");
+    }
+    ++seen[e.id];
+    const Point& pos = index.Get(e.id).pos;
+    if (e.rect.lo[0] != pos.x || e.rect.hi[0] != pos.x ||
+        e.rect.lo[1] != pos.y || e.rect.hi[1] != pos.y) {
+      return Status::Internal("leaf rect " + FormatRect(e.rect) +
+                              " is not the position of object " +
+                              Num(static_cast<uint64_t>(e.id)));
+    }
+    return Status::OK();
+  };
+  Status st = ValidateRTree<2, NoAug>(tree, no_summary, entry_check);
+  if (!st.ok()) {
+    return Status::Internal("object index: " + st.message());
+  }
+  return CheckLeafIdBijection(seen, "object index: object");
+}
+
+Status ValidateInvertedIndex(const InvertedIndex& index) {
+  uint64_t total = 0;
+  for (TermId t = 0; t < index.universe_size(); ++t) {
+    std::span<const uint32_t> plist = index.Postings(t);
+    total += plist.size();
+    for (size_t i = 1; i < plist.size(); ++i) {
+      if (plist[i] <= plist[i - 1]) {
+        return Status::Internal(
+            "postings of term " + Num(static_cast<uint64_t>(t)) +
+            " are not strictly increasing at position " +
+            Num(static_cast<uint64_t>(i)) + " (" +
+            Num(static_cast<uint64_t>(plist[i - 1])) + " then " +
+            Num(static_cast<uint64_t>(plist[i])) +
+            "): unsorted or duplicate document id");
+      }
+    }
+    if (index.DocumentFrequency(t) != plist.size()) {
+      return Status::Internal("document frequency of term " +
+                              Num(static_cast<uint64_t>(t)) +
+                              " disagrees with its posting count");
+    }
+  }
+  if (total != index.TotalPostings()) {
+    return Status::Internal("sum of posting lengths " + Num(total) +
+                            " != TotalPostings() " +
+                            Num(index.TotalPostings()) +
+                            " (CSR offsets corrupt)");
+  }
+  return Status::OK();
+}
+
+Status ValidateInvertedIndex(const InvertedIndex& index,
+                             std::span<const KeywordSet> documents) {
+  STPQ_RETURN_NOT_OK(ValidateInvertedIndex(index));
+  // Forward direction: every posted document really contains the term.
+  for (TermId t = 0; t < index.universe_size(); ++t) {
+    for (uint32_t doc : index.Postings(t)) {
+      if (doc >= documents.size()) {
+        return Status::Internal("term " + Num(static_cast<uint64_t>(t)) +
+                                " posts document " +
+                                Num(static_cast<uint64_t>(doc)) +
+                                ", outside the corpus of " +
+                                Num(static_cast<uint64_t>(documents.size())));
+      }
+      if (!documents[doc].Contains(t)) {
+        return Status::Internal("term " + Num(static_cast<uint64_t>(t)) +
+                                " posts document " +
+                                Num(static_cast<uint64_t>(doc)) +
+                                " which does not contain it (phantom "
+                                "posting)");
+      }
+    }
+  }
+  // Reverse direction: every document keyword is posted.
+  for (uint32_t doc = 0; doc < documents.size(); ++doc) {
+    for (TermId t : documents[doc].ToTerms()) {
+      if (t >= index.universe_size()) {
+        return Status::Internal(
+            "document " + Num(static_cast<uint64_t>(doc)) + " uses term " +
+            Num(static_cast<uint64_t>(t)) + " outside the indexed universe");
+      }
+      std::span<const uint32_t> plist = index.Postings(t);
+      if (!std::binary_search(plist.begin(), plist.end(), doc)) {
+        return Status::Internal("document " +
+                                Num(static_cast<uint64_t>(doc)) +
+                                " contains term " +
+                                Num(static_cast<uint64_t>(t)) +
+                                " but is missing from its postings");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateBufferPool(const BufferPool& pool) {
+  // Frame list and page table must be a bijection.
+  if (pool.lru_.size() != pool.table_.size()) {
+    return Status::Internal("buffer pool: LRU list holds " +
+                            Num(static_cast<uint64_t>(pool.lru_.size())) +
+                            " frames but the page table maps " +
+                            Num(static_cast<uint64_t>(pool.table_.size())) +
+                            " pages");
+  }
+  for (auto it = pool.lru_.begin(); it != pool.lru_.end(); ++it) {
+    auto entry = pool.table_.find(*it);
+    if (entry == pool.table_.end()) {
+      return Status::Internal("buffer pool: resident page " + Num(*it) +
+                              " is missing from the page table");
+    }
+    if (entry->second != it) {
+      return Status::Internal("buffer pool: page table entry for page " +
+                              Num(*it) +
+                              " does not point back at its LRU frame");
+    }
+  }
+  // Pins must reference resident pages with positive counts.
+  for (const auto& [page, count] : pool.pins_) {
+    if (count == 0) {
+      return Status::Internal("buffer pool: page " + Num(page) +
+                              " has a zero pin count entry");
+    }
+    if (pool.table_.find(page) == pool.table_.end()) {
+      return Status::Internal("buffer pool: pinned page " + Num(page) +
+                              " is not resident");
+    }
+  }
+  if (pool.pins_.size() > pool.lru_.size()) {
+    return Status::Internal("buffer pool: more pinned pages than resident "
+                            "frames");
+  }
+  // Capacity and I/O-counter consistency.
+  if (pool.capacity_ != 0 && pool.lru_.size() > pool.capacity_) {
+    return Status::Internal("buffer pool: " +
+                            Num(static_cast<uint64_t>(pool.lru_.size())) +
+                            " resident pages exceed capacity " +
+                            Num(pool.capacity_));
+  }
+  if (pool.lru_.size() > pool.lifetime_admissions_) {
+    return Status::Internal(
+        "buffer pool: " + Num(static_cast<uint64_t>(pool.lru_.size())) +
+        " resident pages but only " + Num(pool.lifetime_admissions_) +
+        " lifetime admissions (I/O counters inconsistent)");
+  }
+  return Status::OK();
+}
+
+}  // namespace stpq

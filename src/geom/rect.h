@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "geom/point.h"
+#include "util/logging.h"
 
 namespace stpq {
 
@@ -96,7 +97,10 @@ struct Rect {
   }
 
   /// Center coordinate along dimension d.
-  double Center(int d) const { return 0.5 * (lo[d] + hi[d]); }
+  double Center(int d) const {
+    STPQ_DCHECK(d >= 0 && d < D);
+    return 0.5 * (lo[d] + hi[d]);
+  }
 };
 
 using Rect2 = Rect<2>;

@@ -10,6 +10,8 @@ FeatureTable::FeatureTable(std::vector<FeatureObject> features,
   for (size_t i = 0; i < features_.size(); ++i) {
     features_[i].id = static_cast<ObjectId>(i);
     STPQ_CHECK(features_[i].keywords.universe_size() == universe_size_);
+    // t.s in [0,1] (Section 3); score math across the library relies on it.
+    STPQ_DCHECK(features_[i].score >= 0.0 && features_[i].score <= 1.0);
     domain_.EnlargePoint({features_[i].pos.x, features_[i].pos.y});
   }
 }

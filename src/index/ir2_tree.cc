@@ -1,5 +1,6 @@
 #include "index/ir2_tree.h"
 
+#include "debug/validate.h"
 #include "rtree/bulk_load.h"
 
 namespace stpq {
@@ -57,6 +58,7 @@ Ir2Tree::Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options)
       break;
     }
   }
+  STPQ_VALIDATE(ValidateIr2Tree(*this));
 }
 
 NodeId Ir2Tree::RootId() const { return tree_.root_id(); }

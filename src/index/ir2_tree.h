@@ -47,6 +47,9 @@ class Ir2Tree : public FeatureIndex {
   const RTree<2, Ir2Aug>& tree() const { return tree_; }
   const SignatureScheme& scheme() const { return scheme_; }
 
+  /// Mutable tree access for deliberate-corruption invariant tests only.
+  [[nodiscard]] RTree<2, Ir2Aug>& mutable_tree_for_test() { return tree_; }
+
  private:
   const FeatureTable* table_;
   SignatureScheme scheme_;

@@ -1,5 +1,6 @@
 #include "index/object_index.h"
 
+#include "debug/validate.h"
 #include "rtree/bulk_load.h"
 
 namespace stpq {
@@ -27,6 +28,7 @@ ObjectIndex::ObjectIndex(const std::vector<DataObject>* objects,
   domain_ = ComputeDomain<2, NoAug>(records);
   SortByHilbertKey<2, NoAug>(&records, domain_, /*bits_per_dim=*/16);
   tree_.BulkLoadSorted(records, options.fill);
+  STPQ_VALIDATE(ValidateObjectIndex(*this));
 }
 
 std::vector<ObjectId> ObjectIndex::RangeQuery(const Point& center,

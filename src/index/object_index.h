@@ -41,6 +41,9 @@ class ObjectIndex {
   /// Underlying tree for custom traversals (STPS object retrieval).
   const RTree<2>& tree() const { return tree_; }
 
+  /// Mutable tree access for deliberate-corruption invariant tests only.
+  [[nodiscard]] RTree<2>& mutable_tree_for_test() { return tree_; }
+
   BufferPool* buffer_pool() const { return tree_.options().buffer_pool; }
 
   /// Spatial bounding box of all data objects (the NN variant's Voronoi

@@ -1,5 +1,6 @@
 #include "index/srt_index.h"
 
+#include "debug/validate.h"
 #include "rtree/bulk_load.h"
 
 namespace stpq {
@@ -21,7 +22,9 @@ RTreeOptions MakeTreeOptions(const FeatureIndexOptions& opts,
 
 SrtIndex::SrtIndex(const FeatureTable* table,
                    const FeatureIndexOptions& options)
-    : table_(table), tree_(MakeTreeOptions(options, table->universe_size())) {
+    : table_(table),
+      build_kind_(options.bulk_load),
+      tree_(MakeTreeOptions(options, table->universe_size())) {
   using Entry = RTree<4, SrtAug>::Entry;
   std::vector<Entry> records;
   records.reserve(table_->size());
@@ -50,6 +53,7 @@ SrtIndex::SrtIndex(const FeatureTable* table,
       break;
     }
   }
+  STPQ_VALIDATE(ValidateSrtIndex(*this));
 }
 
 NodeId SrtIndex::RootId() const { return tree_.root_id(); }

@@ -78,8 +78,16 @@ class SrtIndex : public FeatureIndex {
   /// Underlying tree (tests and ablations).
   const RTree<4, SrtAug>& tree() const { return tree_; }
 
+  /// How the tree was packed; ValidateSrtIndex checks the Hilbert leaf
+  /// order only for kHilbert builds.
+  [[nodiscard]] BulkLoadKind build_kind() const { return build_kind_; }
+
+  /// Mutable tree access for deliberate-corruption invariant tests only.
+  [[nodiscard]] RTree<4, SrtAug>& mutable_tree_for_test() { return tree_; }
+
  private:
   const FeatureTable* table_;
+  BulkLoadKind build_kind_;
   RTree<4, SrtAug> tree_;
 };
 

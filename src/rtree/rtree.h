@@ -83,13 +83,20 @@ class RTree {
   }
 
   /// Number of indexed records.
-  uint64_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  [[nodiscard]] uint64_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  NodeId root_id() const { return root_; }
-  uint32_t height() const { return height_; }
-  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
-  const RTreeOptions& options() const { return options_; }
+  [[nodiscard]] NodeId root_id() const { return root_; }
+  [[nodiscard]] uint32_t height() const { return height_; }
+  [[nodiscard]] uint32_t node_count() const {
+    return static_cast<uint32_t>(nodes_.size());
+  }
+  /// Nodes currently on the free list (recycled by CondenseTree).
+  [[nodiscard]] uint32_t free_node_count() const {
+    return static_cast<uint32_t>(free_nodes_.size());
+  }
+  [[nodiscard]] uint32_t min_entries() const { return min_entries_; }
+  [[nodiscard]] const RTreeOptions& options() const { return options_; }
 
   /// Reads a node, charging the buffer pool for the page access.
   const Node& ReadNode(NodeId id) const {
@@ -97,6 +104,21 @@ class RTree {
     if (options_.buffer_pool != nullptr) {
       options_.buffer_pool->Access(options_.page_base + id);
     }
+    return nodes_[id];
+  }
+
+  /// Reads a node without charging the buffer pool.  Used by the
+  /// debug/validate.h validators (and tests) so a structural check does not
+  /// distort I/O accounting.
+  [[nodiscard]] const Node& PeekNode(NodeId id) const {
+    STPQ_DCHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+
+  /// Mutable node access for deliberate-corruption invariant tests only;
+  /// library code never calls this.
+  [[nodiscard]] Node& MutableNodeForTest(NodeId id) {
+    STPQ_CHECK(id < nodes_.size());
     return nodes_[id];
   }
 
@@ -111,6 +133,7 @@ class RTree {
     nodes_[leaf].entries.push_back(Entry{rect, record_id, aug});
     ++size_;
     PropagateUp(leaf);
+    STPQ_DCHECK(nodes_[root_].level + 1u == height_);
   }
 
   /// Deletes the record with `record_id` stored under exactly `rect`
@@ -518,6 +541,12 @@ class RTree {
       assigned[pick] = true;
       --remaining;
     }
+    // Split postcondition: both halves meet the fill bounds (the parent
+    // entry for `sid` is appended by PropagateUp right after this returns).
+    STPQ_DCHECK(nodes_[nid].entries.size() >= min_entries_ &&
+                nodes_[nid].entries.size() <= options_.max_entries);
+    STPQ_DCHECK(nodes_[sid].entries.size() >= min_entries_ &&
+                nodes_[sid].entries.size() <= options_.max_entries);
     return sid;
   }
 

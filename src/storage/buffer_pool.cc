@@ -1,5 +1,9 @@
 #include "storage/buffer_pool.h"
 
+#include <string>
+
+#include "util/logging.h"
+
 namespace stpq {
 
 bool BufferPool::Access(PageId page) {
@@ -14,16 +18,59 @@ bool BufferPool::Access(PageId page) {
   ++stats_.reads;
   lru_.push_front(page);
   table_.emplace(page, lru_.begin());
+  ++lifetime_admissions_;
   if (capacity_ != 0 && lru_.size() > capacity_) {
-    table_.erase(lru_.back());
-    lru_.pop_back();
+    EvictOneUnpinned();
   }
   return false;
 }
 
+void BufferPool::EvictOneUnpinned() {
+  // Walk from the LRU end toward the front; the first unpinned page is the
+  // victim.  The page just admitted sits at the front unpinned, so the walk
+  // always finds one — in the worst case the new page evicts itself (an
+  // uncached read-through that leaves every pinned resident in place).
+  for (auto it = std::prev(lru_.end());; --it) {
+    if (pins_.find(*it) == pins_.end()) {
+      table_.erase(*it);
+      lru_.erase(it);
+      return;
+    }
+    STPQ_DCHECK(it != lru_.begin());  // front page is never pinned here
+  }
+}
+
+Status BufferPool::Pin(PageId page) {
+  Access(page);
+  if (table_.find(page) == table_.end()) {
+    return Status::FailedPrecondition(
+        "cannot pin page " + std::to_string(page) + ": pool is full (" +
+        std::to_string(capacity_) + " pages) and every frame is pinned");
+  }
+  ++pins_[page];
+  return Status::OK();
+}
+
+uint32_t BufferPool::PinCount(PageId page) const {
+  auto it = pins_.find(page);
+  return it == pins_.end() ? 0 : it->second;
+}
+
+Status BufferPool::Unpin(PageId page) {
+  auto it = pins_.find(page);
+  if (it == pins_.end()) {
+    return Status::FailedPrecondition(
+        "unpin of page " + std::to_string(page) + " that is not pinned");
+  }
+  if (--it->second == 0) pins_.erase(it);
+  return Status::OK();
+}
+
 void BufferPool::Clear() {
+  STPQ_DCHECK(pins_.empty());
   lru_.clear();
   table_.clear();
+  pins_.clear();
 }
 
 }  // namespace stpq

@@ -6,12 +6,20 @@
 // one page read (one I/O), a hit is free.  Benchmarks convert page reads to
 // I/O time with a configurable per-read unit cost, reproducing the paper's
 // dark/white bar breakdown without a physical disk.
+//
+// Pages can be pinned: a pinned page is never evicted, so callers that hold
+// references into a frame across other accesses (future iterator/cursor
+// work) keep their page resident.  Pinning is fallible — a pool whose every
+// frame is pinned reports FailedPrecondition instead of evicting or
+// crashing.
 #ifndef STPQ_STORAGE_BUFFER_POOL_H_
 #define STPQ_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+
+#include "util/status.h"
 
 namespace stpq {
 
@@ -38,25 +46,77 @@ class BufferPool {
       : capacity_(capacity_pages) {}
 
   /// Touches `page`; returns true on a hit, false on a miss (a simulated
-  /// disk read).  On a miss the page is admitted, evicting the LRU page if
-  /// the pool is full.
+  /// disk read).  On a miss the page is admitted, evicting the least
+  /// recently used *unpinned* page if the pool is full; when every other
+  /// resident page is pinned the new page itself is dropped again (an
+  /// uncached read-through), so pinned residents are never displaced.
   bool Access(PageId page);
 
+  /// Ensures `page` is resident (counting the read on a miss) and pins it.
+  /// Pins nest: each Pin must be matched by one Unpin.  Fails with
+  /// FailedPrecondition when the pool is full and every frame is pinned.
+  Status Pin(PageId page);
+
+  /// Releases one pin on `page`; fails if the page is not pinned.
+  Status Unpin(PageId page);
+
   /// Drops all cached pages (simulates a cold cache between workloads).
+  /// Must not be called with outstanding pins.
   void Clear();
 
   /// Resets the counters without dropping pages.
   void ResetStats() { stats_ = BufferPoolStats{}; }
 
   const BufferPoolStats& stats() const { return stats_; }
-  uint64_t capacity_pages() const { return capacity_; }
-  uint64_t resident_pages() const { return lru_.size(); }
+  [[nodiscard]] uint64_t capacity_pages() const { return capacity_; }
+  [[nodiscard]] uint64_t resident_pages() const { return lru_.size(); }
+  [[nodiscard]] uint64_t pinned_pages() const { return pins_.size(); }
+
+  /// Current pin count of `page` (0 when unpinned or not resident).
+  [[nodiscard]] uint32_t PinCount(PageId page) const;
+
+  /// Deliberate-corruption backdoor for invariant tests; never used by
+  /// library code.
+  struct Corrupter;
 
  private:
+  friend Status ValidateBufferPool(const BufferPool& pool);
+  friend struct Corrupter;
+
+  /// Evicts the least recently used unpinned page (possibly the page that
+  /// was just admitted, which is the read-through case).
+  void EvictOneUnpinned();
+
   uint64_t capacity_;
   BufferPoolStats stats_;
+  /// Total pages ever admitted to the pool; unlike stats_ this is never
+  /// reset, so `resident_pages() <= lifetime_admissions_` is an invariant
+  /// that ValidateBufferPool can check across ResetStats()/Clear() calls.
+  uint64_t lifetime_admissions_ = 0;
   std::list<PageId> lru_;  // front = most recently used
   std::unordered_map<PageId, std::list<PageId>::iterator> table_;
+  std::unordered_map<PageId, uint32_t> pins_;  // page -> nested pin count
+};
+
+/// Deep structural check (also declared in debug/validate.h): frame/page
+/// table bijection, pin-count consistency, capacity and admission-counter
+/// invariants.  Returns a Status naming the first violation.
+Status ValidateBufferPool(const BufferPool& pool);
+
+struct BufferPool::Corrupter {
+  /// Breaks the frame/page-table bijection: the LRU list keeps the page
+  /// but the table forgets it.
+  static void DropTableEntry(BufferPool* pool, PageId page) {
+    pool->table_.erase(page);
+  }
+  /// Records a pin for a page that is not resident.
+  static void PhantomPin(BufferPool* pool, PageId page) {
+    pool->pins_[page] = 1;
+  }
+  /// Rewinds the lifetime admission counter below the resident count.
+  static void RewindAdmissions(BufferPool* pool) {
+    pool->lifetime_admissions_ = 0;
+  }
 };
 
 }  // namespace stpq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "debug/validate.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -27,6 +28,7 @@ InvertedIndex InvertedIndex::Build(uint32_t universe_size,
       idx.postings_[cursor[t]++] = doc_id;
     }
   }
+  STPQ_VALIDATE(ValidateInvertedIndex(idx, documents));
   return idx;
 }
 

@@ -41,6 +41,11 @@ class InvertedIndex {
   uint32_t universe_size() const { return universe_size_; }
   uint64_t TotalPostings() const { return postings_.size(); }
 
+  /// Raw postings access for deliberate-corruption invariant tests only.
+  [[nodiscard]] std::vector<uint32_t>& mutable_postings_for_test() {
+    return postings_;
+  }
+
  private:
   uint32_t universe_size_ = 0;
   // Concatenated posting lists with per-term offsets (CSR layout).

@@ -2,6 +2,11 @@
 //
 // STPQ_DCHECK compiles away in release builds; STPQ_CHECK is always on and
 // is reserved for cheap checks guarding memory safety or API misuse.
+// STPQ_VALIDATE runs a deep Status-returning structural validator (see
+// debug/validate.h) and aborts with the validator's violation path on
+// failure; like STPQ_DCHECK it compiles away (argument unevaluated) in
+// release builds unless STPQ_ENABLE_VALIDATION is defined (the CMake
+// option STPQ_VALIDATE=ON does that).
 #ifndef STPQ_UTIL_LOGGING_H_
 #define STPQ_UTIL_LOGGING_H_
 
@@ -22,6 +27,26 @@
 #else
 #define STPQ_DCHECK(cond) \
   do {                    \
+  } while (0)
+#endif
+
+// The expression must evaluate to a ::stpq::Status (the macro is textual,
+// so this header does not depend on util/status.h; expansion sites include
+// debug/validate.h which does).
+#if !defined(NDEBUG) || defined(STPQ_ENABLE_VALIDATION)
+#define STPQ_VALIDATE(expr)                                                \
+  do {                                                                     \
+    const ::stpq::Status _stpq_validate_st = (expr);                       \
+    if (!_stpq_validate_st.ok()) {                                         \
+      std::fprintf(stderr, "STPQ_VALIDATE failed at %s:%d:\n  %s\n  %s\n", \
+                   __FILE__, __LINE__, #expr,                              \
+                   _stpq_validate_st.ToString().c_str());                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+#else
+#define STPQ_VALIDATE(expr) \
+  do {                      \
   } while (0)
 #endif
 

@@ -11,9 +11,10 @@
 namespace stpq {
 
 /// Holds either a value of type T or a non-OK Status explaining why the
-/// value could not be produced.
+/// value could not be produced.  [[nodiscard]] so fallible calls cannot be
+/// silently ignored.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT
@@ -22,21 +23,21 @@ class Result {
     assert(!status_.ok() && "Result constructed from OK status");
   }
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Access the contained value; must only be called when ok().
-  T& value() {
+  [[nodiscard]] T& value() {
     assert(ok());
     return *value_;
   }
-  const T& value() const {
+  [[nodiscard]] const T& value() const {
     assert(ok());
     return *value_;
   }
 
   /// Moves the contained value out; must only be called when ok().
-  T TakeValue() {
+  [[nodiscard]] T TakeValue() {
     assert(ok());
     return std::move(*value_);
   }

@@ -23,7 +23,9 @@ enum class StatusCode {
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
-class Status {
+/// [[nodiscard]] at class level: every function returning a Status warns
+/// when the caller drops it on the floor.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -52,12 +54,12 @@ class Status {
     return Status(StatusCode::kIoError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<code name>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;

@@ -1,0 +1,346 @@
+// Tests for debug/validate.h: every deep validator accepts freshly built
+// structures and names the violated invariant after deliberate corruption.
+// The negative tests corrupt internals through the *_for_test accessors and
+// expect a descriptive non-OK Status — never a crash.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "debug/validate.h"
+#include "gen/synthetic.h"
+#include "hilbert/keyword_hilbert.h"
+#include "index/ir2_tree.h"
+#include "index/object_index.h"
+#include "index/srt_index.h"
+#include "storage/buffer_pool.h"
+#include "text/inverted_index.h"
+
+namespace stpq {
+namespace {
+
+/// Small clustered dataset; page_size 512 keeps the fan-out low so the
+/// trees have real internal levels at a few hundred records.
+Dataset MakeDataset() {
+  SyntheticConfig cfg;
+  cfg.num_objects = 300;
+  cfg.num_features_per_set = 300;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 24;
+  cfg.num_clusters = 40;
+  return GenerateSynthetic(cfg);
+}
+
+FeatureIndexOptions SmallPages() {
+  FeatureIndexOptions opts;
+  opts.page_size_bytes = 512;
+  return opts;
+}
+
+/// Id of the leftmost leaf node.
+template <int D, typename Aug>
+NodeId FirstLeaf(const RTree<D, Aug>& tree) {
+  NodeId nid = tree.root_id();
+  while (!tree.PeekNode(nid).IsLeaf()) {
+    nid = tree.PeekNode(nid).entries.front().id;
+  }
+  return nid;
+}
+
+// ----------------------------------------------------------- positive paths
+
+TEST(SrtValidatorTest, AcceptsEveryBuildKind) {
+  Dataset ds = MakeDataset();
+  for (BulkLoadKind kind :
+       {BulkLoadKind::kHilbert, BulkLoadKind::kStr, BulkLoadKind::kInsert}) {
+    FeatureIndexOptions opts = SmallPages();
+    opts.bulk_load = kind;
+    SrtIndex index(&ds.feature_tables[0], opts);
+    Status st = ValidateSrtIndex(index);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST(Ir2ValidatorTest, AcceptsEveryBuildKind) {
+  Dataset ds = MakeDataset();
+  for (BulkLoadKind kind :
+       {BulkLoadKind::kHilbert, BulkLoadKind::kStr, BulkLoadKind::kInsert}) {
+    FeatureIndexOptions opts = SmallPages();
+    opts.bulk_load = kind;
+    Ir2Tree index(&ds.feature_tables[0], opts);
+    Status st = ValidateIr2Tree(index);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST(ObjectIndexValidatorTest, AcceptsFreshIndex) {
+  Dataset ds = MakeDataset();
+  ObjectIndexOptions opts;
+  opts.page_size_bytes = 512;
+  ObjectIndex index(&ds.objects, opts);
+  ASSERT_GE(index.tree().height(), 2u);  // corruption tests need depth
+  Status st = ValidateObjectIndex(index);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(RTreeValidatorTest, AcceptsInsertDeleteChurn) {
+  RTreeOptions opts;
+  opts.max_entries = 4;
+  RTree<2> tree(opts);
+  std::vector<Rect2> rects;
+  for (uint32_t i = 0; i < 60; ++i) {
+    double x = 0.01 * i, y = 0.02 * (i % 7);
+    rects.push_back(MakeRect2(x, y, x + 0.005, y + 0.005));
+    tree.Insert(rects.back(), i);
+  }
+  for (uint32_t i = 0; i < 60; i += 3) {
+    ASSERT_TRUE(tree.Delete(rects[i], i));
+  }
+  Status st = ValidateRTree<2, NoAug>(tree);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(InvertedIndexValidatorTest, AcceptsFreshIndex) {
+  Dataset ds = MakeDataset();
+  std::vector<KeywordSet> corpus;
+  for (const FeatureObject& f : ds.feature_tables[0].All()) {
+    corpus.push_back(f.keywords);
+  }
+  InvertedIndex idx = InvertedIndex::Build(24, corpus);
+  Status st = ValidateInvertedIndex(idx, corpus);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// --------------------------------------------------- R-tree structure faults
+
+TEST(RTreeValidatorTest, DetectsLooseParentMbr) {
+  Dataset ds = MakeDataset();
+  ObjectIndexOptions opts;
+  opts.page_size_bytes = 512;
+  ObjectIndex index(&ds.objects, opts);
+  auto& root = index.mutable_tree_for_test().MutableNodeForTest(
+      index.tree().root_id());
+  root.entries[0].rect.hi[0] += 0.25;
+  Status st = ValidateObjectIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("union"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("root"), std::string::npos) << st.ToString();
+}
+
+TEST(RTreeValidatorTest, DetectsSharedSubtree) {
+  Dataset ds = MakeDataset();
+  ObjectIndexOptions opts;
+  opts.page_size_bytes = 512;
+  ObjectIndex index(&ds.objects, opts);
+  auto& root = index.mutable_tree_for_test().MutableNodeForTest(
+      index.tree().root_id());
+  ASSERT_GE(root.entries.size(), 2u);
+  root.entries[1] = root.entries[0];  // two entries now share one child
+  Status st = ValidateObjectIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("two paths"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(RTreeValidatorTest, DetectsLeafRecordBijectionBreak) {
+  Dataset ds = MakeDataset();
+  ObjectIndexOptions opts;
+  opts.page_size_bytes = 512;
+  ObjectIndex index(&ds.objects, opts);
+  NodeId leaf = FirstLeaf(index.tree());
+  auto& node = index.mutable_tree_for_test().MutableNodeForTest(leaf);
+  ASSERT_GE(node.entries.size(), 2u);
+  // Overwrite an entry strictly inside the leaf MBR with a copy of entry 0
+  // (id and rect together): the parent MBR stays exact and every entry
+  // still matches its object, so the duplicated id is the only fault left.
+  Rect2 mbr = node.entries.front().rect;
+  for (const auto& e : node.entries) mbr.Enlarge(e.rect);
+  size_t victim = 0;
+  for (size_t i = 1; i < node.entries.size(); ++i) {
+    const Rect2& r = node.entries[i].rect;
+    if (r.lo[0] > mbr.lo[0] && r.hi[0] < mbr.hi[0] && r.lo[1] > mbr.lo[1] &&
+        r.hi[1] < mbr.hi[1]) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u) << "no interior leaf entry to corrupt";
+  node.entries[victim] = node.entries[0];
+  Status st = ValidateObjectIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("appears"), std::string::npos) << st.ToString();
+}
+
+// ------------------------------------------------------- SRT-specific faults
+
+TEST(SrtValidatorTest, DetectsScoreBoundViolation) {
+  Dataset ds = MakeDataset();
+  SrtIndex index(&ds.feature_tables[0], SmallPages());
+  ASSERT_GE(index.tree().height(), 2u);
+  auto& root = index.mutable_tree_for_test().MutableNodeForTest(
+      index.tree().root_id());
+  root.entries[0].aug.max_score = -1.0;  // no longer an upper bound
+  Status st = ValidateSrtIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("dominate"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(SrtValidatorTest, DetectsKeywordSupersetViolation) {
+  Dataset ds = MakeDataset();
+  SrtIndex index(&ds.feature_tables[0], SmallPages());
+  ASSERT_GE(index.tree().height(), 2u);
+  auto& root = index.mutable_tree_for_test().MutableNodeForTest(
+      index.tree().root_id());
+  // Consistently empty keyword summary: the entry is self-consistent but no
+  // longer covers its descendants.
+  KeywordSet empty(ds.feature_tables[0].universe_size());
+  root.entries[0].aug.keyword_hilbert = EncodeKeywords(empty);
+  root.entries[0].aug.keywords = empty;
+  Status st = ValidateSrtIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("superset"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(SrtValidatorTest, DetectsStaleKeywordCache) {
+  Dataset ds = MakeDataset();
+  SrtIndex index(&ds.feature_tables[0], SmallPages());
+  auto& root = index.mutable_tree_for_test().MutableNodeForTest(
+      index.tree().root_id());
+  // Decoded cache drifts from the stored Hilbert value.
+  root.entries[0].aug.keywords =
+      KeywordSet(ds.feature_tables[0].universe_size());
+  Status st = ValidateSrtIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("stale"), std::string::npos) << st.ToString();
+}
+
+TEST(SrtValidatorTest, DetectsHilbertLeafOrderViolation) {
+  Dataset ds = MakeDataset();
+  SrtIndex index(&ds.feature_tables[0], SmallPages());
+  ASSERT_EQ(index.build_kind(), BulkLoadKind::kHilbert);
+  NodeId leaf = FirstLeaf(index.tree());
+  auto& node = index.mutable_tree_for_test().MutableNodeForTest(leaf);
+  ASSERT_GE(node.entries.size(), 2u);
+  std::swap(node.entries.front(), node.entries.back());
+  Status st = ValidateSrtIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("Hilbert"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(SrtValidatorTest, DetectsLeafTableMismatch) {
+  Dataset ds = MakeDataset();
+  SrtIndex index(&ds.feature_tables[0], SmallPages());
+  NodeId leaf = FirstLeaf(index.tree());
+  auto& node = index.mutable_tree_for_test().MutableNodeForTest(leaf);
+  // Lowering the cached score cannot trip the dominance check on the way
+  // down, so the leaf/table comparison is what must catch it.
+  node.entries[0].aug.max_score = -0.5;
+  Status st = ValidateSrtIndex(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("feature score"), std::string::npos)
+      << st.ToString();
+}
+
+// ------------------------------------------------------- IR2-specific faults
+
+TEST(Ir2ValidatorTest, DetectsSignatureCoverageViolation) {
+  Dataset ds = MakeDataset();
+  Ir2Tree index(&ds.feature_tables[0], SmallPages());
+  ASSERT_GE(index.tree().height(), 2u);
+  auto& root = index.mutable_tree_for_test().MutableNodeForTest(
+      index.tree().root_id());
+  // All-zero signature: structurally valid width but covers nothing, which
+  // would make queries silently skip matching subtrees.
+  root.entries[0].aug.signature = Signature(index.scheme().signature_bits());
+  Status st = ValidateIr2Tree(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cover"), std::string::npos) << st.ToString();
+}
+
+TEST(Ir2ValidatorTest, DetectsLeafSignatureMismatch) {
+  Dataset ds = MakeDataset();
+  Ir2Tree index(&ds.feature_tables[0], SmallPages());
+  NodeId leaf = FirstLeaf(index.tree());
+  auto& node = index.mutable_tree_for_test().MutableNodeForTest(leaf);
+  node.entries[0].aug.signature = Signature(index.scheme().signature_bits());
+  Status st = ValidateIr2Tree(index);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("signature"), std::string::npos)
+      << st.ToString();
+}
+
+// --------------------------------------------------- inverted index faults
+
+TEST(InvertedIndexValidatorTest, DetectsUnsortedPostings) {
+  std::vector<KeywordSet> corpus = {KeywordSet(4, {0}), KeywordSet(4, {0, 1}),
+                                    KeywordSet(4, {1})};
+  InvertedIndex idx = InvertedIndex::Build(4, corpus);
+  auto& postings = idx.mutable_postings_for_test();
+  ASSERT_GE(postings.size(), 2u);
+  std::swap(postings[0], postings[1]);  // term 0's list becomes [1, 0]
+  Status st = ValidateInvertedIndex(idx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("increasing"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(InvertedIndexValidatorTest, DetectsPhantomPosting) {
+  std::vector<KeywordSet> corpus = {KeywordSet(4, {0}), KeywordSet(4, {0, 1}),
+                                    KeywordSet(4, {1})};
+  InvertedIndex idx = InvertedIndex::Build(4, corpus);
+  // Term 0's postings become [0, 2]; document 2 does not contain term 0.
+  idx.mutable_postings_for_test()[1] = 2;
+  Status st = ValidateInvertedIndex(idx, corpus);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("phantom"), std::string::npos)
+      << st.ToString();
+}
+
+// ------------------------------------------------------- buffer pool faults
+
+TEST(BufferPoolValidatorTest, AcceptsHealthyPool) {
+  BufferPool pool(4);
+  for (PageId p = 0; p < 10; ++p) pool.Access(p);
+  ASSERT_TRUE(pool.Pin(9).ok());
+  Status st = ValidateBufferPool(pool);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(pool.Unpin(9).ok());
+}
+
+TEST(BufferPoolValidatorTest, DetectsBrokenPageTable) {
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Access(2);
+  BufferPool::Corrupter::DropTableEntry(&pool, 1);
+  Status st = ValidateBufferPool(pool);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("page table"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(BufferPoolValidatorTest, DetectsPhantomPin) {
+  BufferPool pool(4);
+  pool.Access(1);
+  BufferPool::Corrupter::PhantomPin(&pool, 99);  // 99 is not resident
+  Status st = ValidateBufferPool(pool);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not resident"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(BufferPoolValidatorTest, DetectsAdmissionCounterRollback) {
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Access(2);
+  BufferPool::Corrupter::RewindAdmissions(&pool);
+  Status st = ValidateBufferPool(pool);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("admissions"), std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace stpq

@@ -81,5 +81,71 @@ TEST(BufferPoolTest, DistinctNamespacesDontCollide) {
   EXPECT_TRUE(pool.Access(kStride * 1 + 7));
 }
 
+TEST(BufferPoolPinTest, PinKeepsPageResidentUnderPressure) {
+  BufferPool pool(2);
+  ASSERT_TRUE(pool.Pin(1).ok());
+  pool.Access(2);
+  pool.Access(3);  // would evict 1 by LRU order, but 1 is pinned
+  EXPECT_TRUE(pool.Access(1));  // still resident
+  EXPECT_EQ(pool.PinCount(1), 1u);
+  ASSERT_TRUE(pool.Unpin(1).ok());
+  EXPECT_EQ(pool.PinCount(1), 0u);
+}
+
+TEST(BufferPoolPinTest, PinsNest) {
+  BufferPool pool(4);
+  ASSERT_TRUE(pool.Pin(7).ok());
+  ASSERT_TRUE(pool.Pin(7).ok());
+  EXPECT_EQ(pool.PinCount(7), 2u);
+  ASSERT_TRUE(pool.Unpin(7).ok());
+  EXPECT_EQ(pool.PinCount(7), 1u);  // still pinned once
+  ASSERT_TRUE(pool.Unpin(7).ok());
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST(BufferPoolPinTest, UnpinOfUnpinnedPageFails) {
+  BufferPool pool(4);
+  pool.Access(1);
+  Status st = pool.Unpin(1);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BufferPoolPinTest, PinFailsWhenPoolFullOfPinnedPages) {
+  BufferPool pool(2);
+  ASSERT_TRUE(pool.Pin(1).ok());
+  ASSERT_TRUE(pool.Pin(2).ok());
+  // Every frame is pinned: a further pin must fail with a descriptive
+  // Status, not crash or displace a pinned resident.
+  Status st = pool.Pin(3);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("pinned"), std::string::npos);
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_TRUE(pool.Access(2));
+  EXPECT_EQ(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolPinTest, FullOfPinnedReadsThrough) {
+  BufferPool pool(2);
+  ASSERT_TRUE(pool.Pin(1).ok());
+  ASSERT_TRUE(pool.Pin(2).ok());
+  // Plain accesses still work, but the new page cannot stay resident.
+  EXPECT_FALSE(pool.Access(3));
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  EXPECT_FALSE(pool.Access(3));  // read again: still a miss (read-through)
+  ASSERT_TRUE(pool.Unpin(1).ok());
+  ASSERT_TRUE(pool.Unpin(2).ok());
+}
+
+TEST(BufferPoolPinTest, EvictionSkipsPinnedAndTakesNextLru) {
+  BufferPool pool(3);
+  ASSERT_TRUE(pool.Pin(1).ok());  // LRU end once 2 and 3 arrive
+  pool.Access(2);
+  pool.Access(3);
+  pool.Access(4);  // 1 is pinned, so 2 (next-oldest) is evicted
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));
+  ASSERT_TRUE(pool.Unpin(1).ok());
+}
+
 }  // namespace
 }  // namespace stpq

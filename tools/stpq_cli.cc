@@ -9,6 +9,7 @@
 //                     [--index srt|ir2] [--explain]
 //   stpq_cli bench    --data data.stpq [--queries 50] [--io-ms 0.1]
 //                     [--algo stps|stds] [--index srt|ir2]
+//   stpq_cli validate --data data.stpq [--index srt|ir2]
 //
 // Keyword syntax: per-feature-set lists separated by ';', terms by ','.
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "debug/validate.h"
 #include "core/explain.h"
 #include "core/score.h"
 #include "core/workload.h"
@@ -60,9 +62,9 @@ Args Parse(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) continue;
     std::string key = arg.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      a.flags[key] = argv[++i];
+      a.flags.insert_or_assign(key, std::string(argv[++i]));
     } else {
-      a.flags[key] = "1";  // boolean flag
+      a.flags.insert_or_assign(key, std::string("1"));  // boolean flag
     }
   }
   return a;
@@ -71,14 +73,15 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: stpq_cli <generate|info|query|bench> [flags]\n"
+      "usage: stpq_cli <generate|info|query|bench|validate> [flags]\n"
       "  generate --out FILE [--kind synthetic|real] [--scale S] [--seed N]\n"
       "  info     --data FILE\n"
       "  query    --data FILE --keywords \"a,b;c\" [--k N] [--r R]\n"
       "           [--lambda L] [--variant range|influence|nn]\n"
       "           [--algo stps|stds] [--index srt|ir2] [--explain]\n"
       "  bench    --data FILE [--queries N] [--io-ms MS]\n"
-      "           [--algo stps|stds] [--index srt|ir2]\n");
+      "           [--algo stps|stds] [--index srt|ir2]\n"
+      "  validate --data FILE [--index srt|ir2]\n");
   return 2;
 }
 
@@ -274,6 +277,57 @@ int Bench(const Args& args) {
   return 0;
 }
 
+/// Builds every index over the dataset and runs the deep structural
+/// validators from debug/validate.h, reporting the first violation per
+/// structure.  Exit code 0 = all structures sound.
+int Validate(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  std::vector<std::vector<KeywordSet>> corpora(ds.feature_tables.size());
+  for (size_t i = 0; i < ds.feature_tables.size(); ++i) {
+    for (const FeatureObject& f : ds.feature_tables[i].All()) {
+      corpora[i].push_back(f.keywords);
+    }
+  }
+  Engine engine(std::move(ds.objects), std::move(ds.feature_tables),
+                MakeEngineOptions(args));
+
+  int failures = 0;
+  auto report = [&failures](const char* what, const Status& st) {
+    if (st.ok()) {
+      std::printf("%-24s OK\n", what);
+    } else {
+      std::printf("%-24s VIOLATION: %s\n", what, st.message().c_str());
+      ++failures;
+    }
+  };
+
+  report("object index", ValidateObjectIndex(engine.object_index()));
+  for (size_t i = 0; i < engine.num_feature_sets(); ++i) {
+    std::string label = "feature index " + std::to_string(i);
+    const FeatureIndex& fi = engine.feature_index(i);
+    if (const auto* srt = dynamic_cast<const SrtIndex*>(&fi)) {
+      report((label + " (SRT)").c_str(), ValidateSrtIndex(*srt));
+    } else if (const auto* ir2 = dynamic_cast<const Ir2Tree*>(&fi)) {
+      report((label + " (IR2)").c_str(), ValidateIr2Tree(*ir2));
+    } else {
+      std::printf("%-24s skipped (unknown index type)\n", label.c_str());
+    }
+    InvertedIndex inv = InvertedIndex::Build(
+        engine.feature_table(i).universe_size(), corpora[i]);
+    report(("inverted index " + std::to_string(i)).c_str(),
+           ValidateInvertedIndex(inv, corpora[i]));
+  }
+  if (failures == 0) {
+    std::printf("all structures sound\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,5 +336,6 @@ int main(int argc, char** argv) {
   if (args.command == "info") return Info(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "bench") return Bench(args);
+  if (args.command == "validate") return Validate(args);
   return Usage();
 }
