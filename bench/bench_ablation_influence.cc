@@ -31,7 +31,7 @@ void RunRow(const BenchEnv& env, const std::string& label, const Dataset& ds,
                   opts);
     // Guard the combinatorial mode with a budget: run one query first.
     Timer probe;
-    QueryResult first = engine.ExecuteStps(qs[0]);
+    QueryResult first = engine.Execute(qs[0], Algorithm::kStps).TakeValue();
     double first_ms = probe.ElapsedMillis();
     const char* name =
         mode == InfluenceMode::kAnchored ? "anchored" : "alg5-combos";

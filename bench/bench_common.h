@@ -90,7 +90,7 @@ inline WorkloadResult RunWorkload(Engine* engine,
                                   Algorithm algorithm, const BenchEnv& env) {
   WorkloadResult out;
   for (const Query& q : queries) {
-    QueryResult r = engine->Execute(q, algorithm);
+    QueryResult r = engine->Execute(q, algorithm).TakeValue();
     out.totals += r.stats;
   }
   const double n = static_cast<double>(queries.size());

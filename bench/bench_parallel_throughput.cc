@@ -1,0 +1,59 @@
+// Parallel query throughput: queries/sec vs worker thread count.
+//
+// Not a paper figure — the paper's evaluation is single-threaded — but the
+// engine's read path is immutable after build (DESIGN.md §11), so one
+// engine can serve concurrent queries.  This bench fans the same random
+// workload across N ∈ {1, 2, 4, 8} threads with ParallelWorkloadRunner and
+// reports wall time, throughput, and the scaling factor over the
+// single-thread run.  Per-query page-read counts are identical across all
+// rows (cold-cache sessions), so the speedup is pure CPU parallelism.
+#include "bench_common.h"
+
+#include "core/workload.h"
+
+namespace stpq {
+namespace bench {
+namespace {
+
+void RunAlgo(const Dataset& ds, const std::vector<Query>& queries,
+             Algorithm algorithm, const BenchEnv& env) {
+  Engine engine = MakeEngine(ds, FeatureIndexKind::kSrt);
+  ParallelWorkloadRunner runner(&engine);
+  ParallelWorkloadOptions opts;
+  opts.algorithm = algorithm;
+  opts.io_unit_cost_ms = env.io_ms;
+
+  double base_qps = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    opts.threads = threads;
+    Result<ParallelWorkloadReport> report = runner.Run(queries, opts);
+    const ParallelWorkloadReport& r = report.value();
+    if (threads == 1) base_qps = r.queries_per_sec;
+    std::printf("%-6s %8zu %12.2f %12.1f %10.2fx %14.1f\n",
+                algorithm == Algorithm::kStds ? "STDS" : "STPS", threads,
+                r.wall_ms, r.queries_per_sec,
+                base_qps > 0.0 ? r.queries_per_sec / base_qps : 0.0,
+                r.summary.mean_page_reads);
+  }
+}
+
+void Main() {
+  BenchEnv env = GetEnv(/*default_queries=*/200);
+  std::printf("Parallel query throughput, synthetic dataset "
+              "(scale=%.2f, %u queries)\n",
+              env.scale, env.queries);
+  Dataset ds = MakeSynthetic(env, 100'000, 100'000, 2, 128);
+  QueryWorkloadConfig qcfg;
+  qcfg.count = env.queries;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  std::printf("%-6s %8s %12s %12s %11s %14s\n", "algo", "threads", "wall_ms",
+              "queries/s", "speedup", "reads/query");
+  RunAlgo(ds, queries, Algorithm::kStps, env);
+  RunAlgo(ds, queries, Algorithm::kStds, env);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stpq
+
+int main() { stpq::bench::Main(); }

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     opts.index_kind = kind;
     Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
                   opts);
-    QueryResult result = engine.ExecuteStps(query);
+    QueryResult result = engine.Execute(query, Algorithm::kStps).TakeValue();
     std::printf("=== %s index ===\n", engine.IndexName());
     for (const ResultEntry& e : result.entries) {
       const DataObject& hotel = engine.objects()[e.object];

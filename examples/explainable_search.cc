@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                 EngineOptions{});
 
   // Stream until quality drops below 80% of the best hit (a posteriori k).
-  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(query);
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(query).TakeValue();
   std::printf("Hotels ranked until the score drops below 80%% of the "
               "leader:\n");
   double leader = -1.0;

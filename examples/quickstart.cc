@@ -99,7 +99,7 @@ int main() {
               "espresso-and-muffins coffeehouse within distance %.1f:\n\n",
               query.k, query.radius);
   for (Algorithm alg : {Algorithm::kStps, Algorithm::kStds}) {
-    QueryResult result = engine.Execute(query, alg);
+    QueryResult result = engine.Execute(query, alg).TakeValue();
     std::printf("%s:\n", alg == Algorithm::kStps ? "STPS" : "STDS");
     for (const ResultEntry& e : result.entries) {
       std::printf("  %-10s  tau = %.5f\n",

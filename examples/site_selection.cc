@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   query.keywords.push_back(KeywordSet(32, {0, 1, 2}));   // required services
   query.keywords.push_back(KeywordSet(32, {5, 6}));      // required lines
 
-  QueryResult result = engine.ExecuteStps(query);
+  QueryResult result = engine.Execute(query, Algorithm::kStps).TakeValue();
   std::printf("Top-%u sites (score = s(nearest supplier) + s(nearest hub)):\n",
               query.k);
   for (const ResultEntry& e : result.entries) {

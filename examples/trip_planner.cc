@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   std::map<ObjectId, std::pair<int, int>> rank;  // id -> (range, influence)
 
   query.variant = ScoreVariant::kRange;
-  QueryResult range = engine.ExecuteStps(query);
+  QueryResult range = engine.Execute(query, Algorithm::kStps).TakeValue();
   std::printf("\nRange score (hard cutoff r = %.3f):\n", query.radius);
   for (size_t i = 0; i < range.entries.size(); ++i) {
     const ResultEntry& e = range.entries[i];
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(range.stats.TotalReads()));
 
   query.variant = ScoreVariant::kInfluence;
-  QueryResult infl = engine.ExecuteStps(query);
+  QueryResult infl = engine.Execute(query, Algorithm::kStps).TakeValue();
   std::printf("\nInfluence score (smooth decay, half-life r):\n");
   for (size_t i = 0; i < infl.entries.size(); ++i) {
     const ResultEntry& e = infl.entries[i];

@@ -7,13 +7,19 @@ namespace stpq {
 
 StpsCursor::StpsCursor(const ObjectIndex* objects,
                        std::vector<const FeatureIndex*> feature_indexes,
-                       Query query, PullingStrategy strategy)
+                       Query query, PullingStrategy strategy,
+                       std::unique_ptr<ExecutionSession> session)
     : objects_(objects),
       feature_indexes_(std::move(feature_indexes)),
       query_(std::move(query)),
+      session_(std::move(session)),
       claimed_(objects->size(), false) {
   STPQ_CHECK(query_.variant == ScoreVariant::kRange &&
              "StpsCursor supports the range score only");
+  // The iterator primes its feature streams on construction; charge that
+  // I/O to the cursor's session like everything that follows.
+  std::optional<ExecutionSession::Scope> scope;
+  if (session_ != nullptr) scope.emplace(session_.get());
   iterator_ = std::make_unique<CombinationIterator>(
       feature_indexes_, query_, /*enforce_range_constraint=*/true, strategy,
       &stats_);
@@ -45,11 +51,22 @@ void StpsCursor::RefillBuffer() {
 }
 
 std::optional<ResultEntry> StpsCursor::Next() {
+  // Route this thread's page accesses to the cursor's session for the
+  // duration of the call; Next() may run on any thread, including inside
+  // another query's scope (bindings nest).
+  std::optional<ExecutionSession::Scope> scope;
+  if (session_ != nullptr) scope.emplace(session_.get());
   if (buffer_.empty()) RefillBuffer();
   if (buffer_.empty()) return std::nullopt;
   ResultEntry e = buffer_.front();
   buffer_.pop_front();
   return e;
+}
+
+QueryStats StpsCursor::stats() const {
+  QueryStats merged = stats_;
+  if (session_ != nullptr) session_->ExportIoCounters(&merged);
+  return merged;
 }
 
 }  // namespace stpq

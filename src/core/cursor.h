@@ -8,6 +8,13 @@
 //
 // Only the range variant supports this (the influence and NN variants need
 // cross-combination reconciliation before a result is final).
+//
+// A cursor opened through Engine::OpenCursor owns its own ExecutionSession:
+// its simulated I/O is charged to the cursor, not to the engine's shared
+// pools, so a cursor may outlive the query that opened it, be interleaved
+// with concurrent Execute calls, and be drained from a different thread
+// than the one that opened it.  A single cursor is not itself thread-safe:
+// drain it from one thread at a time.
 #ifndef STPQ_CORE_CURSOR_H_
 #define STPQ_CORE_CURSOR_H_
 
@@ -17,6 +24,7 @@
 #include <vector>
 
 #include "core/combination.h"
+#include "core/exec_session.h"
 #include "core/query.h"
 #include "index/object_index.h"
 
@@ -27,10 +35,12 @@ class StpsCursor {
  public:
   /// `objects` and `feature_indexes` are not owned and must outlive the
   /// cursor.  `query.k` is ignored — the cursor is unbounded.
-  /// `query.variant` must be kRange.
+  /// `query.variant` must be kRange.  `session` (may be null) receives the
+  /// cursor's page-read accounting; Engine::OpenCursor always provides one.
   StpsCursor(const ObjectIndex* objects,
              std::vector<const FeatureIndex*> feature_indexes, Query query,
-             PullingStrategy strategy = PullingStrategy::kPrioritized);
+             PullingStrategy strategy = PullingStrategy::kPrioritized,
+             std::unique_ptr<ExecutionSession> session = nullptr);
 
   ~StpsCursor();
   StpsCursor(StpsCursor&&) = delete;
@@ -39,8 +49,9 @@ class StpsCursor {
   /// The next result, or nullopt once every data object has been returned.
   std::optional<ResultEntry> Next();
 
-  /// Cost counters accumulated so far.
-  const QueryStats& stats() const { return stats_; }
+  /// Cost counters accumulated so far, including the page reads charged to
+  /// the cursor's session.
+  QueryStats stats() const;
 
  private:
   void RefillBuffer();
@@ -49,6 +60,7 @@ class StpsCursor {
   std::vector<const FeatureIndex*> feature_indexes_;
   Query query_;  // owned copy; the iterator references it
   QueryStats stats_;
+  std::unique_ptr<ExecutionSession> session_;
   std::unique_ptr<CombinationIterator> iterator_;
   std::vector<bool> claimed_;
   std::deque<ResultEntry> buffer_;

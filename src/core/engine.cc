@@ -1,18 +1,79 @@
 #include "core/engine.h"
 
+#include <string>
+#include <utility>
+
+#include "core/exec_session.h"
+#include "core/stds.h"
+#include "core/stps.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace stpq {
 
+namespace {
+
+/// Smallest page that holds the 16-byte node header plus at least one
+/// 2-D entry (rect + id); FanOutForPage clamps fan-out to >= 4 anyway,
+/// but a page below this is a configuration error, not a layout choice.
+constexpr uint32_t kMinPageSizeBytes = 64;
+
+}  // namespace
+
+Status Engine::ValidateOptions(const EngineOptions& options) {
+  if (options.page_size_bytes < kMinPageSizeBytes) {
+    return Status::InvalidArgument(
+        "page_size_bytes must be >= " + std::to_string(kMinPageSizeBytes) +
+        ", got " + std::to_string(options.page_size_bytes));
+  }
+  if (!(options.fill > 0.0 && options.fill <= 1.0)) {
+    return Status::InvalidArgument("fill must be in (0, 1], got " +
+                                   std::to_string(options.fill));
+  }
+  if (options.signature_hashes == 0) {
+    return Status::InvalidArgument("signature_hashes must be >= 1");
+  }
+  if (options.signature_bits != 0 &&
+      options.signature_bits < options.signature_hashes) {
+    return Status::InvalidArgument(
+        "signature_bits (" + std::to_string(options.signature_bits) +
+        ") must be 0 (auto) or >= signature_hashes (" +
+        std::to_string(options.signature_hashes) + ")");
+  }
+  return Status::OK();
+}
+
+Result<Engine> Engine::Create(std::vector<DataObject> objects,
+                              std::vector<FeatureTable> feature_tables,
+                              EngineOptions options) {
+  Status st = ValidateOptions(options);
+  if (!st.ok()) return st;
+  return Engine(options, std::move(objects), std::move(feature_tables));
+}
+
 Engine::Engine(std::vector<DataObject> objects,
                std::vector<FeatureTable> feature_tables,
                EngineOptions options)
+    : Engine(options, std::move(objects), std::move(feature_tables)) {
+  // Validation ran inside the delegated constructor via STPQ_CHECK.
+}
+
+Engine::Engine(EngineOptions options, std::vector<DataObject> objects,
+               std::vector<FeatureTable> feature_tables)
     : options_(options),
-      objects_(std::move(objects)),
-      feature_tables_(std::move(feature_tables)) {
-  for (size_t i = 0; i < objects_.size(); ++i) {
-    objects_[i].id = static_cast<ObjectId>(i);
+      objects_(std::make_unique<std::vector<DataObject>>(std::move(objects))),
+      feature_tables_(std::make_unique<std::vector<FeatureTable>>(
+          std::move(feature_tables))) {
+  {
+    Status st = ValidateOptions(options_);
+    if (!st.ok()) {
+      std::fprintf(stderr, "Engine: invalid EngineOptions: %s\n",
+                   st.ToString().c_str());
+    }
+    STPQ_CHECK(st.ok());
+  }
+  for (size_t i = 0; i < objects_->size(); ++i) {
+    (*objects_)[i].id = static_cast<ObjectId>(i);
   }
   object_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
   feature_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
@@ -21,12 +82,11 @@ Engine::Engine(std::vector<DataObject> objects,
   obj_opts.page_size_bytes = options_.page_size_bytes;
   obj_opts.buffer_pool = object_pool_.get();
   obj_opts.fill = options_.fill;
-  object_index_ = std::make_unique<ObjectIndex>(&objects_, obj_opts);
+  object_index_ = std::make_unique<ObjectIndex>(objects_.get(), obj_opts);
 
   // Feature indexes share one pool; page_base keeps their page ids apart.
   constexpr PageId kIndexStride = PageId{1} << 32;
-  std::vector<const FeatureIndex*> index_ptrs;
-  for (size_t i = 0; i < feature_tables_.size(); ++i) {
+  for (size_t i = 0; i < feature_tables_->size(); ++i) {
     FeatureIndexOptions fopts;
     fopts.page_size_bytes = options_.page_size_bytes;
     fopts.buffer_pool = feature_pool_.get();
@@ -38,22 +98,18 @@ Engine::Engine(std::vector<DataObject> objects,
     switch (options_.index_kind) {
       case FeatureIndexKind::kSrt:
         feature_indexes_.push_back(
-            std::make_unique<SrtIndex>(&feature_tables_[i], fopts));
+            std::make_unique<SrtIndex>(&(*feature_tables_)[i], fopts));
         break;
       case FeatureIndexKind::kIr2:
         feature_indexes_.push_back(
-            std::make_unique<Ir2Tree>(&feature_tables_[i], fopts));
+            std::make_unique<Ir2Tree>(&(*feature_tables_)[i], fopts));
         break;
     }
-    index_ptrs.push_back(feature_indexes_.back().get());
+    index_ptrs_.push_back(feature_indexes_.back().get());
   }
 
-  stds_ = std::make_unique<Stds>(object_index_.get(), index_ptrs);
-  stps_ = std::make_unique<Stps>(object_index_.get(), index_ptrs);
-  stps_->set_influence_mode(options_.influence_mode);
   if (options_.reuse_voronoi_cells) {
     voronoi_cache_ = std::make_unique<VoronoiCellCache>();
-    stps_->set_voronoi_cache(voronoi_cache_.get());
   }
 
   // Construction touched the pools; queries start from a clean slate.
@@ -63,36 +119,75 @@ Engine::Engine(std::vector<DataObject> objects,
   feature_pool_->ResetStats();
 }
 
-std::unique_ptr<StpsCursor> Engine::OpenCursor(const Query& query) {
-  STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
-  std::vector<const FeatureIndex*> ptrs;
-  for (const auto& idx : feature_indexes_) ptrs.push_back(idx.get());
-  return std::make_unique<StpsCursor>(object_index_.get(), std::move(ptrs),
-                                      query, options_.pulling);
+Status Engine::ValidateQuery(const Query& query) const {
+  if (query.keywords.size() != num_feature_sets()) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.keywords.size()) +
+        " keyword sets but the engine indexes " +
+        std::to_string(num_feature_sets()) + " feature sets");
+  }
+  if (query.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (!(query.lambda >= 0.0 && query.lambda <= 1.0)) {
+    return Status::InvalidArgument("lambda must be in [0, 1], got " +
+                                   std::to_string(query.lambda));
+  }
+  if (query.variant != ScoreVariant::kNearestNeighbor &&
+      !(query.radius > 0.0)) {
+    return Status::InvalidArgument("radius must be > 0, got " +
+                                   std::to_string(query.radius));
+  }
+  return Status::OK();
 }
 
-QueryResult Engine::Execute(const Query& query, Algorithm algorithm) {
-  STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
-  STPQ_DCHECK(query.lambda >= 0.0 && query.lambda <= 1.0);
-  STPQ_DCHECK(query.variant == ScoreVariant::kNearestNeighbor ||
-              query.radius > 0.0);
-  if (options_.cold_cache_per_query) {
-    object_pool_->Clear();
-    feature_pool_->Clear();
-  }
-  const BufferPoolStats obj_before = object_pool_->stats();
-  const BufferPoolStats feat_before = feature_pool_->stats();
+Result<QueryResult> Engine::Execute(const Query& query,
+                                    Algorithm algorithm) const {
+  return Execute(query, ExecuteOptions{algorithm, nullptr});
+}
+
+Result<QueryResult> Engine::Execute(const Query& query,
+                                    const ExecuteOptions& options) const {
+  Status st = ValidateQuery(query);
+  if (!st.ok()) return st;
+
+  // All per-query mutable state lives in the session (I/O accounting) and
+  // in the executor's stack frames; the engine itself is only read.
+  ExecutionSession session(object_pool_.get(), feature_pool_.get(),
+                           options_.cold_cache_per_query);
+  ExecutionSession::Scope scope(&session);
   Timer timer;
-  QueryResult result = algorithm == Algorithm::kStds
-                           ? stds_->Execute(query, options_.stds_batching)
-                           : stps_->Execute(query, options_.pulling);
+  QueryResult result;
+  if (options.algorithm == Algorithm::kStds) {
+    Stds stds(object_index_.get(), index_ptrs_);
+    result = stds.Execute(query, options_.stds_batching);
+  } else {
+    Stps stps(object_index_.get(), index_ptrs_, options_.influence_mode,
+              voronoi_cache_.get());
+    result = stps.Execute(query, options_.pulling);
+  }
   result.stats.cpu_ms = timer.ElapsedMillis();
-  const BufferPoolStats obj_delta = object_pool_->stats() - obj_before;
-  const BufferPoolStats feat_delta = feature_pool_->stats() - feat_before;
-  result.stats.object_index_reads = obj_delta.reads;
-  result.stats.feature_index_reads = feat_delta.reads;
-  result.stats.buffer_hits = obj_delta.hits + feat_delta.hits;
+  session.ExportIoCounters(&result.stats);
+  if (options.stats_sink != nullptr) {
+    options.stats_sink->Record(result.stats);
+  }
   return result;
+}
+
+Result<std::unique_ptr<StpsCursor>> Engine::OpenCursor(
+    const Query& query) const {
+  // The cursor ignores k, so a default-constructed k of 0 would be fine —
+  // but rejecting it keeps one validation story for both entry points.
+  Status st = ValidateQuery(query);
+  if (!st.ok()) return st;
+  if (query.variant != ScoreVariant::kRange) {
+    return Status::InvalidArgument(
+        "cursors support the range score variant only");
+  }
+  auto session = std::make_unique<ExecutionSession>(
+      object_pool_.get(), feature_pool_.get(), options_.cold_cache_per_query);
+  return std::make_unique<StpsCursor>(object_index_.get(), index_ptrs_, query,
+                                      options_.pulling, std::move(session));
 }
 
 }  // namespace stpq

@@ -3,6 +3,13 @@
 // Owns the data objects, the feature tables, their indexes and the
 // simulated-disk buffer pools, and executes top-k spatio-textual preference
 // queries with either algorithm.  See examples/quickstart.cc for usage.
+//
+// Concurrency (DESIGN.md §11): a fully constructed Engine is immutable, and
+// Execute/OpenCursor are const and safe to call from any number of threads
+// concurrently.  Each call runs inside its own ExecutionSession, which owns
+// all per-query mutable state including the simulated-I/O accounting; with
+// the default cold_cache_per_query option the per-query page-read counters
+// are identical to a sequential run regardless of thread count.
 #ifndef STPQ_CORE_ENGINE_H_
 #define STPQ_CORE_ENGINE_H_
 
@@ -11,14 +18,14 @@
 
 #include "core/cursor.h"
 #include "core/query.h"
-#include "core/stds.h"
-#include "core/stps.h"
+#include "core/stps.h"  // InfluenceMode
 #include "core/voronoi_cache.h"
 #include "index/feature_index.h"
 #include "index/ir2_tree.h"
 #include "index/object_index.h"
 #include "index/srt_index.h"
 #include "storage/buffer_pool.h"
+#include "util/result.h"
 
 namespace stpq {
 
@@ -26,6 +33,26 @@ namespace stpq {
 enum class Algorithm {
   kStds,  ///< Spatio-Textual Data Scan (baseline)
   kStps,  ///< Spatio-Textual Preference Search
+};
+
+/// Receives the cost counters of every executed query.  Implementations
+/// must be safe to call from multiple threads concurrently when the sink is
+/// shared across parallel Execute calls (the workload runner's sink is).
+class QueryStatsSink {
+ public:
+  virtual ~QueryStatsSink() = default;
+
+  /// Called once per completed query with its final counters.
+  virtual void Record(const QueryStats& stats) = 0;
+};
+
+/// Per-call execution knobs for Engine::Execute.
+struct ExecuteOptions {
+  Algorithm algorithm = Algorithm::kStps;
+  /// Optional sink receiving the query's stats in addition to the returned
+  /// QueryResult; not owned.  Used by the parallel workload runner to merge
+  /// per-query stats without post-processing the results.
+  QueryStatsSink* stats_sink = nullptr;
 };
 
 /// Engine construction knobs.
@@ -38,8 +65,10 @@ struct EngineOptions {
   /// Buffer pool capacity in pages per pool (object pool + shared feature
   /// pool); 0 = unbounded.
   uint64_t buffer_pool_pages = 0;
-  /// Clear the pools before each query, so reported I/O is the number of
-  /// distinct pages a query touches (deterministic and machine-independent).
+  /// Charge each query against its own cold session pool, so reported I/O
+  /// is the number of distinct pages the query touches (deterministic,
+  /// machine-independent, and independent of concurrent queries).  When
+  /// false the shared pools stay warm across queries instead.
   bool cold_cache_per_query = true;
   /// Target node occupancy for bulk loading.
   double fill = 1.0;
@@ -51,7 +80,9 @@ struct EngineOptions {
   /// STDS batched score computation (Section 5 improvement).
   bool stds_batching = true;
   /// Reuse Voronoi cells across NN-variant queries with identical keyword
-  /// sets (Section 8.5's precomputation remark).
+  /// sets (Section 8.5's precomputation remark).  The cache is internally
+  /// synchronized; under concurrency it makes the I/O counters of NN
+  /// queries dependent on query interleaving (results are unaffected).
   bool reuse_voronoi_cells = false;
   /// Influence-variant strategy: anchored retrieval (default) or the
   /// paper's Algorithm 5 (see InfluenceMode).
@@ -61,34 +92,59 @@ struct EngineOptions {
 /// A fully indexed dataset ready to answer STPQ queries.
 class Engine {
  public:
-  /// Builds the object index and one feature index per table.
+  /// Validated construction: checks `options` (page size, fill factor,
+  /// signature parameters) and returns InvalidArgument instead of building
+  /// a broken engine.  Prefer this over the constructor.
+  static Result<Engine> Create(std::vector<DataObject> objects,
+                               std::vector<FeatureTable> feature_tables,
+                               EngineOptions options = {});
+
+  /// Legacy unchecked construction, kept for source compatibility: runs the
+  /// same validation as Create but aborts on invalid options.  Slated for
+  /// removal once callers migrate (DESIGN.md §11).
   Engine(std::vector<DataObject> objects,
          std::vector<FeatureTable> feature_tables, EngineOptions options = {});
 
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Executes `query` with the given algorithm.  The result carries the
   /// entries sorted by descending tau(p) and the cost counters (CPU time,
-  /// simulated page reads per index family).
-  QueryResult Execute(const Query& query, Algorithm algorithm);
+  /// simulated page reads per index family).  Returns InvalidArgument for
+  /// malformed queries: keyword-set count != num_feature_sets(), k == 0,
+  /// lambda outside [0, 1], or radius <= 0 (NN-variant queries ignore the
+  /// radius and are exempt from the radius check).
+  ///
+  /// Thread-safe: any number of Execute/OpenCursor calls may run
+  /// concurrently on one engine.
+  Result<QueryResult> Execute(const Query& query, Algorithm algorithm) const;
 
-  QueryResult ExecuteStds(const Query& query) {
-    return Execute(query, Algorithm::kStds);
-  }
-  QueryResult ExecuteStps(const Query& query) {
-    return Execute(query, Algorithm::kStps);
-  }
+  /// Execute with per-call options (algorithm + optional stats sink).
+  Result<QueryResult> Execute(const Query& query,
+                              const ExecuteOptions& options) const;
 
   /// Opens an incremental cursor over a range-score query (k is ignored;
   /// results stream in non-increasing tau(p) until the caller stops).
-  /// The engine must outlive the cursor.
-  std::unique_ptr<StpsCursor> OpenCursor(const Query& query);
+  /// The engine must outlive the cursor.  The cursor owns its own
+  /// execution session, so it may be drained after Execute calls complete
+  /// and from a different thread than the one that opened it (one thread
+  /// at a time).  Returns InvalidArgument for malformed queries and for
+  /// non-range variants.
+  Result<std::unique_ptr<StpsCursor>> OpenCursor(const Query& query) const;
+
+  /// Checks `query` against this engine's shape: keyword-set count,
+  /// k >= 1, lambda in [0, 1], radius > 0 for radius-dependent variants.
+  Status ValidateQuery(const Query& query) const;
 
   /// The shared Voronoi cell cache (nullptr unless reuse_voronoi_cells).
-  VoronoiCellCache* voronoi_cache() { return voronoi_cache_.get(); }
+  VoronoiCellCache* voronoi_cache() const { return voronoi_cache_.get(); }
 
   size_t num_feature_sets() const { return feature_indexes_.size(); }
-  const std::vector<DataObject>& objects() const { return objects_; }
+  const std::vector<DataObject>& objects() const { return *objects_; }
   const FeatureTable& feature_table(size_t i) const {
-    return feature_tables_[i];
+    return (*feature_tables_)[i];
   }
   const FeatureIndex& feature_index(size_t i) const {
     return *feature_indexes_[i];
@@ -102,15 +158,27 @@ class Engine {
   }
 
  private:
+  /// Builds the object index and one feature index per table; `options`
+  /// must already be validated (parameter order disambiguates this from
+  /// the public legacy constructor).
+  Engine(EngineOptions options, std::vector<DataObject> objects,
+         std::vector<FeatureTable> feature_tables);
+
+  static Status ValidateOptions(const EngineOptions& options);
+
   EngineOptions options_;
-  std::vector<DataObject> objects_;
-  std::vector<FeatureTable> feature_tables_;
+  // The indexes and executors hold raw pointers into the object and
+  // feature-table storage, so both live behind unique_ptr: moving the
+  // engine (Result<Engine>, factory returns) keeps their addresses stable.
+  std::unique_ptr<std::vector<DataObject>> objects_;
+  std::unique_ptr<std::vector<FeatureTable>> feature_tables_;
   std::unique_ptr<BufferPool> object_pool_;
   std::unique_ptr<BufferPool> feature_pool_;
   std::unique_ptr<ObjectIndex> object_index_;
   std::vector<std::unique_ptr<FeatureIndex>> feature_indexes_;
-  std::unique_ptr<Stds> stds_;
-  std::unique_ptr<Stps> stps_;
+  /// Borrowed views of feature_indexes_, in table order; immutable after
+  /// construction and handed to the per-call executors.
+  std::vector<const FeatureIndex*> index_ptrs_;
   std::unique_ptr<VoronoiCellCache> voronoi_cache_;
 };
 

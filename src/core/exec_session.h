@@ -1,0 +1,76 @@
+// ExecutionSession: all per-query mutable engine state, as one object.
+//
+// A fully built Engine is immutable; everything a single Execute/cursor
+// call mutates — search heaps, combination iterators, QueryStats, and the
+// simulated-I/O accounting — must live on the call's own stack or in this
+// session object.  The heaps and iterators are naturally local to the
+// algorithms; the I/O accounting is not, because index node reads charge
+// the engine's shared BufferPools from deep inside the read path.  The
+// session closes that gap: it owns one BufferPool::Session per pool
+// (object index + feature indexes) and a Scope that routes the executing
+// thread's page accesses to them, so N concurrent queries each see their
+// own counters (DESIGN.md §11).
+//
+// Sessions are cheap to construct (two empty page tables) and are created
+// per Execute call; cursors own one for their whole lifetime, binding it
+// during each Next() so a cursor can outlive the query that opened it and
+// be drained from any thread (one thread at a time).
+#ifndef STPQ_CORE_EXEC_SESSION_H_
+#define STPQ_CORE_EXEC_SESSION_H_
+
+#include "storage/buffer_pool.h"
+#include "util/metrics.h"
+
+namespace stpq {
+
+/// Owns the per-query buffer-pool accounting for one query execution.
+class ExecutionSession {
+ public:
+  /// `object_pool` / `feature_pool` are the engine's shared pools (not
+  /// owned, must outlive the session).  `isolated` mirrors
+  /// EngineOptions::cold_cache_per_query: isolated sessions count distinct
+  /// pages against a private cold pool (deterministic under concurrency);
+  /// shared sessions keep the engine pools warm across queries.
+  ExecutionSession(BufferPool* object_pool, BufferPool* feature_pool,
+                   bool isolated)
+      : object_session_(object_pool, isolated),
+        feature_session_(feature_pool, isolated) {}
+
+  ExecutionSession(const ExecutionSession&) = delete;
+  ExecutionSession& operator=(const ExecutionSession&) = delete;
+
+  /// RAII: while alive, this thread's accesses to both engine pools are
+  /// charged to this session.  Scopes nest LIFO; never bind the same
+  /// session on two threads at once.
+  class Scope {
+   public:
+    explicit Scope(ExecutionSession* session)
+        : object_bind_(&session->object_session_),
+          feature_bind_(&session->feature_session_) {}
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    BufferPool::ScopedBind object_bind_;
+    BufferPool::ScopedBind feature_bind_;
+  };
+
+  /// Writes this session's I/O counters into `stats` (overwriting the
+  /// read/hit fields; the algorithm counters are untouched).
+  void ExportIoCounters(QueryStats* stats) const {
+    const BufferPoolStats obj = object_session_.stats();
+    const BufferPoolStats feat = feature_session_.stats();
+    stats->object_index_reads = obj.reads;
+    stats->feature_index_reads = feat.reads;
+    stats->buffer_hits = obj.hits + feat.hits;
+  }
+
+ private:
+  BufferPool::Session object_session_;
+  BufferPool::Session feature_session_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_EXEC_SESSION_H_

@@ -4,7 +4,7 @@
 
 namespace stpq {
 
-Explanation ExplainScore(Engine* engine, const Query& query,
+Explanation ExplainScore(const Engine* engine, const Query& query,
                          ObjectId object) {
   STPQ_CHECK(query.keywords.size() == engine->num_feature_sets());
   STPQ_CHECK(object < engine->objects().size());

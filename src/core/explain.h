@@ -33,7 +33,7 @@ struct Explanation {
 
 /// Explains tau(p) for `object` under `query` using `engine`'s indexes.
 /// The engine's buffer pools are charged as for a normal query.
-Explanation ExplainScore(Engine* engine, const Query& query, ObjectId object);
+Explanation ExplainScore(const Engine* engine, const Query& query, ObjectId object);
 
 }  // namespace stpq
 

@@ -20,6 +20,11 @@
 namespace stpq {
 
 /// STDS executor bound to one object index and c feature indexes.
+///
+/// Stateless between queries: Execute is const and all per-query state
+/// (the top-k heap, batch scratch, stats) lives on the call's stack, so
+/// the engine constructs one per Execute call and concurrent queries
+/// share nothing mutable (DESIGN.md §11).
 class Stds {
  public:
   /// Pointers are not owned and must outlive the executor.

@@ -35,19 +35,27 @@ enum class InfluenceMode {
 };
 
 /// STPS executor bound to one object index and c feature indexes.
+///
+/// The executor is stateless between queries: it is fully configured at
+/// construction, Execute is const, and every piece of per-query state
+/// (heaps, combination iterators, stats) lives on the call's stack.  The
+/// engine constructs one per Execute call (construction is a handful of
+/// pointer copies), which keeps concurrent queries from sharing anything
+/// mutable (DESIGN.md §11).
 class Stps {
  public:
-  /// Pointers are not owned and must outlive the executor.
+  /// Pointers are not owned and must outlive the executor.  `voronoi_cache`
+  /// (may be null) enables cross-query Voronoi cell reuse for the NN
+  /// variant (Section 8.5's precomputation remark); `influence_mode`
+  /// selects the influence-variant strategy (default: anchored).
   Stps(const ObjectIndex* objects,
-       std::vector<const FeatureIndex*> feature_indexes)
-      : objects_(objects), feature_indexes_(std::move(feature_indexes)) {}
-
-  /// Enables cross-query Voronoi cell reuse for the NN variant (Section
-  /// 8.5's precomputation remark).  The cache is not owned.
-  void set_voronoi_cache(VoronoiCellCache* cache) { voronoi_cache_ = cache; }
-
-  /// Selects the influence-variant strategy (default: anchored).
-  void set_influence_mode(InfluenceMode mode) { influence_mode_ = mode; }
+       std::vector<const FeatureIndex*> feature_indexes,
+       InfluenceMode influence_mode = InfluenceMode::kAnchored,
+       VoronoiCellCache* voronoi_cache = nullptr)
+      : objects_(objects),
+        feature_indexes_(std::move(feature_indexes)),
+        voronoi_cache_(voronoi_cache),
+        influence_mode_(influence_mode) {}
 
   /// Runs the query under its score variant (Algorithm 3, Algorithm 5, or
   /// the Voronoi-based NN retrieval of Section 7.2).

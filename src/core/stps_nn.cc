@@ -4,6 +4,7 @@
 // relevant feature of every F_i is C's member t_i — the intersection of the
 // members' Voronoi cells.  Cells are computed incrementally and cached per
 // feature; combinations whose intersection turns empty are discarded early.
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -83,11 +84,11 @@ QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
     auto local = cell_cache.find(key);
     if (local != cell_cache.end()) return local->second;
     if (voronoi_cache_ != nullptr) {
-      const ConvexPolygon* shared =
+      std::optional<ConvexPolygon> shared =
           voronoi_cache_->Find(i, member, query.keywords[i]);
-      if (shared != nullptr) {
+      if (shared.has_value()) {
         ++result.stats.voronoi_cache_hits;
-        return cell_cache.emplace(key, *shared).first->second;
+        return cell_cache.emplace(key, *std::move(shared)).first->second;
       }
     }
     ConvexPolygon cell =

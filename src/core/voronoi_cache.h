@@ -7,10 +7,21 @@
 // k, or r — so cells can be reused across queries with the same keyword
 // sets.  The cache memoizes cells on first use, which converges to the
 // paper's precomputation for workloads with recurring keyword sets.
+//
+// The cache is the one piece of engine state that query execution mutates
+// after build, so it is internally synchronized: Find copies the cell out
+// under the lock (returning a pointer into the map would dangle across a
+// concurrent rehash), and Put keeps the first writer's cell on a race —
+// cells for the same key are identical by construction, so either copy is
+// correct.  Under concurrency the hit/miss counters (and therefore the
+// I/O charged to cell computation) depend on query interleaving, exactly
+// as a physical shared cache would; see DESIGN.md §11.
 #ifndef STPQ_CORE_VORONOI_CACHE_H_
 #define STPQ_CORE_VORONOI_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -21,21 +32,23 @@
 namespace stpq {
 
 /// Memoizes Voronoi cells keyed by (feature set, feature, query keywords).
+/// Safe for concurrent Find/Put from multiple query threads.
 class VoronoiCellCache {
  public:
-  /// Returns the cached cell or nullptr.
-  const ConvexPolygon* Find(size_t feature_set, ObjectId feature,
-                            const KeywordSet& query_kw);
+  /// Returns a copy of the cached cell, or nullopt on a miss.
+  std::optional<ConvexPolygon> Find(size_t feature_set, ObjectId feature,
+                                    const KeywordSet& query_kw);
 
-  /// Stores a cell (overwrites an existing entry).
+  /// Stores a cell.  If another thread already stored one for the same key
+  /// the existing entry wins (both are the same cell).
   void Put(size_t feature_set, ObjectId feature, const KeywordSet& query_kw,
            ConvexPolygon cell);
 
   void Clear();
 
-  size_t size() const { return cells_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
 
  private:
   struct Key {
@@ -57,6 +70,7 @@ class VoronoiCellCache {
     }
   };
 
+  mutable std::mutex mu_;
   std::unordered_map<Key, ConvexPolygon, KeyHash> cells_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

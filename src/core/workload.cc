@@ -1,9 +1,13 @@
 #include "core/workload.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace stpq {
 
@@ -26,6 +30,53 @@ MetricSummary Summarize(std::vector<double> values) {
   return out;
 }
 
+/// Builds the distribution summary from executed results (shared by the
+/// sequential and parallel drivers; the aggregate counters are filled by
+/// the caller, which owns how they were collected).
+WorkloadSummary SummarizeResults(const std::vector<QueryResult>& results,
+                                 double io_unit_cost_ms) {
+  WorkloadSummary out;
+  out.queries = results.size();
+  std::vector<double> cpu, io, total;
+  cpu.reserve(results.size());
+  io.reserve(results.size());
+  total.reserve(results.size());
+  uint64_t reads = 0;
+  for (const QueryResult& r : results) {
+    double io_ms = r.stats.IoMillis(io_unit_cost_ms);
+    cpu.push_back(r.stats.cpu_ms);
+    io.push_back(io_ms);
+    total.push_back(r.stats.cpu_ms + io_ms);
+    reads += r.stats.TotalReads();
+  }
+  out.cpu_ms = Summarize(std::move(cpu));
+  out.io_ms = Summarize(std::move(io));
+  out.total_ms = Summarize(std::move(total));
+  if (!results.empty()) {
+    out.mean_page_reads =
+        static_cast<double>(reads) / static_cast<double>(results.size());
+  }
+  return out;
+}
+
+/// Mutex-guarded stats accumulator shared by the parallel workers.
+class AggregatingStatsSink : public QueryStatsSink {
+ public:
+  void Record(const QueryStats& stats) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += stats;
+  }
+
+  QueryStats total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  QueryStats total_;
+};
+
 }  // namespace
 
 std::string WorkloadSummary::ToString() const {
@@ -38,33 +89,85 @@ std::string WorkloadSummary::ToString() const {
   return os.str();
 }
 
-WorkloadSummary RunWorkload(Engine* engine, const std::vector<Query>& queries,
-                            Algorithm algorithm, double io_unit_cost_ms) {
-  STPQ_CHECK(engine != nullptr);
-  WorkloadSummary out;
-  out.queries = queries.size();
-  std::vector<double> cpu, io, total;
-  cpu.reserve(queries.size());
-  io.reserve(queries.size());
-  total.reserve(queries.size());
-  uint64_t reads = 0;
+Result<WorkloadSummary> RunWorkload(const Engine& engine,
+                                    const std::vector<Query>& queries,
+                                    Algorithm algorithm,
+                                    double io_unit_cost_ms) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status st = engine.ValidateQuery(queries[i]);
+    if (!st.ok()) {
+      return Status::InvalidArgument("query " + std::to_string(i) + ": " +
+                                     st.message());
+    }
+  }
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  QueryStats aggregate;
   for (const Query& q : queries) {
-    QueryResult r = engine->Execute(q, algorithm);
-    double io_ms = r.stats.IoMillis(io_unit_cost_ms);
-    cpu.push_back(r.stats.cpu_ms);
-    io.push_back(io_ms);
-    total.push_back(r.stats.cpu_ms + io_ms);
-    reads += r.stats.TotalReads();
-    out.aggregate += r.stats;
+    Result<QueryResult> r = engine.Execute(q, algorithm);
+    STPQ_CHECK(r.ok());  // pre-validated above
+    aggregate += r.value().stats;
+    results.push_back(r.TakeValue());
   }
-  out.cpu_ms = Summarize(std::move(cpu));
-  out.io_ms = Summarize(std::move(io));
-  out.total_ms = Summarize(std::move(total));
-  if (!queries.empty()) {
-    out.mean_page_reads =
-        static_cast<double>(reads) / static_cast<double>(queries.size());
-  }
+  WorkloadSummary out = SummarizeResults(results, io_unit_cost_ms);
+  out.aggregate = aggregate;
   return out;
+}
+
+Result<ParallelWorkloadReport> ParallelWorkloadRunner::Run(
+    const std::vector<Query>& queries,
+    const ParallelWorkloadOptions& options) const {
+  STPQ_CHECK(engine_ != nullptr);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Status st = engine_->ValidateQuery(queries[i]);
+    if (!st.ok()) {
+      return Status::InvalidArgument("query " + std::to_string(i) + ": " +
+                                     st.message());
+    }
+  }
+  size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::max<size_t>(1, std::min(threads, queries.size()));
+  if (queries.empty()) threads = 1;
+
+  ParallelWorkloadReport report;
+  report.per_query.resize(queries.size());
+
+  AggregatingStatsSink sink;
+  ExecuteOptions exec_options;
+  exec_options.algorithm = options.algorithm;
+  exec_options.stats_sink = &sink;
+
+  // Dynamic work distribution: each worker claims the next unprocessed
+  // query.  Results land in distinct slots, so only the claim counter and
+  // the sink are shared.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) return;
+      Result<QueryResult> r = engine_->Execute(queries[i], exec_options);
+      STPQ_CHECK(r.ok());  // pre-validated above
+      report.per_query[i] = r.TakeValue();
+    }
+  };
+
+  Timer wall;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  report.wall_ms = wall.ElapsedMillis();
+
+  report.summary = SummarizeResults(report.per_query, options.io_unit_cost_ms);
+  report.summary.aggregate = sink.total();
+  if (report.wall_ms > 0.0) {
+    report.queries_per_sec =
+        static_cast<double>(queries.size()) / (report.wall_ms / 1000.0);
+  }
+  return report;
 }
 
 }  // namespace stpq

@@ -5,6 +5,12 @@
 // library utility so users can benchmark their own datasets: means and
 // tail percentiles for CPU, simulated I/O and total time, plus the
 // aggregated algorithm counters.
+//
+// Two drivers share the summary format: RunWorkload executes the batch on
+// the calling thread, and ParallelWorkloadRunner fans it across a fixed
+// thread pool — the engine's read path is thread-safe, and with the
+// default cold_cache_per_query accounting both drivers report identical
+// per-query results and page-read counts (DESIGN.md §11).
 #ifndef STPQ_CORE_WORKLOAD_H_
 #define STPQ_CORE_WORKLOAD_H_
 
@@ -13,6 +19,7 @@
 
 #include "core/engine.h"
 #include "core/query.h"
+#include "util/result.h"
 
 namespace stpq {
 
@@ -36,10 +43,51 @@ struct WorkloadSummary {
   std::string ToString() const;
 };
 
-/// Executes every query and summarizes costs.  `io_unit_cost_ms` prices
-/// one simulated page read (the paper's dark-bar constant).
-WorkloadSummary RunWorkload(Engine* engine, const std::vector<Query>& queries,
-                            Algorithm algorithm, double io_unit_cost_ms);
+/// Executes every query on the calling thread and summarizes costs.
+/// `io_unit_cost_ms` prices one simulated page read (the paper's dark-bar
+/// constant).  Returns InvalidArgument if any query is malformed for the
+/// engine (nothing is executed in that case).
+Result<WorkloadSummary> RunWorkload(const Engine& engine,
+                                    const std::vector<Query>& queries,
+                                    Algorithm algorithm,
+                                    double io_unit_cost_ms);
+
+/// Knobs for the parallel driver.
+struct ParallelWorkloadOptions {
+  Algorithm algorithm = Algorithm::kStps;
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  size_t threads = 1;
+  /// Price of one simulated page read in milliseconds.
+  double io_unit_cost_ms = 0.0;
+};
+
+/// Outcome of a parallel run: the merged summary, the per-query results in
+/// input order (independent of scheduling), and throughput.
+struct ParallelWorkloadReport {
+  WorkloadSummary summary;
+  std::vector<QueryResult> per_query;  ///< one entry per input query
+  double wall_ms = 0.0;                ///< end-to-end batch wall time
+  double queries_per_sec = 0.0;        ///< throughput over wall time
+};
+
+/// Fans a query batch across a fixed pool of N threads over one engine.
+/// Work is distributed dynamically (an atomic cursor over the batch), each
+/// query's stats are merged through a thread-safe QueryStatsSink, and the
+/// per-query results land in input order.
+class ParallelWorkloadRunner {
+ public:
+  /// `engine` is not owned and must outlive the runner.
+  explicit ParallelWorkloadRunner(const Engine* engine) : engine_(engine) {}
+
+  /// Runs the batch.  Every query is validated up front, so a non-OK
+  /// status means nothing was executed; worker threads cannot fail.
+  Result<ParallelWorkloadReport> Run(
+      const std::vector<Query>& queries,
+      const ParallelWorkloadOptions& options) const;
+
+ private:
+  const Engine* engine_;
+};
 
 }  // namespace stpq
 

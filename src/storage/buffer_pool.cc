@@ -1,12 +1,41 @@
 #include "storage/buffer_pool.h"
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
 namespace stpq {
 
+namespace {
+
+/// Thread-local binding stack: (shared pool, session) pairs, innermost
+/// last.  A plain vector beats a map here — a thread holds at most a
+/// handful of bindings (two per query: object pool + feature pool).
+thread_local std::vector<std::pair<const BufferPool*, BufferPool::Session*>>
+    tls_bindings;
+
+}  // namespace
+
+BufferPool::Session* BufferPool::CurrentSession() const {
+  for (auto it = tls_bindings.rbegin(); it != tls_bindings.rend(); ++it) {
+    if (it->first == this) return it->second;
+  }
+  return nullptr;
+}
+
 bool BufferPool::Access(PageId page) {
+  if (Session* session = CurrentSession()) return session->Access(page);
+  return AccessLocked(page);
+}
+
+bool BufferPool::AccessLocked(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AccessInternal(page);
+}
+
+bool BufferPool::AccessInternal(PageId page) {
   auto it = table_.find(page);
   if (it != table_.end()) {
     ++stats_.hits;
@@ -41,7 +70,8 @@ void BufferPool::EvictOneUnpinned() {
 }
 
 Status BufferPool::Pin(PageId page) {
-  Access(page);
+  std::lock_guard<std::mutex> lock(mu_);
+  AccessInternal(page);
   if (table_.find(page) == table_.end()) {
     return Status::FailedPrecondition(
         "cannot pin page " + std::to_string(page) + ": pool is full (" +
@@ -52,11 +82,13 @@ Status BufferPool::Pin(PageId page) {
 }
 
 uint32_t BufferPool::PinCount(PageId page) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pins_.find(page);
   return it == pins_.end() ? 0 : it->second;
 }
 
 Status BufferPool::Unpin(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pins_.find(page);
   if (it == pins_.end()) {
     return Status::FailedPrecondition(
@@ -67,10 +99,62 @@ Status BufferPool::Unpin(PageId page) {
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   STPQ_DCHECK(pins_.empty());
   lru_.clear();
   table_.clear();
   pins_.clear();
 }
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = BufferPoolStats{};
+}
+
+BufferPoolStats BufferPool::stats() const {
+  if (Session* session = CurrentSession()) return session->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t BufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t BufferPool::pinned_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_.size();
+}
+
+bool BufferPool::Session::Access(PageId page) {
+  if (isolated_) {
+    // The private pool is never the target of a binding, so this call
+    // cannot recurse back into session routing.
+    return private_pool_.AccessLocked(page);
+  }
+  bool hit = shared_->AccessLocked(page);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.reads;
+  }
+  return hit;
+}
+
+BufferPoolStats BufferPool::Session::stats() const {
+  if (isolated_) {
+    std::lock_guard<std::mutex> lock(private_pool_.mu_);
+    return private_pool_.stats_;
+  }
+  return stats_;
+}
+
+BufferPool::ScopedBind::ScopedBind(Session* session) {
+  STPQ_DCHECK(session != nullptr);
+  tls_bindings.emplace_back(session->shared_pool(), session);
+}
+
+BufferPool::ScopedBind::~ScopedBind() { tls_bindings.pop_back(); }
 
 }  // namespace stpq

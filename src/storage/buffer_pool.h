@@ -12,11 +12,25 @@
 // work) keep their page resident.  Pinning is fallible — a pool whose every
 // frame is pinned reports FailedPrecondition instead of evicting or
 // crashing.
+//
+// Concurrency model (DESIGN.md §11).  The shared LRU state is protected by
+// a mutex, so direct Access/Pin/Clear calls are safe from any thread.  Query
+// execution, however, never contends on that mutex in the default
+// configuration: each query binds a BufferPool::Session to its thread (see
+// ScopedBind), and Access() charges the session instead of the pool.  An
+// *isolated* session simulates its own private cold pool of the same
+// capacity — no shared mutation at all, and page-read counts that are
+// byte-identical to a sequential cold_cache_per_query run regardless of how
+// many sessions run in parallel.  A *shared* session routes through the
+// locked pool (pages stay warm across queries) and records the hits and
+// misses attributable to this session; those counts then depend on
+// cross-query interleaving, exactly as a physical warm cache would.
 #ifndef STPQ_STORAGE_BUFFER_POOL_H_
 #define STPQ_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/status.h"
@@ -42,19 +56,30 @@ struct BufferPoolStats {
 /// read from disk exactly once and then pinned forever (an infinite cache).
 class BufferPool {
  public:
+  class Session;
+  class ScopedBind;
+
   explicit BufferPool(uint64_t capacity_pages = 0)
       : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
 
   /// Touches `page`; returns true on a hit, false on a miss (a simulated
   /// disk read).  On a miss the page is admitted, evicting the least
   /// recently used *unpinned* page if the pool is full; when every other
   /// resident page is pinned the new page itself is dropped again (an
   /// uncached read-through), so pinned residents are never displaced.
+  ///
+  /// When a Session is bound to the calling thread (ScopedBind), the access
+  /// is charged to the session instead; see the class comment.
   bool Access(PageId page);
 
   /// Ensures `page` is resident (counting the read on a miss) and pins it.
   /// Pins nest: each Pin must be matched by one Unpin.  Fails with
   /// FailedPrecondition when the pool is full and every frame is pinned.
+  /// Always operates on the shared pool, never on a bound session (the
+  /// query path does not pin; pinning is a direct-pool API).
   Status Pin(PageId page);
 
   /// Releases one pin on `page`; fails if the page is not pinned.
@@ -65,12 +90,16 @@ class BufferPool {
   void Clear();
 
   /// Resets the counters without dropping pages.
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  void ResetStats();
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Counter snapshot.  With a Session bound to the calling thread this
+  /// returns the *session's* counters, so code computing read deltas (e.g.
+  /// Voronoi cell accounting) attributes I/O to the executing query.
+  BufferPoolStats stats() const;
+
   [[nodiscard]] uint64_t capacity_pages() const { return capacity_; }
-  [[nodiscard]] uint64_t resident_pages() const { return lru_.size(); }
-  [[nodiscard]] uint64_t pinned_pages() const { return pins_.size(); }
+  [[nodiscard]] uint64_t resident_pages() const;
+  [[nodiscard]] uint64_t pinned_pages() const;
 
   /// Current pin count of `page` (0 when unpinned or not resident).
   [[nodiscard]] uint32_t PinCount(PageId page) const;
@@ -82,11 +111,22 @@ class BufferPool {
  private:
   friend Status ValidateBufferPool(const BufferPool& pool);
   friend struct Corrupter;
+  friend class Session;
+
+  /// The session bound to this pool on the calling thread, or nullptr.
+  Session* CurrentSession() const;
+
+  /// Shared-pool access under the mutex (the pre-session code path).
+  bool AccessLocked(PageId page);
+
+  /// Access body; callers hold mu_.
+  bool AccessInternal(PageId page);
 
   /// Evicts the least recently used unpinned page (possibly the page that
-  /// was just admitted, which is the read-through case).
+  /// was just admitted, which is the read-through case).  Caller holds mu_.
   void EvictOneUnpinned();
 
+  mutable std::mutex mu_;
   uint64_t capacity_;
   BufferPoolStats stats_;
   /// Total pages ever admitted to the pool; unlike stats_ this is never
@@ -98,9 +138,59 @@ class BufferPool {
   std::unordered_map<PageId, uint32_t> pins_;  // page -> nested pin count
 };
 
+/// Per-query read accounting against one shared pool (see the BufferPool
+/// class comment).  A session is single-threaded by construction: it is
+/// only reachable through the thread-local ScopedBind of the thread
+/// executing the query, so its counters need no synchronization.
+class BufferPool::Session {
+ public:
+  /// `shared` must outlive the session.  `isolated` selects the private
+  /// cold-pool mode (deterministic counts, zero shared-state contention);
+  /// otherwise accesses go through the locked shared pool and this session
+  /// records its own share of the traffic.
+  Session(BufferPool* shared, bool isolated)
+      : shared_(shared),
+        isolated_(isolated),
+        private_pool_(shared->capacity_pages()) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Charges one page access to this session; returns true on a hit.
+  bool Access(PageId page);
+
+  /// Pages read (misses) and hits charged to this session so far.
+  BufferPoolStats stats() const;
+
+  [[nodiscard]] bool isolated() const { return isolated_; }
+  [[nodiscard]] BufferPool* shared_pool() const { return shared_; }
+
+ private:
+  friend class BufferPool::ScopedBind;
+
+  BufferPool* shared_;
+  bool isolated_;
+  BufferPool private_pool_;  ///< isolated mode: same capacity, starts cold
+  BufferPoolStats stats_;    ///< shared mode: this session's traffic
+};
+
+/// RAII thread-local binding: while alive, Access()/stats() calls on the
+/// session's shared pool made *from this thread* are routed to the session.
+/// Bindings nest LIFO (e.g. a cursor drained inside another query's scope);
+/// the innermost binding for a given pool wins.
+class BufferPool::ScopedBind {
+ public:
+  explicit ScopedBind(Session* session);
+  ~ScopedBind();
+
+  ScopedBind(const ScopedBind&) = delete;
+  ScopedBind& operator=(const ScopedBind&) = delete;
+};
+
 /// Deep structural check (also declared in debug/validate.h): frame/page
 /// table bijection, pin-count consistency, capacity and admission-counter
-/// invariants.  Returns a Status naming the first violation.
+/// invariants.  Returns a Status naming the first violation.  Only
+/// meaningful on a quiescent pool (no concurrent accessors).
 Status ValidateBufferPool(const BufferPool& pool);
 
 struct BufferPool::Corrupter {

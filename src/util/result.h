@@ -2,10 +2,10 @@
 #ifndef STPQ_UTIL_RESULT_H_
 #define STPQ_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace stpq {
@@ -20,25 +20,25 @@ class [[nodiscard]] Result {
   Result(T value) : value_(std::move(value)) {}  // NOLINT
   /// Implicit from non-OK status (failure).
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status");
+    STPQ_CHECK(!status_.ok() && "Result constructed from OK status");
   }
 
   [[nodiscard]] bool ok() const { return value_.has_value(); }
   [[nodiscard]] const Status& status() const { return status_; }
 
-  /// Access the contained value; must only be called when ok().
+  /// Access the contained value; aborts (in all build types) when !ok().
   [[nodiscard]] T& value() {
-    assert(ok());
+    STPQ_CHECK(ok());
     return *value_;
   }
   [[nodiscard]] const T& value() const {
-    assert(ok());
+    STPQ_CHECK(ok());
     return *value_;
   }
 
-  /// Moves the contained value out; must only be called when ok().
+  /// Moves the contained value out; aborts (in all build types) when !ok().
   [[nodiscard]] T TakeValue() {
-    assert(ok());
+    STPQ_CHECK(ok());
     return std::move(*value_);
   }
 

@@ -118,7 +118,7 @@ TEST_P(PaperExampleAlgorithms, Top3AreTheThreeHotels) {
   opts.index_kind = GetParam();
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
   for (Algorithm alg : {Algorithm::kStds, Algorithm::kStps}) {
-    QueryResult r = engine.Execute(q, alg);
+    QueryResult r = engine.Execute(q, alg).TakeValue();
     ASSERT_EQ(r.entries.size(), 3u);
     std::set<ObjectId> ids;
     for (const ResultEntry& e : r.entries) {
@@ -138,8 +138,8 @@ TEST_P(PaperExampleAlgorithms, FullRankingMatchesBruteForce) {
   EngineOptions opts;
   opts.index_kind = GetParam();
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
-  ExpectSameScores(engine.ExecuteStds(q).entries, expected, "STDS");
-  ExpectSameScores(engine.ExecuteStps(q).entries, expected, "STPS");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS");
 }
 
 INSTANTIATE_TEST_SUITE_P(Indexes, PaperExampleAlgorithms,
@@ -189,8 +189,8 @@ TEST_P(RangeAgreementTest, StdsStpsBruteForceAgree) {
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
   for (const Query& q : queries) {
     std::vector<ResultEntry> expected = brute.TopK(q);
-    ExpectSameScores(engine.ExecuteStds(q).entries, expected, "STDS");
-    ExpectSameScores(engine.ExecuteStps(q).entries, expected, "STPS");
+    ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS");
+    ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS");
   }
 }
 
@@ -221,8 +221,8 @@ TEST(RangeEdgeCases, KLargerThanDataset) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 100);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  QueryResult stds = engine.ExecuteStds(q);
-  QueryResult stps = engine.ExecuteStps(q);
+  QueryResult stds = engine.Execute(q, Algorithm::kStds).TakeValue();
+  QueryResult stps = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_EQ(stds.entries.size(), 10u);  // all hotels
   EXPECT_EQ(stps.entries.size(), 10u);
   ExpectSameScores(stps.entries, stds.entries, "k>n");
@@ -241,8 +241,8 @@ TEST(RangeEdgeCases, NoRelevantFeaturesScoresZero) {
   q.keywords.push_back(KeywordSet(ds.feature_tables[1].universe_size()));
   // Empty keyword sets: sim = 0 everywhere, every tau_i = 0.
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  QueryResult stds = engine.ExecuteStds(q);
-  QueryResult stps = engine.ExecuteStps(q);
+  QueryResult stds = engine.Execute(q, Algorithm::kStds).TakeValue();
+  QueryResult stps = engine.Execute(q, Algorithm::kStps).TakeValue();
   ASSERT_EQ(stds.entries.size(), 5u);
   ASSERT_EQ(stps.entries.size(), 5u);
   for (const auto& e : stds.entries) EXPECT_EQ(e.score, 0.0);
@@ -256,23 +256,25 @@ TEST(RangeEdgeCases, TinyRadiusIsolatesColocated) {
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  ExpectSameScores(engine.ExecuteStps(q).entries, expected, "tiny radius");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "tiny radius");
 }
 
-TEST(RangeEdgeCases, KZeroReturnsNothing) {
+TEST(RangeEdgeCases, KZeroIsRejected) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 0);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  EXPECT_TRUE(engine.ExecuteStds(q).entries.empty());
-  EXPECT_TRUE(engine.ExecuteStps(q).entries.empty());
+  EXPECT_EQ(engine.Execute(q, Algorithm::kStds).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Execute(q, Algorithm::kStps).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(RangeEdgeCases, EmptyObjectSet) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 5);
   Engine engine({}, std::move(ds.feature_tables), {});
-  EXPECT_TRUE(engine.ExecuteStds(q).entries.empty());
-  EXPECT_TRUE(engine.ExecuteStps(q).entries.empty());
+  EXPECT_TRUE(engine.Execute(q, Algorithm::kStds).TakeValue().entries.empty());
+  EXPECT_TRUE(engine.Execute(q, Algorithm::kStps).TakeValue().entries.empty());
 }
 
 TEST(RangeEdgeCases, StdsBatchingToggleAgrees) {
@@ -295,7 +297,7 @@ TEST(RangeEdgeCases, StdsBatchingToggleAgrees) {
             batched);
   Engine e2(ds.objects, std::move(ds.feature_tables), single);
   for (const Query& q : queries) {
-    ExpectSameScores(e1.ExecuteStds(q).entries, e2.ExecuteStds(q).entries,
+    ExpectSameScores(e1.Execute(q, Algorithm::kStds).TakeValue().entries, e2.Execute(q, Algorithm::kStds).TakeValue().entries,
                      "batch toggle");
   }
 }
@@ -319,8 +321,8 @@ TEST(StatsTest, StpsReadsFewerPagesThanStds) {
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
   uint64_t stds_reads = 0, stps_reads = 0;
   for (const Query& q : queries) {
-    stds_reads += engine.ExecuteStds(q).stats.TotalReads();
-    stps_reads += engine.ExecuteStps(q).stats.TotalReads();
+    stds_reads += engine.Execute(q, Algorithm::kStds).TakeValue().stats.TotalReads();
+    stps_reads += engine.Execute(q, Algorithm::kStps).TakeValue().stats.TotalReads();
   }
   // The paper's headline: STPS is orders of magnitude cheaper than STDS.
   EXPECT_LT(stps_reads * 2, stds_reads);
@@ -330,8 +332,8 @@ TEST(StatsTest, ColdCachePerQueryIsDeterministic) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  QueryResult a = engine.ExecuteStps(q);
-  QueryResult b = engine.ExecuteStps(q);
+  QueryResult a = engine.Execute(q, Algorithm::kStps).TakeValue();
+  QueryResult b = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_EQ(a.stats.TotalReads(), b.stats.TotalReads());
   EXPECT_GT(a.stats.TotalReads(), 0u);
 }
@@ -350,8 +352,8 @@ TEST(StatsTest, WarmCacheReducesReads) {
   EngineOptions warm;
   warm.cold_cache_per_query = false;
   Engine engine(ds.objects, std::move(ds.feature_tables), warm);
-  QueryResult first = engine.ExecuteStps(queries[0]);
-  QueryResult again = engine.ExecuteStps(queries[0]);
+  QueryResult first = engine.Execute(queries[0], Algorithm::kStps).TakeValue();
+  QueryResult again = engine.Execute(queries[0], Algorithm::kStps).TakeValue();
   EXPECT_LT(again.stats.TotalReads(), first.stats.TotalReads());
   EXPECT_GT(again.stats.buffer_hits, 0u);
 }

@@ -3,6 +3,7 @@
 // deletion.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 
 #include "core/brute_force.h"
@@ -45,7 +46,7 @@ TEST(CursorTest, StreamsWholeDatasetInScoreOrder) {
   Query q = GenerateQueries(ds, qcfg)[0];
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
 
-  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q);
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q).TakeValue();
   std::set<ObjectId> seen;
   double prev = std::numeric_limits<double>::infinity();
   size_t count = 0;
@@ -65,8 +66,8 @@ TEST(CursorTest, PrefixMatchesTopK) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 5);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  QueryResult topk = engine.ExecuteStps(q);
-  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q);
+  QueryResult topk = engine.Execute(q, Algorithm::kStps).TakeValue();
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q).TakeValue();
   for (size_t i = 0; i < topk.entries.size(); ++i) {
     auto e = cursor->Next();
     ASSERT_TRUE(e.has_value());
@@ -78,7 +79,7 @@ TEST(CursorTest, AccumulatesStats) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 1);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q);
+  std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q).TakeValue();
   ASSERT_TRUE(cursor->Next().has_value());
   EXPECT_GT(cursor->stats().features_retrieved, 0u);
   EXPECT_GT(cursor->stats().combinations_emitted, 0u);
@@ -139,7 +140,7 @@ TEST(ExplainTest, MatchesQueryScoresForAllVariants) {
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
   for (const Query& q : queries) {
     ScoreVariant v = q.variant;
-    QueryResult r = engine.ExecuteStps(q);
+    QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
     for (const ResultEntry& entry : r.entries) {
       Explanation e = ExplainScore(&engine, q, entry.object);
       EXPECT_NEAR(e.total, entry.score, 1e-9) << VariantName(v);
@@ -152,17 +153,17 @@ TEST(ExplainTest, MatchesQueryScoresForAllVariants) {
 TEST(VoronoiCacheTest, BasicFindPut) {
   VoronoiCellCache cache;
   KeywordSet kw(16, {1, 2});
-  EXPECT_EQ(cache.Find(0, 7, kw), nullptr);
+  EXPECT_FALSE(cache.Find(0, 7, kw).has_value());
   cache.Put(0, 7, kw, ConvexPolygon::FromRect(MakeRect2(0, 0, 1, 1)));
-  const ConvexPolygon* cell = cache.Find(0, 7, kw);
-  ASSERT_NE(cell, nullptr);
+  std::optional<ConvexPolygon> cell = cache.Find(0, 7, kw);
+  ASSERT_TRUE(cell.has_value());
   EXPECT_NEAR(cell->Area(), 1.0, 1e-12);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   // Different keywords / set / feature are distinct keys.
-  EXPECT_EQ(cache.Find(0, 7, KeywordSet(16, {1})), nullptr);
-  EXPECT_EQ(cache.Find(1, 7, kw), nullptr);
-  EXPECT_EQ(cache.Find(0, 8, kw), nullptr);
+  EXPECT_FALSE(cache.Find(0, 7, KeywordSet(16, {1})).has_value());
+  EXPECT_FALSE(cache.Find(1, 7, kw).has_value());
+  EXPECT_FALSE(cache.Find(0, 8, kw).has_value());
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
@@ -185,10 +186,10 @@ TEST(VoronoiCacheTest, EngineReusesCellsAcrossQueries) {
   opts.reuse_voronoi_cells = true;
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
 
-  QueryResult first = engine.ExecuteStps(q);
+  QueryResult first = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_EQ(first.stats.voronoi_cache_hits, 0u);
   EXPECT_GT(engine.voronoi_cache()->size(), 0u);
-  QueryResult second = engine.ExecuteStps(q);
+  QueryResult second = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_GT(second.stats.voronoi_cache_hits, 0u);
   EXPECT_EQ(second.stats.voronoi_cells, 0u);  // everything served cached
   // Same results, and both correct.
@@ -216,9 +217,97 @@ TEST(VoronoiCacheTest, DifferentKeywordsDontReuse) {
   q1.keywords = {KeywordSet(16, {0, 1})};
   Query q2 = q1;
   q2.keywords = {KeywordSet(16, {2, 3})};
-  engine.ExecuteStps(q1);
-  QueryResult r2 = engine.ExecuteStps(q2);
+  QueryResult r1 = engine.Execute(q1, Algorithm::kStps).TakeValue();
+  (void)r1;
+  QueryResult r2 = engine.Execute(q2, Algorithm::kStps).TakeValue();
   EXPECT_EQ(r2.stats.voronoi_cache_hits, 0u);
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(ValidationTest, ExecuteRejectsMalformedQueries) {
+  Dataset ds = ex::ExampleDataset();
+  Query good = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  EXPECT_TRUE(engine.Execute(good, Algorithm::kStps).ok());
+
+  Query bad = good;
+  bad.keywords.pop_back();  // keyword-set count != num_feature_sets()
+  EXPECT_EQ(engine.Execute(bad, Algorithm::kStps).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.k = 0;
+  EXPECT_EQ(engine.Execute(bad, Algorithm::kStds).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.radius = 0.0;
+  EXPECT_EQ(engine.Execute(bad, Algorithm::kStps).status().code(),
+            StatusCode::kInvalidArgument);
+  // The NN variant ignores the radius, so the same radius is accepted.
+  bad.variant = ScoreVariant::kNearestNeighbor;
+  EXPECT_TRUE(engine.Execute(bad, Algorithm::kStps).ok());
+
+  bad = good;
+  bad.lambda = 1.5;
+  EXPECT_EQ(engine.Execute(bad, Algorithm::kStps).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.lambda = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(engine.Execute(bad, Algorithm::kStps).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidationTest, OpenCursorRejectsMalformedAndNonRangeQueries) {
+  Dataset ds = ex::ExampleDataset();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
+  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  EXPECT_TRUE(engine.OpenCursor(q).ok());
+
+  Query bad = q;
+  bad.radius = -1.0;
+  EXPECT_EQ(engine.OpenCursor(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = q;
+  bad.variant = ScoreVariant::kInfluence;
+  EXPECT_EQ(engine.OpenCursor(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidationTest, CreateRejectsBadOptionsAndBuildsGoodEngines) {
+  Dataset ds = ex::ExampleDataset();
+
+  EngineOptions bad;
+  bad.page_size_bytes = 16;  // below the 64-byte minimum
+  EXPECT_EQ(Engine::Create(ds.objects,
+                           std::vector<FeatureTable>(ds.feature_tables), bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  bad = EngineOptions{};
+  bad.fill = 0.0;
+  EXPECT_FALSE(Engine::Create(ds.objects,
+                              std::vector<FeatureTable>(ds.feature_tables),
+                              bad)
+                   .ok());
+
+  bad = EngineOptions{};
+  bad.signature_hashes = 0;
+  EXPECT_FALSE(Engine::Create(ds.objects,
+                              std::vector<FeatureTable>(ds.feature_tables),
+                              bad)
+                   .ok());
+
+  // A valid configuration builds a working engine that survives the move
+  // out of the Result.
+  Result<Engine> built = Engine::Create(
+      ds.objects, std::vector<FeatureTable>(ds.feature_tables), {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Engine engine = built.TakeValue();
+  Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
+  QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
+  EXPECT_FALSE(r.entries.empty());
 }
 
 // ------------------------------------------------------------ index stats

@@ -96,9 +96,9 @@ TEST(FuzzDifferentialTest, AlgorithmsAgreeWithBruteForce) {
         std::vector<ResultEntry> want = brute.TopK(q);
         std::string label = std::string(fc.name) + "/" + VariantName(variant) +
                             "/trial" + std::to_string(trial);
-        ExpectSameScores(engine.Execute(q, Algorithm::kStds).entries, want,
+        ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, want,
                          label + "/stds");
-        ExpectSameScores(engine.Execute(q, Algorithm::kStps).entries, want,
+        ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, want,
                          label + "/stps");
       }
     }
@@ -118,7 +118,7 @@ TEST(FuzzDifferentialTest, PullingStrategiesAgree) {
   Rng rng(99);
   for (int trial = 0; trial < 10; ++trial) {
     Query q = RandomQuery(&rng, 2, 32, ScoreVariant::kRange);
-    ExpectSameScores(engine.Execute(q, Algorithm::kStps).entries,
+    ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries,
                      brute.TopK(q), "round_robin/trial" +
                      std::to_string(trial));
   }
@@ -137,7 +137,7 @@ TEST(FuzzDifferentialTest, BatchedAndUnbatchedStdsAgree) {
   Rng rng(7);
   for (int trial = 0; trial < 10; ++trial) {
     Query q = RandomQuery(&rng, 1, 32, ScoreVariant::kInfluence);
-    ExpectSameScores(engine.Execute(q, Algorithm::kStds).entries,
+    ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries,
                      brute.TopK(q), "unbatched/trial" + std::to_string(trial));
   }
 }

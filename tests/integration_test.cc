@@ -51,7 +51,7 @@ TEST(IntegrationTest, SrtAndIr2ReturnIdenticalResults) {
              srt_opts);
   Engine ir2(ds.objects, std::move(ds.feature_tables), ir2_opts);
   for (const Query& q : queries) {
-    ExpectSameScores(srt.ExecuteStps(q).entries, ir2.ExecuteStps(q).entries,
+    ExpectSameScores(srt.Execute(q, Algorithm::kStps).TakeValue().entries, ir2.Execute(q, Algorithm::kStps).TakeValue().entries,
                      "SRT vs IR2");
   }
 }
@@ -75,7 +75,7 @@ TEST(IntegrationTest, PullingStrategiesReturnIdenticalResults) {
   Engine a(ds.objects, std::vector<FeatureTable>(ds.feature_tables), pri);
   Engine b(ds.objects, std::move(ds.feature_tables), rr);
   for (const Query& q : queries) {
-    ExpectSameScores(a.ExecuteStps(q).entries, b.ExecuteStps(q).entries,
+    ExpectSameScores(a.Execute(q, Algorithm::kStps).TakeValue().entries, b.Execute(q, Algorithm::kStps).TakeValue().entries,
                      "pulling strategies");
   }
 }
@@ -97,9 +97,9 @@ TEST(IntegrationTest, RealLikeWorkloadAllVariantsAgreeWithBruteForce) {
     std::vector<Query> queries = GenerateQueries(ds, qcfg);
     for (const Query& q : queries) {
       std::vector<ResultEntry> expected = brute.TopK(q);
-      ExpectSameScores(engine.ExecuteStds(q).entries, expected,
+      ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected,
                        std::string("STDS ") + VariantName(variant));
-      ExpectSameScores(engine.ExecuteStps(q).entries, expected,
+      ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected,
                        std::string("STPS ") + VariantName(variant));
     }
   }
@@ -123,8 +123,8 @@ TEST(IntegrationTest, FiveFeatureSets) {
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
   for (const Query& q : queries) {
     std::vector<ResultEntry> expected = brute.TopK(q);
-    ExpectSameScores(engine.ExecuteStds(q).entries, expected, "STDS c=5");
-    ExpectSameScores(engine.ExecuteStps(q).entries, expected, "STPS c=5");
+    ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS c=5");
+    ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS c=5");
   }
 }
 
@@ -146,7 +146,7 @@ TEST(IntegrationTest, RangeScoreDominatesInfluenceScore) {
     for (ScoreVariant v : {ScoreVariant::kRange, ScoreVariant::kInfluence,
                            ScoreVariant::kNearestNeighbor}) {
       q.variant = v;
-      QueryResult r = engine.ExecuteStps(q);
+      QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
       for (size_t i = 1; i < r.entries.size(); ++i) {
         EXPECT_GE(r.entries[i - 1].score, r.entries[i].score - 1e-12)
             << VariantName(v);
@@ -177,7 +177,7 @@ TEST(IntegrationTest, SmallBufferPoolStillCorrect) {
   opts.cold_cache_per_query = false;
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
   for (const Query& q : queries) {
-    ExpectSameScores(engine.ExecuteStps(q).entries, brute.TopK(q),
+    ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, brute.TopK(q),
                      "tiny pool");
   }
 }
@@ -198,7 +198,7 @@ TEST(IntegrationTest, SmallPageSizeDeepTreesStillCorrect) {
   opts.page_size_bytes = 256;  // fan-out floors at 4: deep trees
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
   for (const Query& q : queries) {
-    ExpectSameScores(engine.ExecuteStps(q).entries, brute.TopK(q),
+    ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, brute.TopK(q),
                      "deep trees");
   }
 }
@@ -214,7 +214,7 @@ TEST(IntegrationTest, ResultEntriesCarryValidObjectIds) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
   for (const Query& q : queries) {
-    QueryResult r = engine.ExecuteStps(q);
+    QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
     std::set<ObjectId> seen;
     for (const ResultEntry& e : r.entries) {
       EXPECT_LT(e.object, engine.objects().size());

@@ -177,8 +177,8 @@ TEST(StdsBatchingTest, BatchingReadsAtMostMarginallyMorePages) {
   Engine es(ds.objects, std::move(ds.feature_tables), single);
   uint64_t batched_reads = 0, single_reads = 0;
   for (const Query& q : queries) {
-    batched_reads += eb.ExecuteStds(q).stats.TotalReads();
-    single_reads += es.ExecuteStds(q).stats.TotalReads();
+    batched_reads += eb.Execute(q, Algorithm::kStds).TakeValue().stats.TotalReads();
+    single_reads += es.Execute(q, Algorithm::kStds).TakeValue().stats.TotalReads();
   }
   EXPECT_LE(batched_reads, single_reads + single_reads / 10);
 }
@@ -205,9 +205,9 @@ TEST(CombinationSymmetryTest, FeatureSetOrderDoesNotChangeScores) {
   Engine a(ds.objects, std::move(ds.feature_tables), {});
   Engine b(swapped.objects, std::move(swapped.feature_tables), {});
   for (Query q : queries) {
-    QueryResult ra = a.ExecuteStps(q);
+    QueryResult ra = a.Execute(q, Algorithm::kStps).TakeValue();
     std::swap(q.keywords[0], q.keywords[1]);
-    QueryResult rb = b.ExecuteStps(q);
+    QueryResult rb = b.Execute(q, Algorithm::kStps).TakeValue();
     ASSERT_EQ(ra.entries.size(), rb.entries.size());
     for (size_t i = 0; i < ra.entries.size(); ++i) {
       EXPECT_NEAR(ra.entries[i].score, rb.entries[i].score, 1e-9);

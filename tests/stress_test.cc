@@ -31,7 +31,7 @@ TEST(WorkloadTest, SummarizesCosts) {
   qcfg.count = 10;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  WorkloadSummary s = RunWorkload(&engine, queries, Algorithm::kStps, 0.1);
+  WorkloadSummary s = RunWorkload(engine, queries, Algorithm::kStps, 0.1).TakeValue();
   EXPECT_EQ(s.queries, 10u);
   EXPECT_GT(s.total_ms.mean, 0.0);
   EXPECT_LE(s.total_ms.p50, s.total_ms.p95);
@@ -49,7 +49,7 @@ TEST(WorkloadTest, EmptyWorkload) {
   cfg.num_feature_sets = 1;
   Dataset ds = GenerateSynthetic(cfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  WorkloadSummary s = RunWorkload(&engine, {}, Algorithm::kStps, 0.1);
+  WorkloadSummary s = RunWorkload(engine, {}, Algorithm::kStps, 0.1).TakeValue();
   EXPECT_EQ(s.queries, 0u);
   EXPECT_EQ(s.total_ms.mean, 0.0);
 }
@@ -64,8 +64,8 @@ TEST(WorkloadTest, IoCostScalesLinearly) {
   qcfg.count = 3;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  WorkloadSummary cheap = RunWorkload(&engine, queries, Algorithm::kStps, 0.1);
-  WorkloadSummary costly = RunWorkload(&engine, queries, Algorithm::kStps, 1.0);
+  WorkloadSummary cheap = RunWorkload(engine, queries, Algorithm::kStps, 0.1).TakeValue();
+  WorkloadSummary costly = RunWorkload(engine, queries, Algorithm::kStps, 1.0).TakeValue();
   EXPECT_NEAR(costly.io_ms.mean, 10.0 * cheap.io_ms.mean, 1e-6);
 }
 
@@ -94,7 +94,7 @@ TEST(StressTest, EngineIsReentrantAcrossVariantsAndAlgorithms) {
     qcfg.variant = static_cast<ScoreVariant>(rng.UniformInt(0, 2));
     Query q = GenerateQueries(ds, qcfg)[0];
     Algorithm alg = rng.Bernoulli(0.5) ? Algorithm::kStds : Algorithm::kStps;
-    QueryResult r = engine.Execute(q, alg);
+    QueryResult r = engine.Execute(q, alg).TakeValue();
     std::vector<ResultEntry> expected = brute.TopK(q);
     ASSERT_EQ(r.entries.size(), expected.size()) << "step " << step;
     for (size_t i = 0; i < expected.size(); ++i) {
@@ -131,8 +131,8 @@ TEST(StressTest, DegenerateAllObjectsOnePoint) {
   for (ScoreVariant v : {ScoreVariant::kRange, ScoreVariant::kInfluence,
                          ScoreVariant::kNearestNeighbor}) {
     q.variant = v;
-    QueryResult stds = engine.ExecuteStds(q);
-    QueryResult stps = engine.ExecuteStps(q);
+    QueryResult stds = engine.Execute(q, Algorithm::kStds).TakeValue();
+    QueryResult stps = engine.Execute(q, Algorithm::kStps).TakeValue();
     ASSERT_EQ(stds.entries.size(), 10u) << VariantName(v);
     ASSERT_EQ(stps.entries.size(), 10u) << VariantName(v);
     for (size_t i = 0; i < 10; ++i) {
@@ -162,7 +162,7 @@ TEST(StressTest, DegenerateAllFeaturesIdentical) {
   q.k = 5;
   q.radius = 0.1;
   q.keywords = {KeywordSet(4, {0})};
-  QueryResult r = engine.ExecuteStps(q);
+  QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
   // Objects within 0.1 of (0.25, 0.25) score 0.4 + 0.5 = ... Jaccard = 1.
   double expected_score = 0.5 * 0.8 + 0.5 * 1.0;
   size_t in_range = 0;
@@ -193,8 +193,8 @@ TEST(StressTest, ManySmallQueriesStaysConsistent) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
   for (const Query& q : queries) {
-    QueryResult a = engine.ExecuteStps(q);
-    QueryResult b = engine.ExecuteStps(q);
+    QueryResult a = engine.Execute(q, Algorithm::kStps).TakeValue();
+    QueryResult b = engine.Execute(q, Algorithm::kStps).TakeValue();
     ASSERT_EQ(a.entries.size(), b.entries.size());
     EXPECT_EQ(a.stats.TotalReads(), b.stats.TotalReads());
     for (size_t i = 1; i < a.entries.size(); ++i) {

@@ -228,8 +228,8 @@ TEST_P(VariantAgreementTest, StdsStpsBruteForceAgree) {
   Engine engine(ds.objects, std::move(ds.feature_tables), opts);
   for (const Query& q : queries) {
     std::vector<ResultEntry> expected = brute.TopK(q);
-    ExpectSameScores(engine.ExecuteStds(q).entries, expected, "STDS");
-    ExpectSameScores(engine.ExecuteStps(q).entries, expected, "STPS");
+    ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS");
+    ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS");
   }
 }
 
@@ -273,7 +273,7 @@ TEST(VariantPaperExample, InfluenceRanksSameTopHotelsHigh) {
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  ExpectSameScores(engine.ExecuteStps(q).entries, expected, "influence");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "influence");
   // Influence scores are below the range scores (distance decay).
   for (const ResultEntry& e : expected) {
     EXPECT_LT(e.score, ex::kTopHotelScore);
@@ -288,8 +288,8 @@ TEST(VariantPaperExample, NearestNeighborAgreesWithBruteForce) {
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  ExpectSameScores(engine.ExecuteStds(q).entries, expected, "STDS nn");
-  ExpectSameScores(engine.ExecuteStps(q).entries, expected, "STPS nn");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS nn");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS nn");
 }
 
 // ----------------------------------------------------------- edge cases
@@ -317,7 +317,7 @@ TEST(InfluenceModesTest, AnchoredAndCombinationModesAgree) {
            anchored);
   Engine b(ds.objects, std::move(ds.feature_tables), combos);
   for (const Query& q : queries) {
-    ExpectSameScores(a.ExecuteStps(q).entries, b.ExecuteStps(q).entries,
+    ExpectSameScores(a.Execute(q, Algorithm::kStps).TakeValue().entries, b.Execute(q, Algorithm::kStps).TakeValue().entries,
                      "influence modes");
   }
 }
@@ -336,7 +336,7 @@ TEST(InfluenceModesTest, AnchoredAvoidsCombinationEnumeration) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
   for (const Query& q : queries) {
-    QueryResult r = engine.ExecuteStps(q);
+    QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
     EXPECT_EQ(r.stats.combinations_emitted, 0u);
     EXPECT_GT(r.stats.objects_scored, 0u);
   }
@@ -351,7 +351,7 @@ TEST(VariantEdgeCases, InfluenceWithNoRelevantFeatures) {
   q.keywords.push_back(KeywordSet(ds.feature_tables[0].universe_size()));
   q.keywords.push_back(KeywordSet(ds.feature_tables[1].universe_size()));
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  QueryResult r = engine.ExecuteStps(q);
+  QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
   ASSERT_EQ(r.entries.size(), 3u);
   for (const auto& e : r.entries) EXPECT_EQ(e.score, 0.0);
 }
@@ -366,7 +366,7 @@ TEST(VariantEdgeCases, NnWithOneEmptyFeatureSet) {
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  ExpectSameScores(engine.ExecuteStps(q).entries, expected, "nn empty set");
+  ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "nn empty set");
 }
 
 TEST(VariantEdgeCases, NnVoronoiStatsPopulated) {
@@ -382,7 +382,7 @@ TEST(VariantEdgeCases, NnVoronoiStatsPopulated) {
   qcfg.variant = ScoreVariant::kNearestNeighbor;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Engine engine(ds.objects, std::move(ds.feature_tables), {});
-  QueryResult r = engine.ExecuteStps(queries[0]);
+  QueryResult r = engine.Execute(queries[0], Algorithm::kStps).TakeValue();
   EXPECT_GT(r.stats.voronoi_cells, 0u);
   EXPECT_GT(r.stats.voronoi_cpu_ms, 0.0);
 }

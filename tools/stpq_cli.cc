@@ -9,14 +9,18 @@
 //                     [--index srt|ir2] [--explain]
 //   stpq_cli bench    --data data.stpq [--queries 50] [--io-ms 0.1]
 //                     [--algo stps|stds] [--index srt|ir2]
+//   stpq_cli workload --data data.stpq --threads N[,N...] [--queries 200]
+//                     [--io-ms 0.1] [--algo stps|stds] [--index srt|ir2]
 //   stpq_cli validate --data data.stpq [--index srt|ir2]
 //
+// Flags accept both "--flag value" and "--flag=value".
 // Keyword syntax: per-feature-set lists separated by ';', terms by ','.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "debug/validate.h"
@@ -61,6 +65,11 @@ Args Parse(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
     std::string key = arg.substr(2);
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      a.flags.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
+      continue;
+    }
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       a.flags.insert_or_assign(key, std::string(argv[++i]));
     } else {
@@ -73,13 +82,15 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: stpq_cli <generate|info|query|bench|validate> [flags]\n"
+      "usage: stpq_cli <generate|info|query|bench|workload|validate> [flags]\n"
       "  generate --out FILE [--kind synthetic|real] [--scale S] [--seed N]\n"
       "  info     --data FILE\n"
       "  query    --data FILE --keywords \"a,b;c\" [--k N] [--r R]\n"
       "           [--lambda L] [--variant range|influence|nn]\n"
       "           [--algo stps|stds] [--index srt|ir2] [--explain]\n"
       "  bench    --data FILE [--queries N] [--io-ms MS]\n"
+      "           [--algo stps|stds] [--index srt|ir2]\n"
+      "  workload --data FILE --threads N[,N...] [--queries N] [--io-ms MS]\n"
       "           [--algo stps|stds] [--index srt|ir2]\n"
       "  validate --data FILE [--index srt|ir2]\n");
   return 2;
@@ -219,7 +230,12 @@ int RunQuery(const Args& args) {
                 MakeEngineOptions(args));
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
-  QueryResult result = engine.Execute(query, algo);
+  Result<QueryResult> executed = engine.Execute(query, algo);
+  if (!executed.ok()) {
+    std::fprintf(stderr, "error: %s\n", executed.status().ToString().c_str());
+    return 1;
+  }
+  QueryResult result = executed.TakeValue();
   std::printf("top-%u (%s, %s, %s index):\n", query.k, VariantName(
                   query.variant),
               algo == Algorithm::kStds ? "STDS" : "STPS",
@@ -271,9 +287,97 @@ int Bench(const Args& args) {
                 MakeEngineOptions(args));
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
-  WorkloadSummary s = RunWorkload(&engine, queries, algo,
-                                  args.GetDouble("io-ms", 0.1));
-  std::printf("%s\n", s.ToString().c_str());
+  Result<WorkloadSummary> s =
+      RunWorkload(engine, queries, algo, args.GetDouble("io-ms", 0.1));
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", s.value().ToString().c_str());
+  return 0;
+}
+
+/// Parses "1,2,4,8" into thread counts; returns empty on a parse error.
+std::vector<size_t> ParseThreadList(const std::string& spec) {
+  std::vector<size_t> out;
+  std::string cur;
+  auto flush = [&]() {
+    if (cur.empty()) return true;
+    char* end = nullptr;
+    long v = std::strtol(cur.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) return false;
+    out.push_back(static_cast<size_t>(v));
+    cur.clear();
+    return true;
+  };
+  for (char ch : spec) {
+    if (ch == ',') {
+      if (!flush()) return {};
+    } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+      cur.push_back(ch);
+    }
+  }
+  if (!flush()) return {};
+  return out;
+}
+
+/// Runs one generated query batch through ParallelWorkloadRunner for each
+/// requested thread count and prints a throughput row per count.
+int Workload(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = args.GetUint("queries", 200);
+  qcfg.k = args.GetUint("k", 10);
+  qcfg.radius = args.GetDouble("r", 0.01);
+  qcfg.lambda = args.GetDouble("lambda", 0.5);
+  std::string variant = args.Get("variant", "range");
+  if (variant == "influence") qcfg.variant = ScoreVariant::kInfluence;
+  if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+
+  std::vector<size_t> thread_counts = ParseThreadList(args.Get("threads", "1"));
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "error: --threads expects N or N,N,... (got '%s')\n",
+                 args.Get("threads", "1").c_str());
+    return 1;
+  }
+
+  Result<Engine> engine = Engine::Create(
+      std::move(ds.objects), std::move(ds.feature_tables),
+      MakeEngineOptions(args));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  ParallelWorkloadRunner runner(&engine.value());
+
+  ParallelWorkloadOptions opts;
+  opts.algorithm =
+      args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
+  opts.io_unit_cost_ms = args.GetDouble("io-ms", 0.1);
+
+  std::printf("%zu queries, %s, %s index\n", queries.size(),
+              opts.algorithm == Algorithm::kStds ? "STDS" : "STPS",
+              engine.value().IndexName());
+  std::printf("%8s %12s %12s %14s\n", "threads", "wall_ms", "queries/s",
+              "reads/query");
+  for (size_t threads : thread_counts) {
+    opts.threads = threads;
+    Result<ParallelWorkloadReport> report = runner.Run(queries, opts);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const ParallelWorkloadReport& r = report.value();
+    std::printf("%8zu %12.2f %12.1f %14.1f\n", threads, r.wall_ms,
+                r.queries_per_sec, r.summary.mean_page_reads);
+  }
   return 0;
 }
 
@@ -336,6 +440,7 @@ int main(int argc, char** argv) {
   if (args.command == "info") return Info(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "bench") return Bench(args);
+  if (args.command == "workload") return Workload(args);
   if (args.command == "validate") return Validate(args);
   return Usage();
 }
