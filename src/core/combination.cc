@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/score.h"
+#include "obs/phase.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -29,12 +30,14 @@ SortedFeatureStream::SortedFeatureStream(const FeatureIndex* index,
                                          const KeywordSet* query_kw,
                                          double lambda, QueryStats* stats)
     : index_(index), query_kw_(query_kw), lambda_(lambda), stats_(stats) {
+  STPQ_CHECK(stats_ != nullptr);
   if (index_->RootId() != kInvalidNodeId) {
     heap_.push({1.0, index_->RootId(), false});
   }
 }
 
 std::optional<SortedFeatureStream::Item> SortedFeatureStream::Next() {
+  STPQ_TRACE_PHASE(*stats_, QueryPhase::kComponentScore);
   while (!heap_.empty()) {
     HeapEntry top = heap_.top();
     heap_.pop();
@@ -68,6 +71,7 @@ CombinationIterator::CombinationIterator(
       enforce_range_(enforce_range_constraint),
       strategy_(strategy),
       stats_(stats) {
+  STPQ_CHECK(stats_ != nullptr);
   const size_t c = indexes_.size();
   STPQ_CHECK(query_.keywords.size() == c);
   streams_.reserve(c);
@@ -298,6 +302,7 @@ void CombinationIterator::ExpandSuccessors(const RankTuple& ranks) {
 }
 
 std::optional<Combination> CombinationIterator::Next() {
+  STPQ_TRACE_PHASE(*stats_, QueryPhase::kCombination);
   if (!initialized_) {
     for (size_t i = 0; i < indexes_.size(); ++i) Pull(i);
     initialized_ = true;

@@ -61,7 +61,8 @@ struct Combination {
 /// sim(t, W) > 0, with the virtual feature appended last.
 class SortedFeatureStream {
  public:
-  /// Pointers are not owned.  `query_kw` and `stats` must stay valid.
+  /// Pointers are not owned.  `query_kw` and `stats` must stay valid;
+  /// `stats` must be non-null (checked at construction).
   SortedFeatureStream(const FeatureIndex* index, const KeywordSet* query_kw,
                       double lambda, QueryStats* stats);
 
@@ -100,7 +101,8 @@ class CombinationIterator {
  public:
   /// `enforce_range_constraint` applies Definition 4's pairwise
   /// dist(t_i, t_j) <= 2r filter (range variant); the influence and NN
-  /// variants construct the iterator without it (Section 7).
+  /// variants construct the iterator without it (Section 7).  `stats`
+  /// must be non-null (checked at construction).
   CombinationIterator(std::vector<const FeatureIndex*> indexes,
                       const Query& query, bool enforce_range_constraint,
                       PullingStrategy strategy, QueryStats* stats);

@@ -5,6 +5,7 @@
 
 #include "core/score.h"
 #include "geom/rect.h"
+#include "obs/phase.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -41,8 +42,9 @@ using MinHeap = std::priority_queue<MinHeapItem>;
 
 BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats* stats) {
+                             double r, QueryStats& stats) {
   if (index.RootId() == kInvalidNodeId) return {};
+  STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
   const double r2 = r * r;
   MaxHeap heap;
   heap.push({1.0, index.RootId(), false});
@@ -53,7 +55,7 @@ BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
     if (top.is_feature) {
       // Features enter the heap pre-filtered (dist <= r, sim > 0), sorted
       // by exact s(t): the first one popped is tau_i(p) (Algorithm 2).
-      ++stats->features_retrieved;
+      ++stats.features_retrieved;
       return {top.id, top.priority,
               Distance(p, index.table().Get(top.id).pos)};
     }
@@ -62,7 +64,7 @@ BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
       if (!b.text_match) continue;
       if (MinSquaredDistance(p, b.mbr) > r2) continue;
       heap.push({b.score_bound, b.id, b.is_feature});
-      ++stats->heap_pushes;
+      ++stats.heap_pushes;
     }
   }
   return {};
@@ -70,14 +72,15 @@ BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
 
 double ComputeScoreRange(const FeatureIndex& index, const Point& p,
                          const KeywordSet& query_kw, double lambda, double r,
-                         QueryStats* stats) {
+                         QueryStats& stats) {
   return ComputeBestRange(index, p, query_kw, lambda, r, stats).score;
 }
 
 BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
                                  const KeywordSet& query_kw, double lambda,
-                                 double r, QueryStats* stats) {
+                                 double r, QueryStats& stats) {
   if (index.RootId() == kInvalidNodeId) return {};
+  STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
   MaxHeap heap;
   heap.push({1.0, index.RootId(), false});
   std::vector<FeatureBranch> scratch;
@@ -85,7 +88,7 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
     HeapItem top = heap.top();
     heap.pop();
     if (top.is_feature) {
-      ++stats->features_retrieved;
+      ++stats.features_retrieved;
       return {top.id, top.priority,
               Distance(p, index.table().Get(top.id).pos)};
     }
@@ -97,7 +100,7 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
       double pri =
           b.score_bound * InfluenceFactor(MinDistance(p, b.mbr), r);
       heap.push({pri, b.id, b.is_feature});
-      ++stats->heap_pushes;
+      ++stats.heap_pushes;
     }
   }
   return {};
@@ -105,15 +108,16 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
 
 double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats* stats) {
+                             double r, QueryStats& stats) {
   return ComputeBestInfluence(index, p, query_kw, lambda, r, stats).score;
 }
 
 BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
                                        const Point& p,
                                        const KeywordSet& query_kw,
-                                       double lambda, QueryStats* stats) {
+                                       double lambda, QueryStats& stats) {
   if (index.RootId() == kInvalidNodeId) return {};
+  STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
   MinHeap heap;
   heap.push({0.0, index.RootId(), false});
   std::vector<FeatureBranch> scratch;
@@ -123,18 +127,25 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
   while (!heap.empty()) {
     MinHeapItem top = heap.top();
     // Once the nearest relevant feature is known, only exact-distance ties
-    // can still matter (they take the max preference score).
+    // can still matter (they take the max preference score).  Heap
+    // priorities are mindist *lower bounds* on the exact distance, so
+    // popping everything with priority <= nearest_d2 covers all potential
+    // ties; the tie test itself never uses the heap priority.
     if (found && top.priority > nearest_d2) break;
     heap.pop();
     if (top.is_feature) {
-      ++stats->features_retrieved;
+      ++stats.features_retrieved;
       const FeatureObject& t = index.table().Get(top.id);
+      // Exact squared distance through one code path for every feature:
+      // candidates at geometrically identical distances compare equal even
+      // when MBR mindist arithmetic would round differently.
+      const double d2 = SquaredDistance(p, t.pos);
       double s = PreferenceScore(t, query_kw, lambda);
-      if (!found || top.priority < nearest_d2 ||
-          (top.priority == nearest_d2 && s > best.score)) {
+      if (!found || d2 < nearest_d2 ||
+          (d2 == nearest_d2 && s > best.score)) {
         found = true;
-        nearest_d2 = top.priority;
-        best = {top.id, s, std::sqrt(top.priority)};
+        nearest_d2 = d2;
+        best = {top.id, s, std::sqrt(d2)};
       }
       continue;
     }
@@ -142,7 +153,7 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
     for (const FeatureBranch& b : scratch) {
       if (!b.text_match) continue;
       heap.push({MinSquaredDistance(p, b.mbr), b.id, b.is_feature});
-      ++stats->heap_pushes;
+      ++stats.heap_pushes;
     }
   }
   return found ? best : BestFeature{};
@@ -150,7 +161,7 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
 
 double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
                                    const KeywordSet& query_kw, double lambda,
-                                   QueryStats* stats) {
+                                   QueryStats& stats) {
   return ComputeBestNearestNeighbor(index, p, query_kw, lambda, stats).score;
 }
 
@@ -159,10 +170,11 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
                              const Rect2& batch_mbr,
                              const KeywordSet& query_kw, double lambda,
                              double r, std::span<double> scores,
-                             QueryStats* stats) {
+                             QueryStats& stats) {
   STPQ_CHECK(scores.size() == batch.size());
   std::fill(scores.begin(), scores.end(), 0.0);
   if (index.RootId() == kInvalidNodeId || batch.empty()) return;
+  STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
   const double r2 = r * r;
 
   // Indices of batch members whose score is still unresolved.
@@ -176,7 +188,7 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
     HeapItem top = heap.top();
     heap.pop();
     if (top.is_feature) {
-      ++stats->features_retrieved;
+      ++stats.features_retrieved;
       const FeatureObject& t = index.table().Get(top.id);
       // Features pop in descending s(t): the first one within range of a
       // batch member resolves that member.
@@ -207,7 +219,7 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
       }
       if (!any) continue;
       heap.push({b.score_bound, b.id, b.is_feature});
-      ++stats->heap_pushes;
+      ++stats.heap_pushes;
     }
   }
 }

@@ -5,6 +5,12 @@
 // All traversals are best-first over s-hat(e) (or distance, for the NN
 // variant); sub-trees are pruned when the spatial constraint cannot be met
 // or no query keyword can occur below the entry.
+//
+// Stats contract: every function takes `QueryStats&` and unconditionally
+// accumulates its work counters — callers that do not care still pass a
+// (stack) QueryStats.  The reference signature makes the "never null"
+// contract structural; it used to be a pointer that was dereferenced
+// without a check.
 #ifndef STPQ_CORE_COMPUTE_SCORE_H_
 #define STPQ_CORE_COMPUTE_SCORE_H_
 
@@ -29,31 +35,40 @@ struct BestFeature {
 /// distance r of p, or 0 if none qualifies.
 double ComputeScoreRange(const FeatureIndex& index, const Point& p,
                          const KeywordSet& query_kw, double lambda, double r,
-                         QueryStats* stats);
+                         QueryStats& stats);
 
 /// Detailed versions: also identify the feature that realizes the score.
 BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats* stats);
+                             double r, QueryStats& stats);
 BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
                                  const KeywordSet& query_kw, double lambda,
-                                 double r, QueryStats* stats);
+                                 double r, QueryStats& stats);
+
+/// NN variant (Definition 7).  Tie rule: among relevant features, the
+/// nearest by *exact* squared distance wins; equidistant features (squared
+/// distances compared with ==, both computed by the same
+/// SquaredDistance(p, t.pos) expression — never by mixing heap bounds with
+/// recomputed values) tie-break by the larger preference score s(t).
+/// Heap priorities (MBR mindists) are only ever used as lower bounds, so
+/// floating-point noise in them cannot flip the tie decision.
 BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
                                        const Point& p,
                                        const KeywordSet& query_kw,
-                                       double lambda, QueryStats* stats);
+                                       double lambda, QueryStats& stats);
 
 /// Definition 6 score: the best s(t) * 2^(-dist(p,t)/r) among relevant
 /// features, or 0 if none qualifies.
 double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats* stats);
+                             double r, QueryStats& stats);
 
 /// Definition 7 score: s(t) of the nearest relevant feature (max s(t) among
-/// equidistant nearest), or 0 if none qualifies.
+/// equidistant nearest, see ComputeBestNearestNeighbor), or 0 if none
+/// qualifies.
 double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
                                    const KeywordSet& query_kw, double lambda,
-                                   QueryStats* stats);
+                                   QueryStats& stats);
 
 /// One member of a batched score computation.
 struct BatchObject {
@@ -70,7 +85,7 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
                              const Rect2& batch_mbr,
                              const KeywordSet& query_kw, double lambda,
                              double r, std::span<double> scores,
-                             QueryStats* stats);
+                             QueryStats& stats);
 
 }  // namespace stpq
 

@@ -45,7 +45,7 @@ void StpsCursor::RefillBuffer() {
     batch.clear();
     CollectObjectsInRange(*objects_, member_pos, query_.radius, combo->score,
                           /*remaining=*/SIZE_MAX, &claimed_, &batch,
-                          &stats_);
+                          stats_);
     for (ResultEntry& e : batch) buffer_.push_back(e);
   }
 }
@@ -65,7 +65,7 @@ std::optional<ResultEntry> StpsCursor::Next() {
 
 QueryStats StpsCursor::stats() const {
   QueryStats merged = stats_;
-  if (session_ != nullptr) session_->ExportIoCounters(&merged);
+  if (session_ != nullptr) session_->ExportIoCounters(merged);
   return merged;
 }
 

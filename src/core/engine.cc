@@ -6,6 +6,7 @@
 #include "core/exec_session.h"
 #include "core/stds.h"
 #include "core/stps.h"
+#include "obs/query_metrics.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -149,7 +150,10 @@ Result<QueryResult> Engine::Execute(const Query& query,
 Result<QueryResult> Engine::Execute(const Query& query,
                                     const ExecuteOptions& options) const {
   Status st = ValidateQuery(query);
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    QueryMetrics::Global().RecordRejected();
+    return st;
+  }
 
   // All per-query mutable state lives in the session (I/O accounting) and
   // in the executor's stack frames; the engine itself is only read.
@@ -167,9 +171,18 @@ Result<QueryResult> Engine::Execute(const Query& query,
     result = stps.Execute(query, options_.pulling);
   }
   result.stats.cpu_ms = timer.ElapsedMillis();
-  session.ExportIoCounters(&result.stats);
+  session.ExportIoCounters(result.stats);
   if (options.stats_sink != nullptr) {
     options.stats_sink->Record(result.stats);
+  }
+  // Feed the process-wide registry once per completed query: a fixed set
+  // of relaxed atomic adds, never inside the search loops.
+  QueryMetrics& metrics = QueryMetrics::Global();
+  metrics.RecordQuery(result.stats);
+  metrics.object_pool_resident_pages.Set(object_pool_->resident_pages());
+  metrics.feature_pool_resident_pages.Set(feature_pool_->resident_pages());
+  if (voronoi_cache_ != nullptr) {
+    metrics.voronoi_cache_cells.Set(voronoi_cache_->size());
   }
   return result;
 }

@@ -58,12 +58,12 @@ class ExecutionSession {
 
   /// Writes this session's I/O counters into `stats` (overwriting the
   /// read/hit fields; the algorithm counters are untouched).
-  void ExportIoCounters(QueryStats* stats) const {
+  void ExportIoCounters(QueryStats& stats) const {
     const BufferPoolStats obj = object_session_.stats();
     const BufferPoolStats feat = feature_session_.stats();
-    stats->object_index_reads = obj.reads;
-    stats->feature_index_reads = feat.reads;
-    stats->buffer_hits = obj.hits + feat.hits;
+    stats.object_index_reads = obj.reads;
+    stats.feature_index_reads = feat.reads;
+    stats.buffer_hits = obj.hits + feat.hits;
   }
 
  private:

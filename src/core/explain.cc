@@ -18,16 +18,16 @@ Explanation ExplainScore(const Engine* engine, const Query& query,
     switch (query.variant) {
       case ScoreVariant::kRange:
         best = ComputeBestRange(index, p, query.keywords[i], query.lambda,
-                                query.radius, &scratch_stats);
+                                query.radius, scratch_stats);
         break;
       case ScoreVariant::kInfluence:
         best = ComputeBestInfluence(index, p, query.keywords[i],
                                     query.lambda, query.radius,
-                                    &scratch_stats);
+                                    scratch_stats);
         break;
       case ScoreVariant::kNearestNeighbor:
         best = ComputeBestNearestNeighbor(index, p, query.keywords[i],
-                                          query.lambda, &scratch_stats);
+                                          query.lambda, scratch_stats);
         break;
     }
     Contribution c;

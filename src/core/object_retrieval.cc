@@ -1,6 +1,7 @@
 #include "core/object_retrieval.h"
 
 #include "geom/rect.h"
+#include "obs/phase.h"
 #include "rtree/rtree.h"
 
 namespace stpq {
@@ -10,8 +11,9 @@ void CollectObjectsInRange(const ObjectIndex& objects,
                            double radius, double score, size_t remaining,
                            std::vector<bool>* claimed,
                            std::vector<ResultEntry>* result,
-                           QueryStats* stats) {
+                           QueryStats& stats) {
   if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
+  STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
   const double r2 = radius * radius;
   size_t added = 0;
   std::vector<NodeId> stack{objects.tree().root_id()};
@@ -42,7 +44,7 @@ void CollectObjectsInRange(const ObjectIndex& objects,
         }
         if (!in_range) continue;
         (*claimed)[e.id] = true;
-        ++stats->objects_scored;
+        ++stats.objects_scored;
         result->push_back(ResultEntry{e.id, score});
         ++added;
       } else {

@@ -20,7 +20,7 @@ void CollectObjectsInRange(const ObjectIndex& objects,
                            double radius, double score, size_t remaining,
                            std::vector<bool>* claimed,
                            std::vector<ResultEntry>* result,
-                           QueryStats* stats);
+                           QueryStats& stats);
 
 }  // namespace stpq
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/compute_score.h"
+#include "obs/phase.h"
 #include "util/logging.h"
 #include "util/topk.h"
 
@@ -15,7 +16,7 @@ namespace {
 /// object was pruned.
 double ScoreObjectPruned(const std::vector<const FeatureIndex*>& indexes,
                          const Query& query, const Point& pos,
-                         double threshold, QueryStats* stats) {
+                         double threshold, QueryStats& stats) {
   const size_t c = indexes.size();
   double partial = 0.0;
   for (size_t i = 0; i < c; ++i) {
@@ -48,9 +49,12 @@ double ScoreObjectPruned(const std::vector<const FeatureIndex*>& indexes,
 QueryResult Stds::Execute(const Query& query, bool use_batching) const {
   STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
   QueryResult result;
-  QueryStats* stats = &result.stats;
+  QueryStats& stats = result.stats;
   TopK<ObjectId> topk(query.k);
   const size_t c = feature_indexes_.size();
+  // The leaf-block scan itself is object retrieval; the component-score
+  // lookups inside it carve out their own (child) phase.
+  STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
 
   if (query.variant == ScoreVariant::kRange && use_batching) {
     // Batched STDS: every object-R-tree leaf block is one batch.
@@ -96,7 +100,7 @@ QueryResult Stds::Execute(const Query& query, bool use_batching) const {
       }
       for (size_t j = 0; j < batch.size(); ++j) {
         if (!alive[j]) continue;
-        ++stats->objects_scored;
+        ++stats.objects_scored;
         topk.Push(partial[j], batch[j].id);
       }
     });
@@ -110,7 +114,7 @@ QueryResult Stds::Execute(const Query& query, bool use_batching) const {
                                        topk.Full() ? topk.Threshold() : -1.0,
                                        stats);
         if (tau >= 0.0) {
-          ++stats->objects_scored;
+          ++stats.objects_scored;
           topk.Push(tau, id);
         }
       }

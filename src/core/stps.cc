@@ -45,7 +45,7 @@ QueryResult Stps::ExecuteRange(const Query& query,
     }
     CollectObjectsInRange(*objects_, member_pos, query.radius, combo->score,
                           query.k - result.entries.size(), &claimed,
-                          &result.entries, &result.stats);
+                          &result.entries, result.stats);
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include "core/compute_score.h"
 #include "core/score.h"
 #include "core/stps.h"
+#include "obs/phase.h"
 #include "util/logging.h"
 #include "util/topk.h"
 
@@ -29,9 +30,10 @@ struct ScoredObject {
 std::vector<ScoredObject> TopKInfluenceObjects(
     const ObjectIndex& objects, const std::vector<Point>& member_pos,
     const std::vector<double>& member_score, double radius, size_t k,
-    double stop_threshold, QueryStats* stats) {
+    double stop_threshold, QueryStats& stats) {
   std::vector<ScoredObject> out;
   if (objects.tree().root_id() == kInvalidNodeId) return out;
+  STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
 
   struct HeapEntry {
     double priority;
@@ -65,7 +67,7 @@ std::vector<ScoredObject> TopKInfluenceObjects(
     if (top.priority < stop_threshold) break;
     if (top.is_object) {
       out.push_back(ScoredObject{top.id, top.priority});
-      ++stats->objects_scored;
+      ++stats.objects_scored;
       continue;
     }
     const RTree<2>::Node& node = objects.tree().ReadNode(top.id);
@@ -73,7 +75,7 @@ std::vector<ScoredObject> TopKInfluenceObjects(
       double pri = bound_for(e.rect, node.IsLeaf());
       if (pri < stop_threshold) continue;
       heap.push({pri, e.id, node.IsLeaf()});
-      ++stats->heap_pushes;
+      ++stats.heap_pushes;
     }
   }
   return out;
@@ -155,7 +157,7 @@ QueryResult Stps::ExecuteInfluence(const Query& query,
     }
     std::vector<ScoredObject> candidates = TopKInfluenceObjects(
         *objects_, member_pos, member_score, query.radius, query.k, tau,
-        &result.stats);
+        result.stats);
     bool changed = false;
     for (const ScoredObject& c : candidates) {
       auto [iter, inserted] = best.try_emplace(c.id, c.score);
@@ -210,9 +212,10 @@ namespace {
 /// object R-tree); used to seed tau_k before any radius can be bounded.
 std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
                                      const Point& center, size_t k,
-                                     QueryStats* stats) {
+                                     QueryStats& stats) {
   std::vector<ObjectId> out;
   if (objects.tree().root_id() == kInvalidNodeId) return out;
+  STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
   struct HeapEntry {
     double d2;
     uint32_t id;
@@ -234,7 +237,7 @@ std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
       double d2 = node.IsLeaf() ? SquaredDistance(center, lo)
                                 : MinSquaredDistance(center, e.rect);
       heap.push({d2, e.id, node.IsLeaf()});
-      ++stats->heap_pushes;
+      ++stats.heap_pushes;
     }
   }
   return out;
@@ -281,7 +284,7 @@ QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
     for (size_t i = 0; i < c; ++i) {
       tau += ComputeScoreInfluence(*feature_indexes_[i], p,
                                    query.keywords[i], query.lambda,
-                                   query.radius, &result.stats);
+                                   query.radius, result.stats);
     }
     topk.Push(tau, id);
   };
@@ -332,7 +335,7 @@ QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
     // Seed tau_k near this anchor while the result set is short.
     if (!topk.Full()) {
       for (ObjectId id : NearestObjects(*objects_, anchor.pos, query.k,
-                                        &result.stats)) {
+                                        result.stats)) {
         exactify(id);
       }
     }

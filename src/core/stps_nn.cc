@@ -11,6 +11,7 @@
 #include "core/combination.h"
 #include "core/stps.h"
 #include "core/voronoi.h"
+#include "obs/phase.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -23,8 +24,9 @@ void CollectObjectsInRegion(const ObjectIndex& objects,
                             const ConvexPolygon& region, double score,
                             size_t remaining, std::vector<bool>* claimed,
                             std::vector<ResultEntry>* result,
-                            QueryStats* stats) {
+                            QueryStats& stats) {
   if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
+  STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
   const Rect2 bbox = region.BoundingBox();
   size_t added = 0;
   std::vector<NodeId> stack{objects.tree().root_id()};
@@ -40,7 +42,7 @@ void CollectObjectsInRegion(const ObjectIndex& objects,
         Point p{e.rect.lo[0], e.rect.lo[1]};
         if (!region.Contains(p)) continue;
         (*claimed)[e.id] = true;
-        ++stats->objects_scored;
+        ++stats.objects_scored;
         result->push_back(ResultEntry{e.id, score});
         ++added;
       } else {
@@ -93,7 +95,7 @@ QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
     }
     ConvexPolygon cell =
         ComputeVoronoiCell(*feature_indexes_[i], member, query.keywords[i],
-                           query.lambda, domain, &result.stats);
+                           query.lambda, domain, result.stats);
     if (voronoi_cache_ != nullptr) {
       voronoi_cache_->Put(i, member, query.keywords[i], cell);
     }
@@ -118,7 +120,7 @@ QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
     if (!feasible || region.IsEmpty()) continue;
     CollectObjectsInRegion(*objects_, region, combo->score,
                            query.k - result.entries.size(), &claimed,
-                           &result.entries, &result.stats);
+                           &result.entries, result.stats);
   }
   return result;
 }

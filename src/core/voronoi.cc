@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "obs/phase.h"
 #include "util/timer.h"
 
 namespace stpq {
@@ -9,14 +10,15 @@ namespace stpq {
 ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
                                  ObjectId center_id,
                                  const KeywordSet& query_kw, double lambda,
-                                 const Rect2& domain, QueryStats* stats) {
+                                 const Rect2& domain, QueryStats& stats) {
   Timer timer;
+  STPQ_TRACE_PHASE(stats, QueryPhase::kVoronoi);
   const BufferPoolStats before =
       index.buffer_pool() != nullptr ? index.buffer_pool()->stats()
                                      : BufferPoolStats{};
   const Point center = index.table().Get(center_id).pos;
   ConvexPolygon cell = ConvexPolygon::FromRect(domain);
-  ++stats->voronoi_cells;
+  ++stats.voronoi_cells;
 
   struct HeapEntry {
     double d2;  // squared mindist from the center
@@ -40,7 +42,7 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
       if (top.id == center_id) continue;
       const FeatureObject& t = index.table().Get(top.id);
       if (t.pos == center) continue;  // co-located: bisector undefined
-      ++stats->voronoi_clip_features;
+      ++stats.voronoi_clip_features;
       cell.Clip(BisectorHalfPlane(center, t.pos));
       max_vertex = cell.MaxDistanceFrom(center);
       continue;
@@ -53,9 +55,9 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
   }
 
   if (index.buffer_pool() != nullptr) {
-    stats->voronoi_reads += (index.buffer_pool()->stats() - before).reads;
+    stats.voronoi_reads += (index.buffer_pool()->stats() - before).reads;
   }
-  stats->voronoi_cpu_ms += timer.ElapsedMillis();
+  stats.voronoi_cpu_ms += timer.ElapsedMillis();
   return cell;
 }
 

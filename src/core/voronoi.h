@@ -24,7 +24,7 @@ namespace stpq {
 ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
                                  ObjectId center_id,
                                  const KeywordSet& query_kw, double lambda,
-                                 const Rect2& domain, QueryStats* stats);
+                                 const Rect2& domain, QueryStats& stats);
 
 /// Intersects `poly` with `other` in place (clips by every edge of
 /// `other`); both must be convex with CCW vertex order.

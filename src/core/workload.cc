@@ -25,7 +25,9 @@ MetricSummary Summarize(std::vector<double> values) {
     return values[std::min(idx, values.size() - 1)];
   };
   out.p50 = percentile(0.50);
+  out.p90 = percentile(0.90);
   out.p95 = percentile(0.95);
+  out.p99 = percentile(0.99);
   out.max = values.back();
   return out;
 }
@@ -82,7 +84,8 @@ class AggregatingStatsSink : public QueryStatsSink {
 std::string WorkloadSummary::ToString() const {
   std::ostringstream os;
   os << queries << " queries: total mean=" << total_ms.mean
-     << "ms p50=" << total_ms.p50 << " p95=" << total_ms.p95
+     << "ms p50=" << total_ms.p50 << " p90=" << total_ms.p90
+     << " p95=" << total_ms.p95 << " p99=" << total_ms.p99
      << " max=" << total_ms.max << " (cpu mean=" << cpu_ms.mean
      << ", io mean=" << io_ms.mean << ", reads/query=" << mean_page_reads
      << ")";
@@ -142,14 +145,19 @@ Result<ParallelWorkloadReport> ParallelWorkloadRunner::Run(
 
   // Dynamic work distribution: each worker claims the next unprocessed
   // query.  Results land in distinct slots, so only the claim counter and
-  // the sink are shared.
+  // the sink are shared; latency histograms are strictly per-thread and
+  // merged only after the join (single-writer, no synchronization).
   std::atomic<size_t> next{0};
-  auto worker = [&]() {
+  std::vector<LatencyHistogram> thread_hist(threads);
+  auto worker = [&](size_t tid) {
+    LatencyHistogram& hist = thread_hist[tid];
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) return;
       Result<QueryResult> r = engine_->Execute(queries[i], exec_options);
       STPQ_CHECK(r.ok());  // pre-validated above
+      const QueryStats& stats = r.value().stats;
+      hist.Record(stats.cpu_ms + stats.IoMillis(options.io_unit_cost_ms));
       report.per_query[i] = r.TakeValue();
     }
   };
@@ -157,9 +165,10 @@ Result<ParallelWorkloadReport> ParallelWorkloadRunner::Run(
   Timer wall;
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   report.wall_ms = wall.ElapsedMillis();
+  for (const LatencyHistogram& h : thread_hist) report.latency.Merge(h);
 
   report.summary = SummarizeResults(report.per_query, options.io_unit_cost_ms);
   report.summary.aggregate = sink.total();

@@ -19,6 +19,7 @@
 
 #include "core/engine.h"
 #include "core/query.h"
+#include "obs/histogram.h"
 #include "util/result.h"
 
 namespace stpq {
@@ -27,7 +28,9 @@ namespace stpq {
 struct MetricSummary {
   double mean = 0.0;
   double p50 = 0.0;
+  double p90 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double max = 0.0;
 };
 
@@ -68,6 +71,10 @@ struct ParallelWorkloadReport {
   std::vector<QueryResult> per_query;  ///< one entry per input query
   double wall_ms = 0.0;                ///< end-to-end batch wall time
   double queries_per_sec = 0.0;        ///< throughput over wall time
+  /// Per-query total latency (cpu + priced I/O), accumulated in one
+  /// LatencyHistogram per worker thread and merged after the join — no
+  /// locks or atomics touch the recording path (DESIGN.md §12).
+  LatencyHistogram latency;
 };
 
 /// Fans a query batch across a fixed pool of N threads over one engine.

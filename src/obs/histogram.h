@@ -1,0 +1,73 @@
+// Fixed-bucket log-scale latency histograms (DESIGN.md §12).
+//
+// LatencyHistogram is the single-writer accumulator used on the query
+// path: a fixed array of 64 buckets whose upper bounds grow by a factor of
+// sqrt(2) from 1 microsecond (bucket 0 is [0, 0.001 ms); bucket 63 is the
+// overflow bucket, reaching past 2000 seconds), so any latency is captured
+// with <= 41% relative bucket width and no allocation.  Recording is O(1);
+// percentiles are extracted by walking the cumulative counts with linear
+// interpolation inside the bucket.
+//
+// The parallel workload runner gives each worker thread its own
+// LatencyHistogram and merges them with Merge() after the threads have
+// been joined — merging is plain element-wise addition, no locks or
+// atomics anywhere on the recording path.  For the process-wide,
+// concurrently written variant, see HistogramMetric in
+// obs/metrics_registry.h, which shares this bucket layout.
+#ifndef STPQ_OBS_HISTOGRAM_H_
+#define STPQ_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stpq {
+
+/// Shared bucket layout: kNumBuckets log-scale buckets, upper bounds
+/// kMinUpperMs * sqrt(2)^i; the final bucket absorbs everything larger.
+struct LatencyBuckets {
+  static constexpr size_t kNumBuckets = 64;
+  static constexpr double kMinUpperMs = 0.001;  // 1 microsecond
+
+  /// Upper bound of bucket `i` in milliseconds (infinity for the last).
+  static double UpperBoundMs(size_t i);
+
+  /// Index of the bucket that holds a latency of `ms` milliseconds.
+  static size_t IndexFor(double ms);
+};
+
+/// Single-writer latency accumulator with percentile extraction.
+class LatencyHistogram {
+ public:
+  void Record(double ms);
+
+  /// Element-wise addition of another histogram (post-join merging).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum_ms() const { return sum_ms_; }
+  double max_ms() const { return max_ms_; }
+  double mean_ms() const {
+    return count_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(count_);
+  }
+  uint64_t bucket_count(size_t i) const { return buckets_[i]; }
+
+  /// Latency at quantile `q` in [0, 1] (0.5 = median), interpolated
+  /// linearly within the bucket; 0 when empty.  The estimate is exact to
+  /// within the bucket's width and never exceeds the recorded maximum.
+  double PercentileMs(double q) const;
+
+  /// "p50=… p90=… p95=… p99=… max=…" one-liner for reports.
+  std::string SummaryString() const;
+
+ private:
+  std::array<uint64_t, LatencyBuckets::kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_OBS_HISTOGRAM_H_

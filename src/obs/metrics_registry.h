@@ -1,0 +1,126 @@
+// Process-wide metrics registry with Prometheus text exposition
+// (DESIGN.md §12).
+//
+// Counters, gauges, and histograms are registered by name on first use and
+// live for the process lifetime; instrument handles are stable pointers,
+// so hot code looks a metric up once and then updates it with a single
+// atomic operation.  The engine feeds the registry once per completed
+// query from the final QueryStats — never from inside the search loops —
+// so the per-query cost is a dozen relaxed atomic adds regardless of how
+// much work the query did.
+//
+// RenderPrometheusText() produces the Prometheus text exposition format
+// (text/plain; version 0.0.4): one `# HELP`/`# TYPE` pair per metric, and
+// for histograms the cumulative `_bucket{le="..."}` series plus `_sum`
+// and `_count`.  Latencies are exported in milliseconds and the metric
+// names carry the `_ms` suffix, so no unit conversion happens anywhere.
+#ifndef STPQ_OBS_METRICS_REGISTRY_H_
+#define STPQ_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace stpq {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+
+  std::atomic<double> value_{0.0};
+};
+
+/// Concurrently writable latency histogram sharing LatencyBuckets' layout.
+/// Record is wait-free (three relaxed atomic RMWs); Snapshot() folds the
+/// buckets into a single-writer LatencyHistogram for percentile queries.
+class HistogramMetric {
+ public:
+  void Record(double ms);
+
+  /// Consistent-enough copy for reporting: bucket counts are read
+  /// individually, so a concurrent Record may straddle the snapshot by one
+  /// sample — fine for monitoring, which is this type's only consumer.
+  LatencyHistogram Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+
+  std::atomic<uint64_t> buckets_[LatencyBuckets::kNumBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  /// Milliseconds accumulated as fixed-point nanoseconds: double has no
+  /// atomic fetch_add pre-C++20 on all toolchains, and integer addition is
+  /// exact under concurrency.
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// Name -> instrument registry.  GetX() registers on first use and returns
+/// a stable reference; names must stay consistent in kind (getting a
+/// counter name as a gauge aborts).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (constructed on first use, never torn down
+  /// before exit so instrument handles cached in statics stay valid).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help);
+  Gauge& GetGauge(const std::string& name, const std::string& help);
+  HistogramMetric& GetHistogram(const std::string& name,
+                                const std::string& help);
+
+  /// Prometheus text exposition of every registered metric, sorted by
+  /// name.  Safe to call while other threads update instruments.
+  std::string RenderPrometheusText() const;
+
+  /// Zeroes every registered instrument (tests only; instruments stay
+  /// registered so cached handles remain valid).
+  void ResetForTest();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry& GetEntry(const std::string& name, const std::string& help,
+                  Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // sorted for stable exposition
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_OBS_METRICS_REGISTRY_H_

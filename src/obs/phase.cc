@@ -1,0 +1,7 @@
+#include "obs/phase.h"
+
+namespace stpq {
+
+thread_local PhaseTimer* PhaseTimer::current_ = nullptr;
+
+}  // namespace stpq

@@ -1,0 +1,76 @@
+#include "obs/query_metrics.h"
+
+#include <string>
+
+namespace stpq {
+
+QueryMetrics& QueryMetrics::Global() {
+  static QueryMetrics* metrics = new QueryMetrics(MetricsRegistry::Global());
+  return *metrics;
+}
+
+QueryMetrics::QueryMetrics(MetricsRegistry& registry)
+    : queries_total(registry.GetCounter(
+          "stpq_queries_total", "Queries executed to completion")),
+      rejected_total(registry.GetCounter(
+          "stpq_queries_rejected_total",
+          "Queries rejected by validation before execution")),
+      pages_read_total(registry.GetCounter(
+          "stpq_pages_read_total", "Simulated page reads (buffer misses)")),
+      buffer_hits_total(registry.GetCounter(
+          "stpq_buffer_hits_total", "Buffer-pool hits (no I/O charged)")),
+      heap_pushes_total(registry.GetCounter(
+          "stpq_heap_pushes_total", "Entries pushed on any search heap")),
+      features_retrieved_total(registry.GetCounter(
+          "stpq_features_retrieved_total",
+          "Feature objects retrieved in sorted score order")),
+      combinations_emitted_total(registry.GetCounter(
+          "stpq_combinations_emitted_total",
+          "Combinations emitted by Algorithm 4's iterator")),
+      objects_scored_total(registry.GetCounter(
+          "stpq_objects_scored_total", "Data objects scored or fetched")),
+      voronoi_cells_total(registry.GetCounter(
+          "stpq_voronoi_cells_total", "Voronoi cells computed (NN variant)")),
+      voronoi_cache_hits_total(registry.GetCounter(
+          "stpq_voronoi_cache_hits_total",
+          "Voronoi cells served from the shared cache")),
+      query_cpu_ms(registry.GetHistogram(
+          "stpq_query_cpu_ms", "Per-query CPU time in milliseconds")),
+      object_pool_resident_pages(registry.GetGauge(
+          "stpq_object_pool_resident_pages",
+          "Pages resident in the object-index buffer pool")),
+      feature_pool_resident_pages(registry.GetGauge(
+          "stpq_feature_pool_resident_pages",
+          "Pages resident in the shared feature-index buffer pool")),
+      voronoi_cache_cells(registry.GetGauge(
+          "stpq_voronoi_cache_cells",
+          "Cells memoized in the cross-query Voronoi cache")) {
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    const char* phase = QueryPhaseName(static_cast<QueryPhase>(i));
+    phase_us_total[i] = &registry.GetCounter(
+        std::string("stpq_phase_") + phase + "_us_total",
+        std::string("Self-time spent in the ") + phase +
+            " phase, microseconds");
+  }
+}
+
+void QueryMetrics::RecordQuery(const QueryStats& stats) {
+  queries_total.Increment();
+  pages_read_total.Increment(stats.TotalReads());
+  buffer_hits_total.Increment(stats.buffer_hits);
+  heap_pushes_total.Increment(stats.heap_pushes);
+  features_retrieved_total.Increment(stats.features_retrieved);
+  combinations_emitted_total.Increment(stats.combinations_emitted);
+  objects_scored_total.Increment(stats.objects_scored);
+  voronoi_cells_total.Increment(stats.voronoi_cells);
+  voronoi_cache_hits_total.Increment(stats.voronoi_cache_hits);
+  query_cpu_ms.Record(stats.cpu_ms);
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    phase_us_total[i]->Increment(
+        static_cast<uint64_t>(stats.phase_ms[i] * 1000.0));
+  }
+}
+
+void QueryMetrics::RecordRejected() { rejected_total.Increment(); }
+
+}  // namespace stpq

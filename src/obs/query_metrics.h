@@ -1,0 +1,54 @@
+// The engine's standard metric set over the global MetricsRegistry.
+//
+// One QueryMetrics instance caches the instrument handles for every
+// stpq_* metric the engine exports, so the per-query feeding cost is a
+// fixed set of relaxed atomic adds — no registry lookups, no locks, no
+// allocation.  Engine::Execute calls RecordQuery() with the final
+// QueryStats of each completed query (and RecordRejected() for queries
+// that fail validation); the engine's resource gauges (buffer-pool
+// residency, Voronoi cache size) are refreshed alongside.
+#ifndef STPQ_OBS_QUERY_METRICS_H_
+#define STPQ_OBS_QUERY_METRICS_H_
+
+#include "obs/metrics_registry.h"
+#include "util/metrics.h"
+
+namespace stpq {
+
+class QueryMetrics {
+ public:
+  /// Handles into MetricsRegistry::Global() (registered on first call).
+  static QueryMetrics& Global();
+
+  /// Instruments over `registry` (tests can use a private registry).
+  explicit QueryMetrics(MetricsRegistry& registry);
+
+  /// Folds one completed query's counters into the process totals.
+  void RecordQuery(const QueryStats& stats);
+
+  /// Counts a query rejected by validation.
+  void RecordRejected();
+
+  Counter& queries_total;
+  Counter& rejected_total;
+  Counter& pages_read_total;
+  Counter& buffer_hits_total;
+  Counter& heap_pushes_total;
+  Counter& features_retrieved_total;
+  Counter& combinations_emitted_total;
+  Counter& objects_scored_total;
+  Counter& voronoi_cells_total;
+  Counter& voronoi_cache_hits_total;
+  HistogramMetric& query_cpu_ms;
+  /// Per-phase self-time totals, indexed by QueryPhase.
+  Counter* phase_us_total[kNumQueryPhases];
+
+  // Resource gauges refreshed by the engine after each query.
+  Gauge& object_pool_resident_pages;
+  Gauge& feature_pool_resident_pages;
+  Gauge& voronoi_cache_cells;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_OBS_QUERY_METRICS_H_

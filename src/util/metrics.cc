@@ -1,8 +1,42 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace stpq {
+
+// Regression guard: QueryStats has 12 uint64_t counters, 2 standalone
+// doubles, and the phase_ms array — all 8-byte members (no padding on any
+// supported ABI).  Adding a field changes the size and fails this assert —
+// update operator+=, ToString(), and the QueryStatsContract tests in
+// util_test.cc, then bump the count.
+static_assert(sizeof(QueryStats) == (12 + 2 + kNumQueryPhases) * 8,
+              "QueryStats changed: update operator+=, ToString(), and the "
+              "QueryStatsContract tests, then adjust this assert");
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kCombination:
+      return "combination";
+    case QueryPhase::kComponentScore:
+      return "component_score";
+    case QueryPhase::kObjectRetrieval:
+      return "object_retrieval";
+    case QueryPhase::kVoronoi:
+      return "voronoi";
+  }
+  return "unknown";
+}
+
+double QueryStats::TracedMillis() const {
+  double sum = 0.0;
+  for (double ms : phase_ms) sum += ms;
+  return sum;
+}
+
+double QueryStats::UntracedMillis() const {
+  return std::max(0.0, cpu_ms - TracedMillis());
+}
 
 QueryStats& QueryStats::operator+=(const QueryStats& other) {
   object_index_reads += other.object_index_reads;
@@ -19,6 +53,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   voronoi_cpu_ms += other.voronoi_cpu_ms;
   voronoi_cache_hits += other.voronoi_cache_hits;
   cpu_ms += other.cpu_ms;
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    phase_ms[i] += other.phase_ms[i];
+  }
   return *this;
 }
 
@@ -26,9 +63,27 @@ std::string QueryStats::ToString() const {
   std::ostringstream os;
   os << "reads=" << TotalReads() << " (obj=" << object_index_reads
      << ", feat=" << feature_index_reads << ") hits=" << buffer_hits
+     << " heap_pushes=" << heap_pushes
      << " features=" << features_retrieved
      << " combos=" << combinations_emitted << "/" << combinations_generated
      << " scored=" << objects_scored << " cpu_ms=" << cpu_ms;
+  if (voronoi_cells > 0 || voronoi_clip_features > 0 || voronoi_reads > 0 ||
+      voronoi_cache_hits > 0 || voronoi_cpu_ms > 0.0) {
+    os << " voronoi(cells=" << voronoi_cells
+       << ", clip_features=" << voronoi_clip_features
+       << ", reads=" << voronoi_reads << ", cpu_ms=" << voronoi_cpu_ms
+       << ", cache_hits=" << voronoi_cache_hits << ")";
+  }
+  if (TracedMillis() > 0.0) {
+    os << " phases(";
+    bool first = true;
+    for (size_t i = 0; i < kNumQueryPhases; ++i) {
+      if (!first) os << ", ";
+      first = false;
+      os << QueryPhaseName(static_cast<QueryPhase>(i)) << "=" << phase_ms[i];
+    }
+    os << ")";
+  }
   return os.str();
 }
 

@@ -2,16 +2,47 @@
 //
 // The paper reports average execution time per query broken down into I/O
 // time (proportional to page reads) and CPU time.  QueryStats carries both,
-// plus algorithm-internal counters that the ablation benches inspect.
+// plus algorithm-internal counters that the ablation benches inspect, plus
+// a per-phase wall-time breakdown filled by obs/phase.h's PhaseTimer
+// (DESIGN.md §12).
 #ifndef STPQ_UTIL_METRICS_H_
 #define STPQ_UTIL_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace stpq {
 
+/// Named query-execution phases that PhaseTimer (obs/phase.h) attributes
+/// wall-time to.  The taxonomy follows the algorithmic structure shared by
+/// STDS and STPS (DESIGN.md §12): combination enumeration (Algorithm 4),
+/// component-score search over the feature indexes (Algorithm 2 and the
+/// sorted feature streams), data-object retrieval/scanning, and Voronoi
+/// cell construction (NN variant).  Time not covered by any timer is
+/// reported as "other" (total CPU minus the traced phases); simulated
+/// buffer-pool I/O is priced separately from page reads, so it is a
+/// *derived* phase, not a timed one.
+enum class QueryPhase : uint8_t {
+  kCombination = 0,    ///< combination enumeration / threshold maintenance
+  kComponentScore,     ///< tau_i(p) searches and sorted feature retrieval
+  kObjectRetrieval,    ///< data-object fetching, scanning, and scoring
+  kVoronoi,            ///< Voronoi cell construction (NN variant)
+};
+
+/// Number of timed phases (the extent of the QueryPhase enum).
+inline constexpr size_t kNumQueryPhases = 4;
+
+/// Human-readable phase name ("combination", "component_score", ...).
+const char* QueryPhaseName(QueryPhase phase);
+
 /// Cost counters accumulated while processing a single query (or a batch).
+///
+/// Contract: every field must be covered by operator+= and ToString(), and
+/// the phase_ms array is element-wise summable like the counters.  A
+/// regression guard in metrics.cc (sizeof static_assert) and
+/// util_test.cc's QueryStatsContract tests fail when a field is added
+/// without updating both.
 struct QueryStats {
   // Simulated disk reads (buffer-pool misses), split by index family.
   uint64_t object_index_reads = 0;
@@ -34,6 +65,10 @@ struct QueryStats {
   // Wall-clock CPU time of the query (filled by the caller's timer).
   double cpu_ms = 0.0;
 
+  /// Self-time per phase (PhaseTimer attributes exclusive time, so nested
+  /// timers never double-count and the entries sum to at most cpu_ms).
+  double phase_ms[kNumQueryPhases] = {};
+
   /// Total simulated page reads.
   uint64_t TotalReads() const {
     return object_index_reads + feature_index_reads;
@@ -43,6 +78,17 @@ struct QueryStats {
   double IoMillis(double io_unit_cost_ms) const {
     return static_cast<double>(TotalReads()) * io_unit_cost_ms;
   }
+
+  /// Self-time attributed to `phase`.
+  double PhaseMillis(QueryPhase phase) const {
+    return phase_ms[static_cast<size_t>(phase)];
+  }
+
+  /// Sum of all traced phase self-times (<= cpu_ms up to timer resolution).
+  double TracedMillis() const;
+
+  /// CPU time not attributed to any traced phase (never negative).
+  double UntracedMillis() const;
 
   /// Element-wise accumulation (used to average over a query workload).
   QueryStats& operator+=(const QueryStats& other);

@@ -60,7 +60,7 @@ TEST(ComputeScoreTest, RangeMatchesBruteForce) {
   for (int i = 0; i < 60; ++i) {
     const Point& p = ds.objects[i].pos;
     double got = ComputeScoreRange(index, p, q.keywords[0], q.lambda,
-                                   q.radius, &stats);
+                                   q.radius, stats);
     EXPECT_NEAR(got, brute.ComponentScore(p, 0, q), 1e-12) << "object " << i;
   }
 }
@@ -85,10 +85,10 @@ TEST(ComputeScoreTest, BatchAgreesWithSingle) {
   std::vector<double> scores(batch.size());
   QueryStats stats;
   ComputeScoresRangeBatch(index, batch, mbr, query, 0.5, 0.05, scores,
-                          &stats);
+                          stats);
   for (size_t i = 0; i < batch.size(); ++i) {
     double single = ComputeScoreRange(index, batch[i].pos, query, 0.5, 0.05,
-                                      &stats);
+                                      stats);
     EXPECT_NEAR(scores[i], single, 1e-12) << "object " << i;
   }
 }
@@ -100,9 +100,9 @@ TEST(ComputeScoreTest, ZeroRadiusOnlyColocated) {
   KeywordSet query = ex::Terms(ds.vocabularies[0], {"pizza"});
   QueryStats stats;
   // p exactly at Ontario's Pizza: radius 0 still matches it.
-  double at = ComputeScoreRange(index, {7, 6}, query, 0.5, 0.0, &stats);
+  double at = ComputeScoreRange(index, {7, 6}, query, 0.5, 0.0, stats);
   EXPECT_NEAR(at, 0.4 + 0.5 * 0.5, 1e-12);  // s = .5*.8 + .5*(1/2)
-  double off = ComputeScoreRange(index, {7.1, 6}, query, 0.5, 0.0, &stats);
+  double off = ComputeScoreRange(index, {7.1, 6}, query, 0.5, 0.0, stats);
   EXPECT_EQ(off, 0.0);
 }
 

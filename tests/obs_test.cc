@@ -1,0 +1,430 @@
+// Tests for src/obs/: phase tracing, latency histograms, the metrics
+// registry with Prometheus exposition, and the engine's metric feeding —
+// including QueryStats merging under the parallel workload runner.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/workload.h"
+#include "gen/queries.h"
+#include "gen/synthetic.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/phase.h"
+#include "obs/query_metrics.h"
+
+namespace stpq {
+namespace {
+
+// -------------------------------------------------------------- PhaseTimer
+
+/// Burns a little CPU so a span has measurable (nonzero-ish) duration
+/// without sleeping; returns a value to keep the loop alive.
+double Spin(int iters) {
+  volatile double x = 1.0;
+  for (int i = 0; i < iters * 1000; ++i) x = x + 1.0 / (x + 1.0);
+  return x;
+}
+
+TEST(PhaseTimerTest, AttributesToNamedPhase) {
+  QueryStats stats;
+  {
+    PhaseTimer t(stats, QueryPhase::kCombination);
+    Spin(10);
+  }
+  EXPECT_GT(stats.PhaseMillis(QueryPhase::kCombination), 0.0);
+  EXPECT_EQ(stats.PhaseMillis(QueryPhase::kComponentScore), 0.0);
+  EXPECT_EQ(stats.PhaseMillis(QueryPhase::kObjectRetrieval), 0.0);
+  EXPECT_EQ(stats.PhaseMillis(QueryPhase::kVoronoi), 0.0);
+}
+
+TEST(PhaseTimerTest, NestedSpansAttributeSelfTimeOnly) {
+  QueryStats stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    PhaseTimer outer(stats, QueryPhase::kObjectRetrieval);
+    Spin(2);
+    {
+      PhaseTimer inner(stats, QueryPhase::kComponentScore);
+      Spin(50);  // much more work than the outer span's own
+    }
+    Spin(2);
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  const double outer_ms = stats.PhaseMillis(QueryPhase::kObjectRetrieval);
+  const double inner_ms = stats.PhaseMillis(QueryPhase::kComponentScore);
+  EXPECT_GT(outer_ms, 0.0);
+  EXPECT_GT(inner_ms, 0.0);
+  // Self-time: the outer span excludes the inner span's elapsed time.  The
+  // inner span spins 25x more than the outer does, so if the outer span
+  // double-counted the nested time it would dominate instead.
+  EXPECT_LT(outer_ms, inner_ms);
+  // The self-times partition the outer span's elapsed wall time, so their
+  // sum can never exceed the enclosing wall-clock measurement.
+  EXPECT_LE(stats.TracedMillis(), wall_ms + 1e-6);
+}
+
+TEST(PhaseTimerTest, ReentrantSamePhaseAccumulates) {
+  QueryStats stats;
+  for (int i = 0; i < 3; ++i) {
+    PhaseTimer t(stats, QueryPhase::kCombination);
+    Spin(2);
+  }
+  EXPECT_GT(stats.PhaseMillis(QueryPhase::kCombination), 0.0);
+}
+
+TEST(PhaseTimerTest, MacroCompilesAndRecords) {
+  QueryStats stats;
+  {
+    STPQ_TRACE_PHASE(stats, QueryPhase::kVoronoi);
+    Spin(5);
+  }
+  EXPECT_GT(stats.PhaseMillis(QueryPhase::kVoronoi), 0.0);
+}
+
+TEST(PhaseTimerTest, NestedTimersMayTargetDifferentStats) {
+  // A cursor drained inside another query's span writes to its own stats;
+  // the parent still excludes the nested time from its self-time.
+  QueryStats parent_stats, child_stats;
+  {
+    PhaseTimer parent(parent_stats, QueryPhase::kCombination);
+    {
+      PhaseTimer child(child_stats, QueryPhase::kObjectRetrieval);
+      Spin(10);
+    }
+  }
+  EXPECT_GT(child_stats.PhaseMillis(QueryPhase::kObjectRetrieval), 0.0);
+  EXPECT_EQ(child_stats.PhaseMillis(QueryPhase::kCombination), 0.0);
+  // The parent's self time is tiny compared to the child's span.
+  EXPECT_LT(parent_stats.PhaseMillis(QueryPhase::kCombination),
+            child_stats.PhaseMillis(QueryPhase::kObjectRetrieval));
+}
+
+// ---------------------------------------------------------- LatencyBuckets
+
+TEST(LatencyBucketsTest, BoundsGrowMonotonically) {
+  for (size_t i = 0; i + 2 < LatencyBuckets::kNumBuckets; ++i) {
+    EXPECT_LT(LatencyBuckets::UpperBoundMs(i),
+              LatencyBuckets::UpperBoundMs(i + 1))
+        << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(LatencyBuckets::UpperBoundMs(0),
+                   LatencyBuckets::kMinUpperMs);
+  EXPECT_TRUE(
+      std::isinf(LatencyBuckets::UpperBoundMs(LatencyBuckets::kNumBuckets - 1)));
+}
+
+TEST(LatencyBucketsTest, IndexForMatchesBounds) {
+  EXPECT_EQ(LatencyBuckets::IndexFor(0.0), 0u);
+  EXPECT_EQ(LatencyBuckets::IndexFor(-1.0), 0u);
+  for (size_t i = 0; i + 1 < LatencyBuckets::kNumBuckets; ++i) {
+    const double bound = LatencyBuckets::UpperBoundMs(i);
+    // A value just under the bound lands in bucket i; just over in i+1.
+    EXPECT_EQ(LatencyBuckets::IndexFor(bound * 0.999), i) << "bucket " << i;
+    EXPECT_EQ(LatencyBuckets::IndexFor(bound * 1.001), i + 1)
+        << "bucket " << i;
+  }
+  // Far past the largest finite bound: the overflow bucket absorbs it.
+  EXPECT_EQ(LatencyBuckets::IndexFor(1e18),
+            LatencyBuckets::kNumBuckets - 1);
+}
+
+// -------------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ms(), 0.0);
+  EXPECT_EQ(h.max_ms(), 0.0);
+  EXPECT_EQ(h.mean_ms(), 0.0);
+  EXPECT_EQ(h.PercentileMs(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, RecordsAndSummarizes) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));  // 1..100ms
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 50.5);
+  // Log-scale buckets are ~41% wide, so percentiles are coarse but must be
+  // ordered, within a bucket of the true value, and capped at the max.
+  const double p50 = h.PercentileMs(0.50);
+  const double p90 = h.PercentileMs(0.90);
+  const double p99 = h.PercentileMs(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max_ms());
+  EXPECT_GT(p50, 50.0 * 0.5);
+  EXPECT_LT(p50, 50.0 * 1.5);
+  EXPECT_GT(p99, 99.0 * 0.5);
+  EXPECT_EQ(h.PercentileMs(1.0), h.max_ms());
+  EXPECT_NE(h.SummaryString().find("p50="), std::string::npos);
+  EXPECT_NE(h.SummaryString().find("p99="), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double va = 0.01 * (i + 1);
+    const double vb = 3.0 * (i + 1);
+    a.Record(va);
+    b.Record(vb);
+    combined.Record(va);
+    combined.Record(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum_ms(), combined.sum_ms());
+  EXPECT_DOUBLE_EQ(a.max_ms(), combined.max_ms());
+  for (size_t i = 0; i < LatencyBuckets::kNumBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), combined.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.PercentileMs(0.5), combined.PercentileMs(0.5));
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("test_total", "help");
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same instrument.
+  EXPECT_EQ(&reg.GetCounter("test_total", "help"), &c);
+
+  Gauge& g = reg.GetGauge("test_gauge", "help");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  HistogramMetric& h = reg.GetHistogram("test_ms", "help");
+  h.Record(1.0);
+  h.Record(10.0);
+  LatencyHistogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  // Snapshot replays each bucket at its upper bound, so the sum is only
+  // bucket-accurate (each sample overstated by at most 41%).
+  EXPECT_GE(snap.sum_ms(), 11.0);
+  EXPECT_LE(snap.sum_ms(), 11.0 * 1.45);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("race_total", "help");
+  HistogramMetric& h = reg.GetHistogram("race_ms", "help");
+  constexpr int kThreads = 8, kPerThread = 10'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(1.0);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.Snapshot().count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("stpq_test_total", "A test counter").Increment(7);
+  reg.GetGauge("stpq_test_gauge", "A test gauge").Set(3.5);
+  HistogramMetric& h = reg.GetHistogram("stpq_test_ms", "A test histogram");
+  h.Record(0.5);
+  h.Record(5.0);
+  const std::string text = reg.RenderPrometheusText();
+
+  EXPECT_NE(text.find("# HELP stpq_test_total A test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE stpq_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("stpq_test_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stpq_test_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("stpq_test_gauge 3.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stpq_test_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("stpq_test_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("stpq_test_ms_count 2"), std::string::npos);
+  EXPECT_NE(text.find("stpq_test_ms_sum"), std::string::npos);
+
+  // Cumulative bucket counts must be non-decreasing in le order.
+  size_t pos = 0;
+  uint64_t prev = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("stpq_test_ms_bucket{le=", pos)) !=
+         std::string::npos) {
+    size_t brace = text.find("} ", pos);
+    ASSERT_NE(brace, std::string::npos);
+    uint64_t count = std::stoull(text.substr(brace + 2));
+    EXPECT_GE(count, prev);
+    prev = count;
+    ++buckets_seen;
+    pos = brace;
+  }
+  EXPECT_EQ(buckets_seen,
+            static_cast<int>(LatencyBuckets::kNumBuckets));  // incl. +Inf
+  EXPECT_EQ(prev, 2u);  // the +Inf bucket equals _count
+}
+
+TEST(MetricsRegistryTest, ResetForTestKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("reset_total", "help");
+  c.Increment(5);
+  reg.ResetForTest();
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();  // the old handle still points at the live instrument
+  EXPECT_EQ(reg.GetCounter("reset_total", "help").value(), 1u);
+}
+
+// ------------------------------------------------------------ QueryMetrics
+
+TEST(QueryMetricsTest, RecordQueryFoldsCounters) {
+  MetricsRegistry reg;
+  QueryMetrics qm(reg);
+  QueryStats stats;
+  stats.object_index_reads = 3;
+  stats.feature_index_reads = 4;
+  stats.buffer_hits = 5;
+  stats.heap_pushes = 6;
+  stats.objects_scored = 7;
+  stats.cpu_ms = 1.25;
+  stats.phase_ms[static_cast<size_t>(QueryPhase::kCombination)] = 2.0;
+  qm.RecordQuery(stats);
+  qm.RecordQuery(stats);
+  qm.RecordRejected();
+  EXPECT_EQ(qm.queries_total.value(), 2u);
+  EXPECT_EQ(qm.rejected_total.value(), 1u);
+  EXPECT_EQ(qm.pages_read_total.value(), 14u);
+  EXPECT_EQ(qm.buffer_hits_total.value(), 10u);
+  EXPECT_EQ(qm.heap_pushes_total.value(), 12u);
+  EXPECT_EQ(qm.objects_scored_total.value(), 14u);
+  EXPECT_EQ(qm.query_cpu_ms.Snapshot().count(), 2u);
+  EXPECT_EQ(
+      qm.phase_us_total[static_cast<size_t>(QueryPhase::kCombination)]
+          ->value(),
+      4000u);
+}
+
+// --------------------------------------------- engine + workload wiring
+
+Dataset SmallDataset() {
+  SyntheticConfig cfg;
+  cfg.num_objects = 400;
+  cfg.num_features_per_set = 400;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 32;
+  cfg.num_clusters = 40;
+  cfg.seed = 11;
+  return GenerateSynthetic(cfg);
+}
+
+TEST(EngineObservabilityTest, ExecuteFillsPhaseBreakdown) {
+  Dataset ds = SmallDataset();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 5;
+  qcfg.k = 5;
+  qcfg.radius = 0.05;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  for (const Query& q : queries) {
+    Result<QueryResult> r = engine.Execute(q, Algorithm::kStps);
+    ASSERT_TRUE(r.ok());
+    const QueryStats& stats = r.value().stats;
+    // Phase self-times never exceed the query's total CPU time.
+    EXPECT_LE(stats.TracedMillis(), stats.cpu_ms + 0.5);
+    EXPECT_GE(stats.UntracedMillis(), 0.0);
+    // STPS range queries run combination enumeration; its phase (or the
+    // nested component-score phase) must have been traced.
+    EXPECT_GT(stats.PhaseMillis(QueryPhase::kCombination) +
+                  stats.PhaseMillis(QueryPhase::kComponentScore),
+              0.0);
+    EXPECT_EQ(stats.PhaseMillis(QueryPhase::kVoronoi), 0.0);
+  }
+}
+
+TEST(EngineObservabilityTest, GlobalRegistryAdvancesPerQuery) {
+  Dataset ds = SmallDataset();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 3;
+  qcfg.k = 5;
+  qcfg.radius = 0.05;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  const uint64_t before = QueryMetrics::Global().queries_total.value();
+  const uint64_t rejected_before =
+      QueryMetrics::Global().rejected_total.value();
+  for (const Query& q : queries) {
+    ASSERT_TRUE(engine.Execute(q, Algorithm::kStps).ok());
+  }
+  Query bad = queries[0];
+  bad.k = 0;
+  EXPECT_FALSE(engine.Execute(bad, Algorithm::kStps).ok());
+  EXPECT_EQ(QueryMetrics::Global().queries_total.value(), before + 3);
+  EXPECT_EQ(QueryMetrics::Global().rejected_total.value(),
+            rejected_before + 1);
+  const std::string text =
+      MetricsRegistry::Global().RenderPrometheusText();
+  EXPECT_NE(text.find("stpq_queries_total"), std::string::npos);
+  EXPECT_NE(text.find("stpq_query_cpu_ms_bucket"), std::string::npos);
+}
+
+TEST(ParallelWorkloadTest, MergedStatsEqualSumOfPerQueryStats) {
+  Dataset ds = SmallDataset();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = 32;
+  qcfg.k = 5;
+  qcfg.radius = 0.05;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  ParallelWorkloadRunner runner(&engine);
+  ParallelWorkloadOptions opts;
+  opts.threads = 4;
+  opts.io_unit_cost_ms = 0.1;
+  Result<ParallelWorkloadReport> report = runner.Run(queries, opts);
+  ASSERT_TRUE(report.ok());
+  const ParallelWorkloadReport& r = report.value();
+
+  // The sink-merged aggregate must equal the field-wise sum of the
+  // per-query stats: operator+= under concurrent merging loses nothing.
+  QueryStats manual;
+  for (const QueryResult& q : r.per_query) manual += q.stats;
+  const QueryStats& merged = r.summary.aggregate;
+  EXPECT_EQ(merged.object_index_reads, manual.object_index_reads);
+  EXPECT_EQ(merged.feature_index_reads, manual.feature_index_reads);
+  EXPECT_EQ(merged.buffer_hits, manual.buffer_hits);
+  EXPECT_EQ(merged.heap_pushes, manual.heap_pushes);
+  EXPECT_EQ(merged.features_retrieved, manual.features_retrieved);
+  EXPECT_EQ(merged.combinations_generated, manual.combinations_generated);
+  EXPECT_EQ(merged.combinations_emitted, manual.combinations_emitted);
+  EXPECT_EQ(merged.objects_scored, manual.objects_scored);
+  EXPECT_EQ(merged.voronoi_cells, manual.voronoi_cells);
+  EXPECT_EQ(merged.voronoi_cache_hits, manual.voronoi_cache_hits);
+  // Doubles sum in scheduling order in the sink; compare with tolerance.
+  EXPECT_NEAR(merged.cpu_ms, manual.cpu_ms, 1e-6);
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    EXPECT_NEAR(merged.phase_ms[i], manual.phase_ms[i], 1e-6) << i;
+  }
+
+  // Per-thread histograms merged after the join: one sample per query.
+  EXPECT_EQ(r.latency.count(), queries.size());
+  EXPECT_GT(r.latency.max_ms(), 0.0);
+  EXPECT_LE(r.latency.PercentileMs(0.50), r.latency.PercentileMs(0.99));
+  // p90/p99 summary fields are populated and ordered.
+  EXPECT_LE(r.summary.total_ms.p50, r.summary.total_ms.p90);
+  EXPECT_LE(r.summary.total_ms.p90, r.summary.total_ms.p95);
+  EXPECT_LE(r.summary.total_ms.p95, r.summary.total_ms.p99);
+  EXPECT_LE(r.summary.total_ms.p99, r.summary.total_ms.max);
+}
+
+}  // namespace
+}  // namespace stpq

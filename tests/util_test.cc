@@ -1,6 +1,7 @@
 // Tests for util/: Status, Result, TopK, Rng, QueryStats.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 
 #include "util/metrics.h"
@@ -104,6 +105,43 @@ TEST(TopKTest, FewerItemsThanK) {
   EXPECT_EQ(out[0].score, 2.0);
 }
 
+TEST(TopKTest, ZeroKThresholdStaysFloor) {
+  TopK<int> topk(0, 7.5);
+  topk.Push(9.0, 1);
+  EXPECT_EQ(topk.Size(), 0u);
+  EXPECT_EQ(topk.Threshold(), 7.5);
+  EXPECT_TRUE(topk.TakeSortedDescending().empty());
+}
+
+TEST(TopKTest, UnderfilledNonzeroFloorKeepsFloorThreshold) {
+  TopK<int> topk(3, -2.5);
+  EXPECT_EQ(topk.Threshold(), -2.5);
+  topk.Push(1.0, 1);
+  topk.Push(0.5, 2);
+  // Still under-filled: the pruning threshold must stay the floor, not
+  // some partial k-th score.
+  EXPECT_FALSE(topk.Full());
+  EXPECT_EQ(topk.Threshold(), -2.5);
+  topk.Push(-3.0, 3);  // below the floor but still among the best 3
+  EXPECT_TRUE(topk.Full());
+  EXPECT_EQ(topk.Threshold(), -3.0);
+  auto out = topk.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].item, 3);
+}
+
+TEST(TopKTest, DuplicateScoresAtThresholdDoNotEvict) {
+  TopK<int> topk(2);
+  topk.Push(3.0, 1);
+  topk.Push(3.0, 2);
+  topk.Push(3.0, 3);  // ties the threshold exactly: must not displace
+  EXPECT_EQ(topk.Threshold(), 3.0);
+  auto out = topk.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ((std::set<int>{out[0].item, out[1].item}),
+            (std::set<int>{1, 2}));
+}
+
 TEST(RngTest, DeterministicBySeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) {
@@ -155,6 +193,80 @@ TEST(RngTest, ZipfRankZeroMostFrequent) {
   }
   EXPECT_GT(counts[0], counts[5]);
   EXPECT_GT(counts[0], counts[15]);
+}
+
+/// Fills every QueryStats field with a distinct value; the contract tests
+/// below use this as the single enumeration of the struct's fields.  When
+/// a field is added, metrics.cc's sizeof static_assert fails first; extend
+/// this function and the expectations together.
+QueryStats DistinctStats() {
+  QueryStats s;
+  s.object_index_reads = 101;
+  s.feature_index_reads = 102;
+  s.buffer_hits = 103;
+  s.heap_pushes = 104;
+  s.features_retrieved = 105;
+  s.combinations_generated = 106;
+  s.combinations_emitted = 107;
+  s.objects_scored = 108;
+  s.voronoi_cells = 109;
+  s.voronoi_clip_features = 110;
+  s.voronoi_reads = 111;
+  s.voronoi_cpu_ms = 112.5;
+  s.voronoi_cache_hits = 113;
+  s.cpu_ms = 114.5;
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    s.phase_ms[i] = 120.5 + static_cast<double>(i);
+  }
+  return s;
+}
+
+TEST(QueryStatsContract, ToStringMentionsEveryCounter) {
+  std::string str = DistinctStats().ToString();
+  for (const char* needle :
+       {"obj=101", "feat=102", "hits=103", "heap_pushes=104",
+        "features=105", "combos=107/106", "scored=108", "cpu_ms=114.5",
+        "cells=109", "clip_features=110", "reads=111", "cpu_ms=112.5",
+        "cache_hits=113", "combination=120.5", "component_score=121.5",
+        "object_retrieval=122.5", "voronoi=123.5"}) {
+    EXPECT_NE(str.find(needle), std::string::npos)
+        << "'" << needle << "' missing from: " << str;
+  }
+}
+
+TEST(QueryStatsContract, PlusEqualsCoversEveryField) {
+  QueryStats sum;  // zero-initialized
+  const QueryStats b = DistinctStats();
+  sum += b;
+  // Starting from zero, += must reproduce b exactly.  QueryStats has no
+  // padding (metrics.cc's sizeof guard), so bytewise equality covers every
+  // field — including any newly added one that += forgot to accumulate.
+  EXPECT_EQ(std::memcmp(&sum, &b, sizeof(QueryStats)), 0)
+      << "operator+= does not cover every QueryStats field";
+  sum += b;
+  EXPECT_EQ(sum.object_index_reads, 202u);
+  EXPECT_EQ(sum.voronoi_cache_hits, 226u);
+  EXPECT_DOUBLE_EQ(sum.cpu_ms, 229.0);
+  EXPECT_DOUBLE_EQ(sum.phase_ms[0], 241.0);
+}
+
+TEST(QueryStatsTest, PhaseAccounting) {
+  QueryStats s;
+  s.cpu_ms = 10.0;
+  s.phase_ms[static_cast<size_t>(QueryPhase::kCombination)] = 2.0;
+  s.phase_ms[static_cast<size_t>(QueryPhase::kVoronoi)] = 3.0;
+  EXPECT_DOUBLE_EQ(s.PhaseMillis(QueryPhase::kCombination), 2.0);
+  EXPECT_DOUBLE_EQ(s.PhaseMillis(QueryPhase::kComponentScore), 0.0);
+  EXPECT_DOUBLE_EQ(s.TracedMillis(), 5.0);
+  EXPECT_DOUBLE_EQ(s.UntracedMillis(), 5.0);
+  s.cpu_ms = 1.0;  // timer noise: untraced clamps at zero, never negative
+  EXPECT_DOUBLE_EQ(s.UntracedMillis(), 0.0);
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kCombination), "combination");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kComponentScore),
+               "component_score");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kObjectRetrieval),
+               "object_retrieval");
+  EXPECT_STREQ(QueryPhaseName(QueryPhase::kVoronoi), "voronoi");
 }
 
 TEST(QueryStatsTest, AccumulatesAndReports) {

@@ -58,7 +58,7 @@ TEST(InfluenceScoreTest, MatchesBruteForce) {
   QueryStats stats;
   for (const DataObject& o : ds.objects) {
     double got = ComputeScoreInfluence(index, o.pos, q.keywords[0], q.lambda,
-                                       q.radius, &stats);
+                                       q.radius, stats);
     EXPECT_NEAR(got, brute.ComponentScore(o.pos, 0, q), 1e-12);
   }
 }
@@ -88,7 +88,7 @@ TEST(NnScoreTest, MatchesBruteForce) {
   QueryStats stats;
   for (const DataObject& o : ds.objects) {
     double got = ComputeScoreNearestNeighbor(index, o.pos, q.keywords[0],
-                                             q.lambda, &stats);
+                                             q.lambda, stats);
     EXPECT_NEAR(got, brute.ComponentScore(o.pos, 0, q), 1e-12);
   }
 }
@@ -104,8 +104,39 @@ TEST(NnScoreTest, IgnoresIrrelevantNearerFeature) {
   KeywordSet query(4, {1});
   QueryStats stats;
   double got =
-      ComputeScoreNearestNeighbor(index, {0.49, 0.5}, query, 0.5, &stats);
+      ComputeScoreNearestNeighbor(index, {0.49, 0.5}, query, 0.5, stats);
   EXPECT_NEAR(got, 0.5 * 0.6 + 0.5 * 1.0, 1e-12);
+}
+
+TEST(NnScoreTest, EquidistantTieBreaksByPreferenceScore) {
+  // p = (0.5, 0.5) with features at x = 0.4 and x = 0.6: neither feature
+  // coordinate is exactly representable in binary, but both subtractions
+  // are exact (Sterbenz) and round to the same double, so the squared
+  // distances tie bit-for-bit.  Definition 7's tie rule: the larger s(t)
+  // wins — regardless of which feature the traversal visits first.
+  const Point p{0.5, 0.5};
+  ASSERT_EQ(SquaredDistance(p, Point{0.4, 0.5}),
+            SquaredDistance(p, Point{0.6, 0.5}));
+  const double expected = 0.5 * 0.8 + 0.5 * 1.0;  // s(t) of the 0.8 feature
+  for (bool high_first : {false, true}) {
+    std::vector<FeatureObject> f;
+    f.push_back({0, {0.4, 0.5}, high_first ? 0.8 : 0.2,
+                 KeywordSet(4, {1}), "left"});
+    f.push_back({0, {0.6, 0.5}, high_first ? 0.2 : 0.8,
+                 KeywordSet(4, {1}), "right"});
+    FeatureTable table(std::move(f), 4);
+    FeatureIndexOptions opts;
+    SrtIndex index(&table, opts);
+    KeywordSet query(4, {1});
+    QueryStats stats;
+    BestFeature best =
+        ComputeBestNearestNeighbor(index, p, query, 0.5, stats);
+    EXPECT_EQ(best.feature, high_first ? 0u : 1u)
+        << "high_first=" << high_first;
+    EXPECT_NEAR(best.score, expected, 1e-12);
+    EXPECT_NEAR(ComputeScoreNearestNeighbor(index, p, query, 0.5, stats),
+                expected, 1e-12);
+  }
 }
 
 // ----------------------------------------------------------------- Voronoi
@@ -133,7 +164,7 @@ TEST(VoronoiTest, CellContainsExactlyNearestRegion) {
   for (int c = 0; c < 5; ++c) {
     ObjectId center = relevant[rng.UniformInt(0, relevant.size() - 1)];
     ConvexPolygon cell =
-        ComputeVoronoiCell(index, center, query, 0.5, domain, &stats);
+        ComputeVoronoiCell(index, center, query, 0.5, domain, stats);
     const Point cpos = ds.feature_tables[0].Get(center).pos;
     for (int s = 0; s < 200; ++s) {
       Point p{rng.Uniform(), rng.Uniform()};
@@ -170,7 +201,7 @@ TEST(VoronoiTest, SingleFeatureOwnsWholeDomain) {
   KeywordSet query(4, {0});
   QueryStats stats;
   ConvexPolygon cell = ComputeVoronoiCell(index, 0, query, 0.5,
-                                          MakeRect2(0, 0, 1, 1), &stats);
+                                          MakeRect2(0, 0, 1, 1), stats);
   EXPECT_NEAR(cell.Area(), 1.0, 1e-12);
 }
 

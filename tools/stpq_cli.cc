@@ -11,6 +11,10 @@
 //                     [--algo stps|stds] [--index srt|ir2]
 //   stpq_cli workload --data data.stpq --threads N[,N...] [--queries 200]
 //                     [--io-ms 0.1] [--algo stps|stds] [--index srt|ir2]
+//                     [--metrics out.prom]
+//   stpq_cli profile  --data data.stpq [--queries 100] [--io-ms 0.1]
+//                     [--algo stps|stds] [--index srt|ir2]
+//                     [--variant range|influence|nn] [--metrics out.prom]
 //   stpq_cli validate --data data.stpq [--index srt|ir2]
 //
 // Flags accept both "--flag value" and "--flag=value".
@@ -18,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,6 +36,8 @@
 #include "gen/real_like.h"
 #include "gen/synthetic.h"
 #include "io/dataset_io.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
 
 using namespace stpq;
 
@@ -82,7 +89,8 @@ Args Parse(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: stpq_cli <generate|info|query|bench|workload|validate> [flags]\n"
+      "usage: stpq_cli "
+      "<generate|info|query|bench|workload|profile|validate> [flags]\n"
       "  generate --out FILE [--kind synthetic|real] [--scale S] [--seed N]\n"
       "  info     --data FILE\n"
       "  query    --data FILE --keywords \"a,b;c\" [--k N] [--r R]\n"
@@ -91,7 +99,10 @@ int Usage() {
       "  bench    --data FILE [--queries N] [--io-ms MS]\n"
       "           [--algo stps|stds] [--index srt|ir2]\n"
       "  workload --data FILE --threads N[,N...] [--queries N] [--io-ms MS]\n"
+      "           [--algo stps|stds] [--index srt|ir2] [--metrics FILE]\n"
+      "  profile  --data FILE [--queries N] [--io-ms MS]\n"
       "           [--algo stps|stds] [--index srt|ir2]\n"
+      "           [--variant range|influence|nn] [--metrics FILE]\n"
       "  validate --data FILE [--index srt|ir2]\n");
   return 2;
 }
@@ -297,6 +308,18 @@ int Bench(const Args& args) {
   return 0;
 }
 
+/// Writes the global registry's Prometheus text exposition to `path`.
+bool WriteMetricsFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  out << MetricsRegistry::Global().RenderPrometheusText();
+  return static_cast<bool>(out);
+}
+
 /// Parses "1,2,4,8" into thread counts; returns empty on a parse error.
 std::vector<size_t> ParseThreadList(const std::string& spec) {
   std::vector<size_t> out;
@@ -364,8 +387,8 @@ int Workload(const Args& args) {
   std::printf("%zu queries, %s, %s index\n", queries.size(),
               opts.algorithm == Algorithm::kStds ? "STDS" : "STPS",
               engine.value().IndexName());
-  std::printf("%8s %12s %12s %14s\n", "threads", "wall_ms", "queries/s",
-              "reads/query");
+  std::printf("%8s %12s %12s %14s %10s %10s %10s\n", "threads", "wall_ms",
+              "queries/s", "reads/query", "p50_ms", "p95_ms", "p99_ms");
   for (size_t threads : thread_counts) {
     opts.threads = threads;
     Result<ParallelWorkloadReport> report = runner.Run(queries, opts);
@@ -375,8 +398,85 @@ int Workload(const Args& args) {
       return 1;
     }
     const ParallelWorkloadReport& r = report.value();
-    std::printf("%8zu %12.2f %12.1f %14.1f\n", threads, r.wall_ms,
-                r.queries_per_sec, r.summary.mean_page_reads);
+    std::printf("%8zu %12.2f %12.1f %14.1f %10.3f %10.3f %10.3f\n", threads,
+                r.wall_ms, r.queries_per_sec, r.summary.mean_page_reads,
+                r.latency.PercentileMs(0.50), r.latency.PercentileMs(0.95),
+                r.latency.PercentileMs(0.99));
+  }
+  if (args.Has("metrics") && !WriteMetricsFile(args.Get("metrics"))) {
+    return 1;
+  }
+  return 0;
+}
+
+/// Executes a generated workload sequentially and prints the per-phase
+/// wall-time breakdown plus the latency distribution (DESIGN.md §12).
+int Profile(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = args.GetUint("queries", 100);
+  qcfg.k = args.GetUint("k", 10);
+  qcfg.radius = args.GetDouble("r", 0.01);
+  qcfg.lambda = args.GetDouble("lambda", 0.5);
+  std::string variant = args.Get("variant", "range");
+  if (variant == "influence") qcfg.variant = ScoreVariant::kInfluence;
+  if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+  const double io_ms = args.GetDouble("io-ms", 0.1);
+
+  Result<Engine> engine = Engine::Create(
+      std::move(ds.objects), std::move(ds.feature_tables),
+      MakeEngineOptions(args));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  Algorithm algo =
+      args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
+
+  QueryStats aggregate;
+  LatencyHistogram latency;
+  for (const Query& q : queries) {
+    Result<QueryResult> r = engine.value().Execute(q, algo);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    const QueryStats& stats = r.value().stats;
+    aggregate += stats;
+    latency.Record(stats.cpu_ms + stats.IoMillis(io_ms));
+  }
+
+  std::printf("profile: %zu queries, %s, %s index, variant=%s\n",
+              queries.size(), algo == Algorithm::kStds ? "STDS" : "STPS",
+              engine.value().IndexName(), variant.c_str());
+  std::printf("latency (cpu + %.3f ms/read): %s mean=%.3fms\n", io_ms,
+              latency.SummaryString().c_str(), latency.mean_ms());
+
+  // Phase breakdown: traced self-times, the derived I/O phase (page reads
+  // priced at io-ms, never timed), and the untraced remainder.
+  const double io_total = aggregate.IoMillis(io_ms);
+  const double grand_total = aggregate.cpu_ms + io_total;
+  auto row = [&](const char* name, double ms) {
+    std::printf("  %-18s %12.3f ms %6.1f%%\n", name, ms,
+                grand_total > 0.0 ? 100.0 * ms / grand_total : 0.0);
+  };
+  std::printf("phase breakdown (self time over the whole workload):\n");
+  for (size_t i = 0; i < kNumQueryPhases; ++i) {
+    row(QueryPhaseName(static_cast<QueryPhase>(i)),
+        aggregate.phase_ms[i]);
+  }
+  row("io (derived)", io_total);
+  row("other", aggregate.UntracedMillis());
+  std::printf("counters: %s\n", aggregate.ToString().c_str());
+
+  if (args.Has("metrics") && !WriteMetricsFile(args.Get("metrics"))) {
+    return 1;
   }
   return 0;
 }
@@ -441,6 +541,7 @@ int main(int argc, char** argv) {
   if (args.command == "query") return RunQuery(args);
   if (args.command == "bench") return Bench(args);
   if (args.command == "workload") return Workload(args);
+  if (args.command == "profile") return Profile(args);
   if (args.command == "validate") return Validate(args);
   return Usage();
 }
