@@ -3,8 +3,13 @@
 // and the buffer pool.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "core/compute_score.h"
+#include "gen/synthetic.h"
 #include "hilbert/hilbert.h"
 #include "hilbert/keyword_hilbert.h"
+#include "index/srt_index.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
@@ -133,14 +138,168 @@ void BM_RTreeInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeInsert)->Unit(benchmark::kMicrosecond);
 
+/// Pre-drawn page sequence: keeps the RNG's 64-bit division out of the
+/// timed loop (it costs as much as the pool access being measured).
+std::vector<PageId> PageSequence(uint64_t seed, PageId max_page) {
+  Rng rng(seed);
+  std::vector<PageId> seq(4096);
+  for (PageId& p : seq) p = rng.UniformInt(0, max_page);
+  return seq;
+}
+
 void BM_BufferPoolAccess(benchmark::State& state) {
   BufferPool pool(1024);
-  Rng rng(7);
+  const std::vector<PageId> seq = PageSequence(7, 4095);
+  size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.Access(rng.UniformInt(0, 4095)));
+    benchmark::DoNotOptimize(pool.Access(seq[i]));
+    i = (i + 1) & (seq.size() - 1);
   }
 }
 BENCHMARK(BM_BufferPoolAccess);
+
+// ---------------------------------------------------------------------------
+// Hot-path kernels: steady-state query work per node visit / page access.
+
+/// One clustered synthetic feature set indexed by an SRT-index with no
+/// buffer pool, so the kernels below measure pure CPU traversal cost.
+struct TraversalFixture {
+  Dataset ds;
+  std::unique_ptr<SrtIndex> index;
+  std::vector<Point> points;
+  std::vector<KeywordSet> queries;
+
+  TraversalFixture() {
+    SyntheticConfig cfg;
+    cfg.seed = 11;
+    cfg.num_objects = 64;
+    cfg.num_features_per_set = 20'000;
+    cfg.num_feature_sets = 1;
+    cfg.vocabulary_size = 128;
+    cfg.num_clusters = 512;
+    ds = GenerateSynthetic(cfg);
+    FeatureIndexOptions opts;
+    index = std::make_unique<SrtIndex>(&ds.feature_tables[0], opts);
+    Rng rng(12);
+    for (int i = 0; i < 64; ++i) {
+      points.push_back({rng.Uniform(), rng.Uniform()});
+      KeywordSet kw(cfg.vocabulary_size);
+      kw.Insert(static_cast<TermId>(rng.UniformInt(0, cfg.vocabulary_size - 1)));
+      kw.Insert(static_cast<TermId>(rng.UniformInt(0, cfg.vocabulary_size - 1)));
+      queries.push_back(std::move(kw));
+    }
+  }
+
+  static const TraversalFixture& Get() {
+    static TraversalFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_ComputeScoreRange(benchmark::State& state) {
+  const TraversalFixture& fx = TraversalFixture::Get();
+  QueryStats stats;
+  TraversalScratch scratch;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBestRange(*fx.index, fx.points[i],
+                                              fx.queries[i], 0.5, 0.05, stats,
+                                              scratch));
+    i = (i + 1) % fx.points.size();
+  }
+}
+BENCHMARK(BM_ComputeScoreRange);
+
+void BM_ComputeScoresRangeBatch(benchmark::State& state) {
+  const TraversalFixture& fx = TraversalFixture::Get();
+  Rng rng(13);
+  std::vector<BatchObject> batch;
+  for (uint32_t i = 0; i < 64; ++i) {
+    batch.push_back({i, {rng.Uniform(0.4, 0.45), rng.Uniform(0.4, 0.45)}});
+  }
+  const Rect2 mbr = MakeRect2(0.4, 0.4, 0.45, 0.45);
+  std::vector<double> scores(batch.size());
+  QueryStats stats;
+  TraversalScratch scratch;
+  size_t qi = 0;
+  for (auto _ : state) {
+    ComputeScoresRangeBatch(*fx.index, batch, mbr, fx.queries[qi], 0.5, 0.05,
+                            scores, stats, scratch);
+    benchmark::DoNotOptimize(scores.data());
+    qi = (qi + 1) % fx.queries.size();
+  }
+}
+BENCHMARK(BM_ComputeScoresRangeBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_KeywordIntersectsSigned(benchmark::State& state) {
+  const uint32_t w = static_cast<uint32_t>(state.range(0));
+  // Disjoint sets: the common pruning case — a node summary that shares no
+  // term with the query must be rejected as cheaply as possible.
+  KeywordSet a(w), b(w);
+  for (uint32_t t = 0; t < 4; ++t) a.Insert(static_cast<TermId>(t * 7));
+  for (uint32_t t = 0; t < 4; ++t) {
+    b.Insert(static_cast<TermId>(w / 2 + 1 + t * 5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+    benchmark::DoNotOptimize(b.Intersects(a));
+  }
+}
+BENCHMARK(BM_KeywordIntersectsSigned)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_BufferPoolAccessHit(benchmark::State& state) {
+  // Resident-set size is the axis: a few hundred pages is what one query
+  // actually keeps warm; 4096 makes every touch an L2 round-trip.
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  BufferPool pool(n);
+  for (PageId p = 0; p < n; ++p) pool.Access(p);
+  const std::vector<PageId> seq = PageSequence(14, n - 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Access(seq[i]));
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_BufferPoolAccessHit)->Arg(256)->Arg(4096);
+
+void BM_BufferPoolAccessEvict(benchmark::State& state) {
+  BufferPool pool(1024);
+  const std::vector<PageId> seq = PageSequence(15, 65535);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Access(seq[i]));
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_BufferPoolAccessEvict);
+
+void BM_BufferPoolSessionHit(benchmark::State& state) {
+  // The query hot path: ReadNode charges a thread-bound isolated session.
+  // Warm the private pool first so every timed access is a hit.
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  BufferPool shared(2 * n);
+  BufferPool::Session session(&shared, /*isolated=*/true);
+  for (PageId p = 0; p < n; ++p) session.Access(p);
+  const std::vector<PageId> seq = PageSequence(17, n - 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Access(seq[i]));
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_BufferPoolSessionHit)->Arg(256)->Arg(4096);
+
+void BM_BufferPoolSessionIsolated(benchmark::State& state) {
+  BufferPool shared(1024);
+  BufferPool::Session session(&shared, /*isolated=*/true);
+  const std::vector<PageId> seq = PageSequence(16, 2047);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Access(seq[i]));
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_BufferPoolSessionIsolated);
 
 }  // namespace
 }  // namespace stpq

@@ -1,7 +1,6 @@
 #include "core/compute_score.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "core/score.h"
 #include "geom/rect.h"
@@ -10,57 +9,28 @@
 
 namespace stpq {
 
-namespace {
-
-/// Search-heap entry: max-heap on priority.
-struct HeapItem {
-  double priority;
-  uint32_t id;
-  bool is_feature;
-
-  bool operator<(const HeapItem& other) const {
-    return priority < other.priority;
-  }
-};
-
-using MaxHeap = std::priority_queue<HeapItem>;
-
-/// Min-heap wrapper for the NN variant (ascending squared distance).
-struct MinHeapItem {
-  double priority;
-  uint32_t id;
-  bool is_feature;
-
-  bool operator<(const MinHeapItem& other) const {
-    return priority > other.priority;
-  }
-};
-
-using MinHeap = std::priority_queue<MinHeapItem>;
-
-}  // namespace
-
 BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats& stats) {
+                             double r, QueryStats& stats,
+                             TraversalScratch& scratch) {
   if (index.RootId() == kInvalidNodeId) return {};
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
   const double r2 = r * r;
-  MaxHeap heap;
+  BorrowedMaxHeap heap(scratch.heap);
   heap.push({1.0, index.RootId(), false});
-  std::vector<FeatureBranch> scratch;
+  std::vector<FeatureBranch>& branches = scratch.branches;
   while (!heap.empty()) {
-    HeapItem top = heap.top();
+    SearchHeapItem top = heap.top();
     heap.pop();
-    if (top.is_feature) {
+    if (top.is_leaf_item) {
       // Features enter the heap pre-filtered (dist <= r, sim > 0), sorted
       // by exact s(t): the first one popped is tau_i(p) (Algorithm 2).
       ++stats.features_retrieved;
       return {top.id, top.priority,
               Distance(p, index.table().Get(top.id).pos)};
     }
-    index.VisitChildren(top.id, query_kw, lambda, &scratch);
-    for (const FeatureBranch& b : scratch) {
+    index.VisitChildren(top.id, query_kw, lambda, &branches);
+    for (const FeatureBranch& b : branches) {
       if (!b.text_match) continue;
       if (MinSquaredDistance(p, b.mbr) > r2) continue;
       heap.push({b.score_bound, b.id, b.is_feature});
@@ -72,28 +42,30 @@ BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
 
 double ComputeScoreRange(const FeatureIndex& index, const Point& p,
                          const KeywordSet& query_kw, double lambda, double r,
-                         QueryStats& stats) {
-  return ComputeBestRange(index, p, query_kw, lambda, r, stats).score;
+                         QueryStats& stats, TraversalScratch& scratch) {
+  return ComputeBestRange(index, p, query_kw, lambda, r, stats, scratch)
+      .score;
 }
 
 BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
                                  const KeywordSet& query_kw, double lambda,
-                                 double r, QueryStats& stats) {
+                                 double r, QueryStats& stats,
+                                 TraversalScratch& scratch) {
   if (index.RootId() == kInvalidNodeId) return {};
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
-  MaxHeap heap;
+  BorrowedMaxHeap heap(scratch.heap);
   heap.push({1.0, index.RootId(), false});
-  std::vector<FeatureBranch> scratch;
+  std::vector<FeatureBranch>& branches = scratch.branches;
   while (!heap.empty()) {
-    HeapItem top = heap.top();
+    SearchHeapItem top = heap.top();
     heap.pop();
-    if (top.is_feature) {
+    if (top.is_leaf_item) {
       ++stats.features_retrieved;
       return {top.id, top.priority,
               Distance(p, index.table().Get(top.id).pos)};
     }
-    index.VisitChildren(top.id, query_kw, lambda, &scratch);
-    for (const FeatureBranch& b : scratch) {
+    index.VisitChildren(top.id, query_kw, lambda, &branches);
+    for (const FeatureBranch& b : branches) {
       if (!b.text_match) continue;
       // s-hat(e) decayed at mindist upper-bounds the influence score of
       // every feature below e (score <= s-hat, distance >= mindist).
@@ -108,24 +80,27 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
 
 double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats& stats) {
-  return ComputeBestInfluence(index, p, query_kw, lambda, r, stats).score;
+                             double r, QueryStats& stats,
+                             TraversalScratch& scratch) {
+  return ComputeBestInfluence(index, p, query_kw, lambda, r, stats, scratch)
+      .score;
 }
 
 BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
                                        const Point& p,
                                        const KeywordSet& query_kw,
-                                       double lambda, QueryStats& stats) {
+                                       double lambda, QueryStats& stats,
+                                       TraversalScratch& scratch) {
   if (index.RootId() == kInvalidNodeId) return {};
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
-  MinHeap heap;
+  BorrowedMinHeap heap(scratch.heap);
   heap.push({0.0, index.RootId(), false});
-  std::vector<FeatureBranch> scratch;
+  std::vector<FeatureBranch>& branches = scratch.branches;
   bool found = false;
   double nearest_d2 = std::numeric_limits<double>::infinity();
   BestFeature best;
   while (!heap.empty()) {
-    MinHeapItem top = heap.top();
+    SearchHeapItem top = heap.top();
     // Once the nearest relevant feature is known, only exact-distance ties
     // can still matter (they take the max preference score).  Heap
     // priorities are mindist *lower bounds* on the exact distance, so
@@ -133,7 +108,7 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
     // ties; the tie test itself never uses the heap priority.
     if (found && top.priority > nearest_d2) break;
     heap.pop();
-    if (top.is_feature) {
+    if (top.is_leaf_item) {
       ++stats.features_retrieved;
       const FeatureObject& t = index.table().Get(top.id);
       // Exact squared distance through one code path for every feature:
@@ -149,8 +124,8 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
       }
       continue;
     }
-    index.VisitChildren(top.id, query_kw, lambda, &scratch);
-    for (const FeatureBranch& b : scratch) {
+    index.VisitChildren(top.id, query_kw, lambda, &branches);
+    for (const FeatureBranch& b : branches) {
       if (!b.text_match) continue;
       heap.push({MinSquaredDistance(p, b.mbr), b.id, b.is_feature});
       ++stats.heap_pushes;
@@ -161,8 +136,11 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
 
 double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
                                    const KeywordSet& query_kw, double lambda,
-                                   QueryStats& stats) {
-  return ComputeBestNearestNeighbor(index, p, query_kw, lambda, stats).score;
+                                   QueryStats& stats,
+                                   TraversalScratch& scratch) {
+  return ComputeBestNearestNeighbor(index, p, query_kw, lambda, stats,
+                                    scratch)
+      .score;
 }
 
 void ComputeScoresRangeBatch(const FeatureIndex& index,
@@ -170,7 +148,7 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
                              const Rect2& batch_mbr,
                              const KeywordSet& query_kw, double lambda,
                              double r, std::span<double> scores,
-                             QueryStats& stats) {
+                             QueryStats& stats, TraversalScratch& scratch) {
   STPQ_CHECK(scores.size() == batch.size());
   std::fill(scores.begin(), scores.end(), 0.0);
   if (index.RootId() == kInvalidNodeId || batch.empty()) return;
@@ -178,16 +156,17 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
   const double r2 = r * r;
 
   // Indices of batch members whose score is still unresolved.
-  std::vector<uint32_t> active(batch.size());
+  std::vector<uint32_t>& active = scratch.active;
+  active.resize(batch.size());
   for (uint32_t i = 0; i < batch.size(); ++i) active[i] = i;
 
-  MaxHeap heap;
+  BorrowedMaxHeap heap(scratch.heap);
   heap.push({1.0, index.RootId(), false});
-  std::vector<FeatureBranch> scratch;
+  std::vector<FeatureBranch>& branches = scratch.branches;
   while (!heap.empty() && !active.empty()) {
-    HeapItem top = heap.top();
+    SearchHeapItem top = heap.top();
     heap.pop();
-    if (top.is_feature) {
+    if (top.is_leaf_item) {
       ++stats.features_retrieved;
       const FeatureObject& t = index.table().Get(top.id);
       // Features pop in descending s(t): the first one within range of a
@@ -204,8 +183,8 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
       }
       continue;
     }
-    index.VisitChildren(top.id, query_kw, lambda, &scratch);
-    for (const FeatureBranch& b : scratch) {
+    index.VisitChildren(top.id, query_kw, lambda, &branches);
+    for (const FeatureBranch& b : branches) {
       if (!b.text_match) continue;
       // Cheap prefilter on the whole batch MBR, then the exact exists-test
       // of Section 5: expand only if at least one active p is in range.

@@ -4,7 +4,10 @@
 //
 // All traversals are best-first over s-hat(e) (or distance, for the NN
 // variant); sub-trees are pruned when the spatial constraint cannot be met
-// or no query keyword can occur below the entry.
+// or no query keyword can occur below the entry.  Every function borrows
+// its heap and child-visit buffers from a caller-provided TraversalScratch
+// (see core/scratch.h), so a warm session runs these kernels without
+// allocating.
 //
 // Stats contract: every function takes `QueryStats&` and unconditionally
 // accumulates its work counters — callers that do not care still pass a
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/scratch.h"
 #include "index/feature_index.h"
 #include "util/metrics.h"
 
@@ -35,15 +39,17 @@ struct BestFeature {
 /// distance r of p, or 0 if none qualifies.
 double ComputeScoreRange(const FeatureIndex& index, const Point& p,
                          const KeywordSet& query_kw, double lambda, double r,
-                         QueryStats& stats);
+                         QueryStats& stats, TraversalScratch& scratch);
 
 /// Detailed versions: also identify the feature that realizes the score.
 BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats& stats);
+                             double r, QueryStats& stats,
+                             TraversalScratch& scratch);
 BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
                                  const KeywordSet& query_kw, double lambda,
-                                 double r, QueryStats& stats);
+                                 double r, QueryStats& stats,
+                                 TraversalScratch& scratch);
 
 /// NN variant (Definition 7).  Tie rule: among relevant features, the
 /// nearest by *exact* squared distance wins; equidistant features (squared
@@ -55,20 +61,23 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
 BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
                                        const Point& p,
                                        const KeywordSet& query_kw,
-                                       double lambda, QueryStats& stats);
+                                       double lambda, QueryStats& stats,
+                                       TraversalScratch& scratch);
 
 /// Definition 6 score: the best s(t) * 2^(-dist(p,t)/r) among relevant
 /// features, or 0 if none qualifies.
 double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
-                             double r, QueryStats& stats);
+                             double r, QueryStats& stats,
+                             TraversalScratch& scratch);
 
 /// Definition 7 score: s(t) of the nearest relevant feature (max s(t) among
 /// equidistant nearest, see ComputeBestNearestNeighbor), or 0 if none
 /// qualifies.
 double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
                                    const KeywordSet& query_kw, double lambda,
-                                   QueryStats& stats);
+                                   QueryStats& stats,
+                                   TraversalScratch& scratch);
 
 /// One member of a batched score computation.
 struct BatchObject {
@@ -85,7 +94,7 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
                              const Rect2& batch_mbr,
                              const KeywordSet& query_kw, double lambda,
                              double r, std::span<double> scores,
-                             QueryStats& stats);
+                             QueryStats& stats, TraversalScratch& scratch);
 
 }  // namespace stpq
 

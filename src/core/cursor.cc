@@ -45,7 +45,7 @@ void StpsCursor::RefillBuffer() {
     batch.clear();
     CollectObjectsInRange(*objects_, member_pos, query_.radius, combo->score,
                           /*remaining=*/SIZE_MAX, &claimed_, &batch,
-                          stats_);
+                          stats_, scratch_);
     for (ResultEntry& e : batch) buffer_.push_back(e);
   }
 }

@@ -26,6 +26,7 @@
 #include "core/combination.h"
 #include "core/exec_session.h"
 #include "core/query.h"
+#include "core/scratch.h"
 #include "index/object_index.h"
 
 namespace stpq {
@@ -62,6 +63,7 @@ class StpsCursor {
   QueryStats stats_;
   std::unique_ptr<ExecutionSession> session_;
   std::unique_ptr<CombinationIterator> iterator_;
+  TraversalScratch scratch_;  ///< reused across Next()/RefillBuffer calls
   std::vector<bool> claimed_;
   std::deque<ResultEntry> buffer_;
   bool exhausted_ = false;

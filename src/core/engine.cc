@@ -164,11 +164,11 @@ Result<QueryResult> Engine::Execute(const Query& query,
   QueryResult result;
   if (options.algorithm == Algorithm::kStds) {
     Stds stds(object_index_.get(), index_ptrs_);
-    result = stds.Execute(query, options_.stds_batching);
+    result = stds.Execute(query, options_.stds_batching, &session.scratch());
   } else {
     Stps stps(object_index_.get(), index_ptrs_, options_.influence_mode,
               voronoi_cache_.get());
-    result = stps.Execute(query, options_.pulling);
+    result = stps.Execute(query, options_.pulling, &session.scratch());
   }
   result.stats.cpu_ms = timer.ElapsedMillis();
   session.ExportIoCounters(result.stats);

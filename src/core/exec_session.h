@@ -18,6 +18,7 @@
 #ifndef STPQ_CORE_EXEC_SESSION_H_
 #define STPQ_CORE_EXEC_SESSION_H_
 
+#include "core/scratch.h"
 #include "storage/buffer_pool.h"
 #include "util/metrics.h"
 
@@ -56,6 +57,11 @@ class ExecutionSession {
     BufferPool::ScopedBind feature_bind_;
   };
 
+  /// Reusable traversal buffers for the executing query (DESIGN.md §13).
+  /// Same threading contract as the pool sessions: one query, one thread
+  /// at a time.
+  TraversalScratch& scratch() { return scratch_; }
+
   /// Writes this session's I/O counters into `stats` (overwriting the
   /// read/hit fields; the algorithm counters are untouched).
   void ExportIoCounters(QueryStats& stats) const {
@@ -69,6 +75,7 @@ class ExecutionSession {
  private:
   BufferPool::Session object_session_;
   BufferPool::Session feature_session_;
+  TraversalScratch scratch_;
 };
 
 }  // namespace stpq

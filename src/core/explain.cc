@@ -12,22 +12,24 @@ Explanation ExplainScore(const Engine* engine, const Query& query,
   out.object = object;
   const Point& p = engine->objects()[object].pos;
   QueryStats scratch_stats;
+  TraversalScratch scratch;
   for (size_t i = 0; i < engine->num_feature_sets(); ++i) {
     const FeatureIndex& index = engine->feature_index(i);
     BestFeature best;
     switch (query.variant) {
       case ScoreVariant::kRange:
         best = ComputeBestRange(index, p, query.keywords[i], query.lambda,
-                                query.radius, scratch_stats);
+                                query.radius, scratch_stats, scratch);
         break;
       case ScoreVariant::kInfluence:
         best = ComputeBestInfluence(index, p, query.keywords[i],
                                     query.lambda, query.radius,
-                                    scratch_stats);
+                                    scratch_stats, scratch);
         break;
       case ScoreVariant::kNearestNeighbor:
         best = ComputeBestNearestNeighbor(index, p, query.keywords[i],
-                                          query.lambda, scratch_stats);
+                                          query.lambda, scratch_stats,
+                                          scratch);
         break;
     }
     Contribution c;

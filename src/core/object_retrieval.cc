@@ -11,12 +11,13 @@ void CollectObjectsInRange(const ObjectIndex& objects,
                            double radius, double score, size_t remaining,
                            std::vector<bool>* claimed,
                            std::vector<ResultEntry>* result,
-                           QueryStats& stats) {
+                           QueryStats& stats, TraversalScratch& scratch) {
   if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
   const double r2 = radius * radius;
   size_t added = 0;
-  std::vector<NodeId> stack{objects.tree().root_id()};
+  std::vector<NodeId>& stack = scratch.stack;
+  stack.assign(1, objects.tree().root_id());
   while (!stack.empty() && added < remaining) {
     NodeId nid = stack.back();
     stack.pop_back();

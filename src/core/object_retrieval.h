@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/scratch.h"
 #include "index/object_index.h"
 
 namespace stpq {
@@ -20,7 +21,7 @@ void CollectObjectsInRange(const ObjectIndex& objects,
                            double radius, double score, size_t remaining,
                            std::vector<bool>* claimed,
                            std::vector<ResultEntry>* result,
-                           QueryStats& stats);
+                           QueryStats& stats, TraversalScratch& scratch);
 
 }  // namespace stpq
 

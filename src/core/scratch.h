@@ -1,0 +1,102 @@
+// Reusable per-session traversal buffers (DESIGN.md §13).
+//
+// Every best-first traversal in the query path needs a search heap, a
+// VisitChildren output buffer, and (for some kernels) a DFS stack or an
+// active-member list.  Constructing those as locals costs one or more heap
+// allocations per kernel call — and the kernels run hundreds of times per
+// query (once per object per feature set).  A TraversalScratch owns the
+// backing vectors once per ExecutionSession; kernels borrow them, clear
+// them (capacity is retained), and leave them for the next call, so a warm
+// session executes the range-variant hot path with zero allocations.
+//
+// Correctness constraint: borrowing must not change traversal order.
+// BorrowedHeap reproduces std::priority_queue exactly — push_back +
+// std::push_heap and std::pop_heap + pop_back with the same comparator is
+// precisely what libstdc++'s priority_queue does — so pop order, and
+// therefore page-read order and every golden I/O count, is bit-identical
+// to the former per-call priority_queue code.
+#ifndef STPQ_CORE_SCRATCH_H_
+#define STPQ_CORE_SCRATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "index/feature_index.h"
+
+namespace stpq {
+
+/// Entry of a best-first search heap: a priority plus the node or
+/// feature/object id it refers to.  All traversal kernels share this
+/// layout; only the meaning of `priority` (score bound, mindist, ...)
+/// and the comparator differ.
+struct SearchHeapItem {
+  double priority;
+  uint32_t id;
+  bool is_leaf_item;  ///< feature/object (true) vs. index node (false)
+};
+
+/// Max-heap ordering on priority (score-bound descent).
+struct SearchHeapMaxOrder {
+  bool operator()(const SearchHeapItem& a, const SearchHeapItem& b) const {
+    return a.priority < b.priority;
+  }
+};
+
+/// Min-heap ordering on priority (distance ascent).
+struct SearchHeapMinOrder {
+  bool operator()(const SearchHeapItem& a, const SearchHeapItem& b) const {
+    return a.priority > b.priority;
+  }
+};
+
+/// A binary heap over a borrowed vector: the std::priority_queue interface
+/// without owning (or allocating) the storage.  Clears the vector on
+/// construction; the vector's capacity persists in the scratch across
+/// calls.
+template <typename Order>
+class BorrowedHeap {
+ public:
+  explicit BorrowedHeap(std::vector<SearchHeapItem>& storage) : v_(storage) {
+    v_.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] const SearchHeapItem& top() const { return v_.front(); }
+
+  void push(const SearchHeapItem& item) {
+    v_.push_back(item);
+    std::push_heap(v_.begin(), v_.end(), Order{});
+  }
+
+  void pop() {
+    std::pop_heap(v_.begin(), v_.end(), Order{});
+    v_.pop_back();
+  }
+
+ private:
+  std::vector<SearchHeapItem>& v_;
+};
+
+using BorrowedMaxHeap = BorrowedHeap<SearchHeapMaxOrder>;
+using BorrowedMinHeap = BorrowedHeap<SearchHeapMinOrder>;
+
+/// The per-session buffer set.  Members are independent: a kernel may use
+/// any subset, but two *simultaneously live* traversals must not share one
+/// member (sequential kernel calls are fine — each clears what it borrows).
+/// The query path satisfies this by construction: component-score,
+/// Voronoi, and object-retrieval traversals never nest inside each other.
+struct TraversalScratch {
+  /// Search-heap storage (max- or min-ordered via BorrowedHeap).
+  std::vector<SearchHeapItem> heap;
+  /// VisitChildren output buffer.
+  std::vector<FeatureBranch> branches;
+  /// Batched scoring: indexes of still-unresolved batch members.
+  std::vector<uint32_t> active;
+  /// DFS stack of node ids for object-R-tree walks.
+  std::vector<uint32_t> stack;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_CORE_SCRATCH_H_

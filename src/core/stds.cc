@@ -16,7 +16,8 @@ namespace {
 /// object was pruned.
 double ScoreObjectPruned(const std::vector<const FeatureIndex*>& indexes,
                          const Query& query, const Point& pos,
-                         double threshold, QueryStats& stats) {
+                         double threshold, QueryStats& stats,
+                         TraversalScratch& scratch) {
   const size_t c = indexes.size();
   double partial = 0.0;
   for (size_t i = 0; i < c; ++i) {
@@ -27,16 +28,18 @@ double ScoreObjectPruned(const std::vector<const FeatureIndex*>& indexes,
     switch (query.variant) {
       case ScoreVariant::kRange:
         tau_i = ComputeScoreRange(*indexes[i], pos, query.keywords[i],
-                                  query.lambda, query.radius, stats);
+                                  query.lambda, query.radius, stats,
+                                  scratch);
         break;
       case ScoreVariant::kInfluence:
         tau_i = ComputeScoreInfluence(*indexes[i], pos, query.keywords[i],
-                                      query.lambda, query.radius, stats);
+                                      query.lambda, query.radius, stats,
+                                      scratch);
         break;
       case ScoreVariant::kNearestNeighbor:
         tau_i = ComputeScoreNearestNeighbor(*indexes[i], pos,
                                             query.keywords[i], query.lambda,
-                                            stats);
+                                            stats, scratch);
         break;
     }
     partial += tau_i;
@@ -46,8 +49,11 @@ double ScoreObjectPruned(const std::vector<const FeatureIndex*>& indexes,
 
 }  // namespace
 
-QueryResult Stds::Execute(const Query& query, bool use_batching) const {
+QueryResult Stds::Execute(const Query& query, bool use_batching,
+                          TraversalScratch* scratch) const {
   STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  TraversalScratch local_scratch;
+  TraversalScratch& scr = scratch != nullptr ? *scratch : local_scratch;
   QueryResult result;
   QueryStats& stats = result.stats;
   TopK<ObjectId> topk(query.k);
@@ -93,7 +99,7 @@ QueryResult Stds::Execute(const Query& query, bool use_batching) const {
         set_scores.assign(sub.size(), 0.0);
         ComputeScoresRangeBatch(*feature_indexes_[i], sub, sub_mbr,
                                 query.keywords[i], query.lambda, query.radius,
-                                set_scores, stats);
+                                set_scores, stats, scr);
         for (size_t s = 0; s < sub.size(); ++s) {
           partial[sub_index[s]] += set_scores[s];
         }
@@ -112,7 +118,7 @@ QueryResult Stds::Execute(const Query& query, bool use_batching) const {
         const Point& pos = objects_->Get(id).pos;
         double tau = ScoreObjectPruned(feature_indexes_, query, pos,
                                        topk.Full() ? topk.Threshold() : -1.0,
-                                       stats);
+                                       stats, scr);
         if (tau >= 0.0) {
           ++stats.objects_scored;
           topk.Push(tau, id);

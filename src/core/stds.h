@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/scratch.h"
 #include "index/feature_index.h"
 #include "index/object_index.h"
 
@@ -34,7 +35,10 @@ class Stds {
 
   /// Runs the query; `use_batching` toggles the Section 5 improvement
   /// (ignored for non-range variants, which always score per object).
-  QueryResult Execute(const Query& query, bool use_batching = true) const;
+  /// `scratch` (may be null) provides reusable traversal buffers — the
+  /// engine passes its session's scratch; a null falls back to a local.
+  QueryResult Execute(const Query& query, bool use_batching = true,
+                      TraversalScratch* scratch = nullptr) const;
 
  private:
   const ObjectIndex* objects_;

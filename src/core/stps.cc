@@ -8,24 +8,26 @@
 
 namespace stpq {
 
-QueryResult Stps::Execute(const Query& query,
-                          PullingStrategy strategy) const {
+QueryResult Stps::Execute(const Query& query, PullingStrategy strategy,
+                          TraversalScratch* scratch) const {
   STPQ_CHECK(query.keywords.size() == feature_indexes_.size());
+  TraversalScratch local_scratch;
+  TraversalScratch& scr = scratch != nullptr ? *scratch : local_scratch;
   switch (query.variant) {
     case ScoreVariant::kRange:
-      return ExecuteRange(query, strategy);
+      return ExecuteRange(query, strategy, scr);
     case ScoreVariant::kInfluence:
       return influence_mode_ == InfluenceMode::kAnchored
-                 ? ExecuteInfluenceAnchored(query, strategy)
-                 : ExecuteInfluence(query, strategy);
+                 ? ExecuteInfluenceAnchored(query, strategy, scr)
+                 : ExecuteInfluence(query, strategy, scr);
     case ScoreVariant::kNearestNeighbor:
-      return ExecuteNearestNeighbor(query, strategy);
+      return ExecuteNearestNeighbor(query, strategy, scr);
   }
   STPQ_CHECK(false && "unknown score variant");
 }
 
-QueryResult Stps::ExecuteRange(const Query& query,
-                               PullingStrategy strategy) const {
+QueryResult Stps::ExecuteRange(const Query& query, PullingStrategy strategy,
+                               TraversalScratch& scratch) const {
   QueryResult result;
   CombinationIterator it(feature_indexes_, query,
                          /*enforce_range_constraint=*/true, strategy,
@@ -45,7 +47,7 @@ QueryResult Stps::ExecuteRange(const Query& query,
     }
     CollectObjectsInRange(*objects_, member_pos, query.radius, combo->score,
                           query.k - result.entries.size(), &claimed,
-                          &result.entries, result.stats);
+                          &result.entries, result.stats, scratch);
   }
   return result;
 }

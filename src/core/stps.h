@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/scratch.h"
 #include "core/voronoi_cache.h"
 #include "index/feature_index.h"
 #include "index/object_index.h"
@@ -58,19 +59,24 @@ class Stps {
         influence_mode_(influence_mode) {}
 
   /// Runs the query under its score variant (Algorithm 3, Algorithm 5, or
-  /// the Voronoi-based NN retrieval of Section 7.2).
-  QueryResult Execute(
-      const Query& query,
-      PullingStrategy strategy = PullingStrategy::kPrioritized) const;
+  /// the Voronoi-based NN retrieval of Section 7.2).  `scratch` (may be
+  /// null) provides reusable traversal buffers — the engine passes its
+  /// session's scratch; a null falls back to a local.
+  QueryResult Execute(const Query& query,
+                      PullingStrategy strategy = PullingStrategy::kPrioritized,
+                      TraversalScratch* scratch = nullptr) const;
 
  private:
-  QueryResult ExecuteRange(const Query& query, PullingStrategy strategy) const;
-  QueryResult ExecuteInfluence(const Query& query,
-                               PullingStrategy strategy) const;
+  QueryResult ExecuteRange(const Query& query, PullingStrategy strategy,
+                           TraversalScratch& scratch) const;
+  QueryResult ExecuteInfluence(const Query& query, PullingStrategy strategy,
+                               TraversalScratch& scratch) const;
   QueryResult ExecuteInfluenceAnchored(const Query& query,
-                                       PullingStrategy strategy) const;
+                                       PullingStrategy strategy,
+                                       TraversalScratch& scratch) const;
   QueryResult ExecuteNearestNeighbor(const Query& query,
-                                     PullingStrategy strategy) const;
+                                     PullingStrategy strategy,
+                                     TraversalScratch& scratch) const;
 
   const ObjectIndex* objects_;
   std::vector<const FeatureIndex*> feature_indexes_;

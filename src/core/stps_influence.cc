@@ -2,7 +2,6 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -30,19 +29,11 @@ struct ScoredObject {
 std::vector<ScoredObject> TopKInfluenceObjects(
     const ObjectIndex& objects, const std::vector<Point>& member_pos,
     const std::vector<double>& member_score, double radius, size_t k,
-    double stop_threshold, QueryStats& stats) {
+    double stop_threshold, QueryStats& stats, TraversalScratch& scratch) {
   std::vector<ScoredObject> out;
   if (objects.tree().root_id() == kInvalidNodeId) return out;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
 
-  struct HeapEntry {
-    double priority;
-    NodeId id;
-    bool is_object;
-    bool operator<(const HeapEntry& other) const {
-      return priority < other.priority;
-    }
-  };
   auto bound_for = [&](const Rect2& rect, bool exact_point) {
     double s = 0.0;
     for (size_t i = 0; i < member_pos.size(); ++i) {
@@ -57,15 +48,15 @@ std::vector<ScoredObject> TopKInfluenceObjects(
   // Root bound: the combination score itself (influence at distance 0).
   double root_bound = 0.0;
   for (double s : member_score) root_bound += s;
-  std::priority_queue<HeapEntry> heap;
+  BorrowedMaxHeap heap(scratch.heap);
   heap.push({root_bound, objects.tree().root_id(), false});
   while (!heap.empty() && out.size() < k) {
-    HeapEntry top = heap.top();
+    SearchHeapItem top = heap.top();
     heap.pop();
     // Strict comparison: candidates tied with the threshold may still fill
     // result slots (e.g. all-zero scores when nothing is relevant).
     if (top.priority < stop_threshold) break;
-    if (top.is_object) {
+    if (top.is_leaf_item) {
       out.push_back(ScoredObject{top.id, top.priority});
       ++stats.objects_scored;
       continue;
@@ -120,7 +111,8 @@ double AchievableBound(const std::vector<Point>& pos,
 }  // namespace
 
 QueryResult Stps::ExecuteInfluence(const Query& query,
-                                   PullingStrategy strategy) const {
+                                   PullingStrategy strategy,
+                                   TraversalScratch& scratch) const {
   QueryResult result;
   // nextCombination without the 2r validity filter (Section 7.1).
   CombinationIterator it(feature_indexes_, query,
@@ -157,7 +149,7 @@ QueryResult Stps::ExecuteInfluence(const Query& query,
     }
     std::vector<ScoredObject> candidates = TopKInfluenceObjects(
         *objects_, member_pos, member_score, query.radius, query.k, tau,
-        result.stats);
+        result.stats, scratch);
     bool changed = false;
     for (const ScoredObject& c : candidates) {
       auto [iter, inserted] = best.try_emplace(c.id, c.score);
@@ -212,22 +204,18 @@ namespace {
 /// object R-tree); used to seed tau_k before any radius can be bounded.
 std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
                                      const Point& center, size_t k,
-                                     QueryStats& stats) {
+                                     QueryStats& stats,
+                                     TraversalScratch& scratch) {
   std::vector<ObjectId> out;
   if (objects.tree().root_id() == kInvalidNodeId) return out;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
-  struct HeapEntry {
-    double d2;
-    uint32_t id;
-    bool is_object;
-    bool operator<(const HeapEntry& other) const { return d2 > other.d2; }
-  };
-  std::priority_queue<HeapEntry> heap;
+  // Min-heap on squared distance.
+  BorrowedMinHeap heap(scratch.heap);
   heap.push({0.0, objects.tree().root_id(), false});
   while (!heap.empty() && out.size() < k) {
-    HeapEntry top = heap.top();
+    SearchHeapItem top = heap.top();
     heap.pop();
-    if (top.is_object) {
+    if (top.is_leaf_item) {
       out.push_back(top.id);
       continue;
     }
@@ -246,7 +234,8 @@ std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
 }  // namespace
 
 QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
-                                           PullingStrategy strategy) const {
+                                           PullingStrategy strategy,
+                                           TraversalScratch& scratch) const {
   QueryResult result;
   const size_t c = feature_indexes_.size();
   std::vector<SortedFeatureStream> streams;
@@ -284,7 +273,7 @@ QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
     for (size_t i = 0; i < c; ++i) {
       tau += ComputeScoreInfluence(*feature_indexes_[i], p,
                                    query.keywords[i], query.lambda,
-                                   query.radius, result.stats);
+                                   query.radius, result.stats, scratch);
     }
     topk.Push(tau, id);
   };
@@ -335,7 +324,7 @@ QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
     // Seed tau_k near this anchor while the result set is short.
     if (!topk.Full()) {
       for (ObjectId id : NearestObjects(*objects_, anchor.pos, query.k,
-                                        result.stats)) {
+                                        result.stats, scratch)) {
         exactify(id);
       }
     }

@@ -24,12 +24,13 @@ void CollectObjectsInRegion(const ObjectIndex& objects,
                             const ConvexPolygon& region, double score,
                             size_t remaining, std::vector<bool>* claimed,
                             std::vector<ResultEntry>* result,
-                            QueryStats& stats) {
+                            QueryStats& stats, TraversalScratch& scratch) {
   if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
   const Rect2 bbox = region.BoundingBox();
   size_t added = 0;
-  std::vector<NodeId> stack{objects.tree().root_id()};
+  std::vector<NodeId>& stack = scratch.stack;
+  stack.assign(1, objects.tree().root_id());
   while (!stack.empty() && added < remaining) {
     NodeId nid = stack.back();
     stack.pop_back();
@@ -55,7 +56,8 @@ void CollectObjectsInRegion(const ObjectIndex& objects,
 }  // namespace
 
 QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
-                                         PullingStrategy strategy) const {
+                                         PullingStrategy strategy,
+                                         TraversalScratch& scratch) const {
   QueryResult result;
   CombinationIterator it(feature_indexes_, query,
                          /*enforce_range_constraint=*/false, strategy,
@@ -95,7 +97,7 @@ QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
     }
     ConvexPolygon cell =
         ComputeVoronoiCell(*feature_indexes_[i], member, query.keywords[i],
-                           query.lambda, domain, result.stats);
+                           query.lambda, domain, result.stats, scratch);
     if (voronoi_cache_ != nullptr) {
       voronoi_cache_->Put(i, member, query.keywords[i], cell);
     }
@@ -120,7 +122,7 @@ QueryResult Stps::ExecuteNearestNeighbor(const Query& query,
     if (!feasible || region.IsEmpty()) continue;
     CollectObjectsInRegion(*objects_, region, combo->score,
                            query.k - result.entries.size(), &claimed,
-                           &result.entries, result.stats);
+                           &result.entries, result.stats, scratch);
   }
   return result;
 }

@@ -1,7 +1,5 @@
 #include "core/voronoi.h"
 
-#include <queue>
-
 #include "obs/phase.h"
 #include "util/timer.h"
 
@@ -10,7 +8,8 @@ namespace stpq {
 ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
                                  ObjectId center_id,
                                  const KeywordSet& query_kw, double lambda,
-                                 const Rect2& domain, QueryStats& stats) {
+                                 const Rect2& domain, QueryStats& stats,
+                                 TraversalScratch& scratch) {
   Timer timer;
   STPQ_TRACE_PHASE(stats, QueryPhase::kVoronoi);
   const BufferPoolStats before =
@@ -20,25 +19,20 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
   ConvexPolygon cell = ConvexPolygon::FromRect(domain);
   ++stats.voronoi_cells;
 
-  struct HeapEntry {
-    double d2;  // squared mindist from the center
-    uint32_t id;
-    bool is_feature;
-    bool operator<(const HeapEntry& other) const { return d2 > other.d2; }
-  };
-  std::priority_queue<HeapEntry> heap;
+  // Min-heap on squared mindist from the center.
+  BorrowedMinHeap heap(scratch.heap);
   if (index.RootId() != kInvalidNodeId) {
     heap.push({0.0, index.RootId(), false});
   }
-  std::vector<FeatureBranch> scratch;
+  std::vector<FeatureBranch>& branches = scratch.branches;
   double max_vertex = cell.MaxDistanceFrom(center);
   while (!heap.empty() && !cell.IsEmpty()) {
-    HeapEntry top = heap.top();
+    SearchHeapItem top = heap.top();
     // Termination: a feature at distance d can only cut the cell if
     // d / 2 < max vertex distance.
-    if (top.d2 >= 4.0 * max_vertex * max_vertex) break;
+    if (top.priority >= 4.0 * max_vertex * max_vertex) break;
     heap.pop();
-    if (top.is_feature) {
+    if (top.is_leaf_item) {
       if (top.id == center_id) continue;
       const FeatureObject& t = index.table().Get(top.id);
       if (t.pos == center) continue;  // co-located: bisector undefined
@@ -47,8 +41,8 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
       max_vertex = cell.MaxDistanceFrom(center);
       continue;
     }
-    index.VisitChildren(top.id, query_kw, lambda, &scratch);
-    for (const FeatureBranch& b : scratch) {
+    index.VisitChildren(top.id, query_kw, lambda, &branches);
+    for (const FeatureBranch& b : branches) {
       if (!b.text_match) continue;  // only relevant features define cells
       heap.push({MinSquaredDistance(center, b.mbr), b.id, b.is_feature});
     }

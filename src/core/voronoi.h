@@ -10,6 +10,7 @@
 #ifndef STPQ_CORE_VORONOI_H_
 #define STPQ_CORE_VORONOI_H_
 
+#include "core/scratch.h"
 #include "geom/polygon.h"
 #include "index/feature_index.h"
 #include "text/keyword_set.h"
@@ -24,7 +25,8 @@ namespace stpq {
 ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
                                  ObjectId center_id,
                                  const KeywordSet& query_kw, double lambda,
-                                 const Rect2& domain, QueryStats& stats);
+                                 const Rect2& domain, QueryStats& stats,
+                                 TraversalScratch& scratch);
 
 /// Intersects `poly` with `other` in place (clips by every edge of
 /// `other`); both must be convex with CCW vertex order.

@@ -376,52 +376,92 @@ Status ValidateInvertedIndex(const InvertedIndex& index,
 }
 
 Status ValidateBufferPool(const BufferPool& pool) {
-  // Frame list and page table must be a bijection.
-  if (pool.lru_.size() != pool.table_.size()) {
-    return Status::Internal("buffer pool: LRU list holds " +
-                            Num(static_cast<uint64_t>(pool.lru_.size())) +
-                            " frames but the page table maps " +
-                            Num(static_cast<uint64_t>(pool.table_.size())) +
-                            " pages");
-  }
-  for (auto it = pool.lru_.begin(); it != pool.lru_.end(); ++it) {
-    auto entry = pool.table_.find(*it);
-    if (entry == pool.table_.end()) {
-      return Status::Internal("buffer pool: resident page " + Num(*it) +
+  constexpr uint32_t kNil = BufferPool::kNilFrame;
+  // Walk the intrusive LRU chain from the head: every link must be in
+  // range, back-links must mirror forward links, and the chain must be
+  // acyclic and end at the recorded tail.
+  uint64_t chain_count = 0;
+  uint64_t pinned_count = 0;
+  uint32_t prev = kNil;
+  for (uint32_t f = pool.head_; f != kNil; f = pool.frames_[f].next) {
+    if (f >= pool.frames_.size()) {
+      return Status::Internal("buffer pool: LRU chain links frame " + Num(uint64_t{f}) +
+                              " outside the frame array");
+    }
+    if (pool.frames_[f].prev != prev) {
+      return Status::Internal("buffer pool: LRU chain back-link of frame " +
+                              Num(uint64_t{f}) +
+                              " does not point at its predecessor");
+    }
+    if (++chain_count > pool.frames_.size()) {
+      return Status::Internal("buffer pool: LRU chain contains a cycle");
+    }
+    // Every resident page maps back to its own frame in the page table.
+    const uint32_t mapped = pool.table_.Find(pool.frames_[f].page);
+    if (mapped == kNil) {
+      return Status::Internal("buffer pool: resident page " +
+                              Num(pool.frames_[f].page) +
                               " is missing from the page table");
     }
-    if (entry->second != it) {
+    if (mapped != f) {
       return Status::Internal("buffer pool: page table entry for page " +
-                              Num(*it) +
+                              Num(pool.frames_[f].page) +
                               " does not point back at its LRU frame");
     }
+    if (pool.frames_[f].pins > 0) ++pinned_count;
+    prev = f;
   }
-  // Pins must reference resident pages with positive counts.
-  for (const auto& [page, count] : pool.pins_) {
-    if (count == 0) {
-      return Status::Internal("buffer pool: page " + Num(page) +
-                              " has a zero pin count entry");
-    }
-    if (pool.table_.find(page) == pool.table_.end()) {
-      return Status::Internal("buffer pool: pinned page " + Num(page) +
-                              " is not resident");
-    }
+  if (prev != pool.tail_) {
+    return Status::Internal("buffer pool: LRU chain ends at frame " +
+                            Num(uint64_t{prev}) +
+                            " but the tail index records " +
+                            Num(uint64_t{pool.tail_}));
   }
-  if (pool.pins_.size() > pool.lru_.size()) {
-    return Status::Internal("buffer pool: more pinned pages than resident "
-                            "frames");
+  if (chain_count != pool.chain_size_) {
+    return Status::Internal("buffer pool: LRU chain links " +
+                            Num(chain_count) + " frames but the size "
+                            "counter records " + Num(pool.chain_size_));
+  }
+  // Chain and page table must be a bijection (the walk above proved the
+  // chain injects into the table; equal sizes make it onto).
+  if (chain_count != pool.table_.size()) {
+    return Status::Internal(
+        "buffer pool: LRU chain links " + Num(chain_count) +
+        " frames but the page table maps " +
+        Num(static_cast<uint64_t>(pool.table_.size())) + " pages");
+  }
+  if (pinned_count != pool.pinned_count_) {
+    return Status::Internal("buffer pool: " + Num(pinned_count) +
+                            " resident frames carry pins but the pinned "
+                            "counter records " + Num(pool.pinned_count_));
+  }
+  // Free-list frames must be disjoint from the chain: unpinned, absent
+  // from the table, and the two lists together never exceed the array.
+  uint64_t free_count = 0;
+  for (uint32_t f = pool.free_head_; f != kNil; f = pool.frames_[f].next) {
+    if (f >= pool.frames_.size()) {
+      return Status::Internal("buffer pool: free list links frame " + Num(uint64_t{f}) +
+                              " outside the frame array");
+    }
+    if (pool.frames_[f].pins != 0) {
+      return Status::Internal("buffer pool: free frame " + Num(uint64_t{f}) +
+                              " carries a pin");
+    }
+    if (++free_count + chain_count > pool.frames_.size()) {
+      return Status::Internal(
+          "buffer pool: free list and LRU chain overlap or cycle");
+    }
   }
   // Capacity and I/O-counter consistency.
-  if (pool.capacity_ != 0 && pool.lru_.size() > pool.capacity_) {
-    return Status::Internal("buffer pool: " +
-                            Num(static_cast<uint64_t>(pool.lru_.size())) +
+  if (pool.capacity_ != 0 && chain_count > pool.capacity_) {
+    return Status::Internal("buffer pool: " + Num(chain_count) +
                             " resident pages exceed capacity " +
                             Num(pool.capacity_));
   }
-  if (pool.lru_.size() > pool.lifetime_admissions_) {
+  if (chain_count > pool.lifetime_admissions_) {
     return Status::Internal(
-        "buffer pool: " + Num(static_cast<uint64_t>(pool.lru_.size())) +
-        " resident pages but only " + Num(pool.lifetime_admissions_) +
+        "buffer pool: " + Num(chain_count) + " resident pages but only " +
+        Num(pool.lifetime_admissions_) +
         " lifetime admissions (I/O counters inconsistent)");
   }
   return Status::OK();

@@ -18,6 +18,125 @@ thread_local std::vector<std::pair<const BufferPool*, BufferPool::Session*>>
 
 }  // namespace
 
+// ------------------------------------------------------------- page table
+
+uint64_t BufferPool::PageTable::Hash(PageId page) {
+  // splitmix64 finalizer: full-avalanche over the 64-bit page id, so
+  // page_base strides (1 << 32 per index) spread across the slots.
+  uint64_t z = page + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint32_t BufferPool::PageTable::Find(PageId page) const {
+  if (slots_.empty()) return kNilFrame;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = Hash(page) & mask;; i = (i + 1) & mask) {
+    const Slot& slot = slots_[i];
+    if (slot.frame == kNilFrame) return kNilFrame;
+    if (slot.page == page) return slot.frame;
+  }
+}
+
+void BufferPool::PageTable::Insert(PageId page, uint32_t frame) {
+  if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) Grow();
+  const size_t mask = slots_.size() - 1;
+  size_t i = Hash(page) & mask;
+  while (slots_[i].frame != kNilFrame) {
+    STPQ_DCHECK(slots_[i].page != page);
+    i = (i + 1) & mask;
+  }
+  slots_[i] = Slot{page, frame};
+  ++size_;
+}
+
+void BufferPool::PageTable::Erase(PageId page) {
+  if (slots_.empty()) return;
+  const size_t mask = slots_.size() - 1;
+  size_t i = Hash(page) & mask;
+  while (slots_[i].page != page || slots_[i].frame == kNilFrame) {
+    if (slots_[i].frame == kNilFrame) return;  // absent
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion: pull every displaced entry of the probe
+  // cluster back over the hole, leaving no tombstones behind.
+  size_t hole = i;
+  for (size_t j = (i + 1) & mask; slots_[j].frame != kNilFrame;
+       j = (j + 1) & mask) {
+    const size_t home = Hash(slots_[j].page) & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  slots_[hole].frame = kNilFrame;
+  --size_;
+}
+
+void BufferPool::PageTable::Clear() {
+  for (Slot& slot : slots_) slot.frame = kNilFrame;
+  size_ = 0;
+}
+
+void BufferPool::PageTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.frame == kNilFrame) continue;
+    size_t i = Hash(slot.page) & mask;
+    while (slots_[i].frame != kNilFrame) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+// ------------------------------------------------------- intrusive chain
+
+void BufferPool::Unlink(uint32_t f) {
+  Frame& frame = frames_[f];
+  if (frame.prev != kNilFrame) {
+    frames_[frame.prev].next = frame.next;
+  } else {
+    head_ = frame.next;
+  }
+  if (frame.next != kNilFrame) {
+    frames_[frame.next].prev = frame.prev;
+  } else {
+    tail_ = frame.prev;
+  }
+  --chain_size_;
+}
+
+void BufferPool::LinkFront(uint32_t f) {
+  Frame& frame = frames_[f];
+  frame.prev = kNilFrame;
+  frame.next = head_;
+  if (head_ != kNilFrame) frames_[head_].prev = f;
+  head_ = f;
+  if (tail_ == kNilFrame) tail_ = f;
+  ++chain_size_;
+}
+
+uint32_t BufferPool::AcquireFrame() {
+  if (free_head_ != kNilFrame) {
+    const uint32_t f = free_head_;
+    free_head_ = frames_[f].next;
+    return f;
+  }
+  frames_.emplace_back();
+  return static_cast<uint32_t>(frames_.size() - 1);
+}
+
+void BufferPool::ReleaseFrame(uint32_t f) {
+  frames_[f].next = free_head_;
+  frames_[f].prev = kNilFrame;
+  frames_[f].pins = 0;
+  free_head_ = f;
+}
+
+// ------------------------------------------------------------ public API
+
 BufferPool::Session* BufferPool::CurrentSession() const {
   for (auto it = tls_bindings.rbegin(); it != tls_bindings.rend(); ++it) {
     if (it->first == this) return it->second;
@@ -36,102 +155,123 @@ bool BufferPool::AccessLocked(PageId page) {
 }
 
 bool BufferPool::AccessInternal(PageId page) {
-  auto it = table_.find(page);
-  if (it != table_.end()) {
-    ++stats_.hits;
-    if (capacity_ != 0) {  // unbounded pools skip LRU maintenance
-      lru_.splice(lru_.begin(), lru_, it->second);
+  uint32_t f = table_.Find(page);
+  if (f != kNilFrame) {
+    // Plain load+store, not a locked RMW: writers are serialized by mu_
+    // (or by the isolated session's single thread), atomics only make the
+    // lock-free stats() readers well-defined.
+    hits_.store(hits_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    if (capacity_ != 0 && head_ != f) {  // unbounded pools skip LRU upkeep
+      Unlink(f);
+      LinkFront(f);
     }
     return true;
   }
-  ++stats_.reads;
-  lru_.push_front(page);
-  table_.emplace(page, lru_.begin());
+  reads_.store(reads_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  f = AcquireFrame();
+  frames_[f].page = page;
+  frames_[f].pins = 0;
+  LinkFront(f);
+  table_.Insert(page, f);
   ++lifetime_admissions_;
-  if (capacity_ != 0 && lru_.size() > capacity_) {
+  if (capacity_ != 0 && chain_size_ > capacity_) {
     EvictOneUnpinned();
   }
   return false;
 }
 
 void BufferPool::EvictOneUnpinned() {
-  // Walk from the LRU end toward the front; the first unpinned page is the
-  // victim.  The page just admitted sits at the front unpinned, so the walk
-  // always finds one — in the worst case the new page evicts itself (an
-  // uncached read-through that leaves every pinned resident in place).
-  for (auto it = std::prev(lru_.end());; --it) {
-    if (pins_.find(*it) == pins_.end()) {
-      table_.erase(*it);
-      lru_.erase(it);
+  // Walk from the LRU tail toward the front; the first unpinned frame is
+  // the victim.  The frame just admitted sits at the head unpinned, so the
+  // walk always finds one — in the worst case the new page evicts itself
+  // (an uncached read-through that leaves every pinned resident in place).
+  for (uint32_t f = tail_;; f = frames_[f].prev) {
+    if (frames_[f].pins == 0) {
+      table_.Erase(frames_[f].page);
+      Unlink(f);
+      ReleaseFrame(f);
       return;
     }
-    STPQ_DCHECK(it != lru_.begin());  // front page is never pinned here
+    STPQ_DCHECK(f != head_);  // head frame is never pinned here
   }
 }
 
 Status BufferPool::Pin(PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   AccessInternal(page);
-  if (table_.find(page) == table_.end()) {
+  const uint32_t f = table_.Find(page);
+  if (f == kNilFrame) {
     return Status::FailedPrecondition(
         "cannot pin page " + std::to_string(page) + ": pool is full (" +
         std::to_string(capacity_) + " pages) and every frame is pinned");
   }
-  ++pins_[page];
+  if (frames_[f].pins++ == 0) ++pinned_count_;
   return Status::OK();
 }
 
 uint32_t BufferPool::PinCount(PageId page) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = pins_.find(page);
-  return it == pins_.end() ? 0 : it->second;
+  const uint32_t f = table_.Find(page);
+  return f == kNilFrame ? 0 : frames_[f].pins;
 }
 
 Status BufferPool::Unpin(PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = pins_.find(page);
-  if (it == pins_.end()) {
+  const uint32_t f = table_.Find(page);
+  if (f == kNilFrame || frames_[f].pins == 0) {
     return Status::FailedPrecondition(
         "unpin of page " + std::to_string(page) + " that is not pinned");
   }
-  if (--it->second == 0) pins_.erase(it);
+  if (--frames_[f].pins == 0) --pinned_count_;
   return Status::OK();
 }
 
 void BufferPool::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  STPQ_DCHECK(pins_.empty());
-  lru_.clear();
-  table_.clear();
-  pins_.clear();
+  STPQ_DCHECK(pinned_count_ == 0);
+  // Move every resident frame to the free list; the frame array and the
+  // page-table slot array keep their allocations for the next fill.
+  for (uint32_t f = head_; f != kNilFrame;) {
+    const uint32_t next = frames_[f].next;
+    ReleaseFrame(f);
+    f = next;
+  }
+  head_ = tail_ = kNilFrame;
+  chain_size_ = 0;
+  pinned_count_ = 0;
+  table_.Clear();
 }
 
 void BufferPool::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_ = BufferPoolStats{};
+  reads_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
 }
 
 BufferPoolStats BufferPool::stats() const {
   if (Session* session = CurrentSession()) return session->stats();
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return {reads_.load(std::memory_order_relaxed),
+          hits_.load(std::memory_order_relaxed)};
 }
 
 uint64_t BufferPool::resident_pages() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  return chain_size_;
 }
 
 uint64_t BufferPool::pinned_pages() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return pins_.size();
+  return pinned_count_;
 }
 
 bool BufferPool::Session::Access(PageId page) {
   if (isolated_) {
-    // The private pool is never the target of a binding, so this call
-    // cannot recurse back into session routing.
-    return private_pool_.AccessLocked(page);
+    // The private pool is single-threaded by construction (only this
+    // session's thread reaches it) and never the target of a binding, so
+    // this call skips the mutex and cannot recurse into session routing.
+    return private_pool_->AccessInternal(page);
   }
   bool hit = shared_->AccessLocked(page);
   if (hit) {
@@ -144,8 +284,8 @@ bool BufferPool::Session::Access(PageId page) {
 
 BufferPoolStats BufferPool::Session::stats() const {
   if (isolated_) {
-    std::lock_guard<std::mutex> lock(private_pool_.mu_);
-    return private_pool_.stats_;
+    return {private_pool_->reads_.load(std::memory_order_relaxed),
+            private_pool_->hits_.load(std::memory_order_relaxed)};
   }
   return stats_;
 }

@@ -13,25 +13,40 @@
 // frame is pinned reports FailedPrecondition instead of evicting or
 // crashing.
 //
+// Representation (DESIGN.md §13).  The pool is an intrusive doubly linked
+// LRU chain threaded through a frame array (index-based prev/next links,
+// pin count inline) plus an open-addressing page table mapping PageId to
+// frame index.  Hits, misses, admissions and evictions are all O(1) with
+// no per-operation allocation: evicted frames go on a free list and are
+// reused in place, so a bounded pool allocates at most capacity+1 frames
+// over its whole lifetime.  The observable behavior — exact LRU eviction
+// order, pin/read-through semantics, every counter — is identical to the
+// previous std::list + unordered_map implementation; the golden I/O test
+// pins that equivalence.
+//
 // Concurrency model (DESIGN.md §11).  The shared LRU state is protected by
-// a mutex, so direct Access/Pin/Clear calls are safe from any thread.  Query
-// execution, however, never contends on that mutex in the default
-// configuration: each query binds a BufferPool::Session to its thread (see
-// ScopedBind), and Access() charges the session instead of the pool.  An
-// *isolated* session simulates its own private cold pool of the same
-// capacity — no shared mutation at all, and page-read counts that are
-// byte-identical to a sequential cold_cache_per_query run regardless of how
-// many sessions run in parallel.  A *shared* session routes through the
-// locked pool (pages stay warm across queries) and records the hits and
-// misses attributable to this session; those counts then depend on
-// cross-query interleaving, exactly as a physical warm cache would.
+// a mutex, so direct Access/Pin/Clear calls are safe from any thread.  The
+// hit/read counters are relaxed atomics written under the mutex, which
+// makes stats() lock-free.  Query execution never contends on the mutex in
+// the default configuration: each query binds a BufferPool::Session to its
+// thread (see ScopedBind), and Access() charges the session instead of the
+// pool.  An *isolated* session simulates its own private cold pool of the
+// same capacity — no shared mutation at all (the private pool skips the
+// mutex entirely; the session is single-threaded by construction), and
+// page-read counts that are byte-identical to a sequential
+// cold_cache_per_query run regardless of how many sessions run in
+// parallel.  A *shared* session routes through the locked pool (pages stay
+// warm across queries) and records the hits and misses attributable to
+// this session; those counts then depend on cross-query interleaving,
+// exactly as a physical warm cache would.
 #ifndef STPQ_STORAGE_BUFFER_POOL_H_
 #define STPQ_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <vector>
 
 #include "util/status.h"
 
@@ -47,8 +62,12 @@ struct BufferPoolStats {
   uint64_t reads = 0;  ///< misses: simulated page reads from disk
   uint64_t hits = 0;   ///< accesses served from the pool
 
+  /// Per-field saturating difference: subtracting a *newer* snapshot from
+  /// an older one (a caller bug, or counters reset between snapshots)
+  /// yields 0 instead of wrapping around to ~2^64 bogus reads.
   BufferPoolStats operator-(const BufferPoolStats& other) const {
-    return {reads - other.reads, hits - other.hits};
+    return {reads >= other.reads ? reads - other.reads : 0,
+            hits >= other.hits ? hits - other.hits : 0};
   }
 };
 
@@ -95,6 +114,7 @@ class BufferPool {
   /// Counter snapshot.  With a Session bound to the calling thread this
   /// returns the *session's* counters, so code computing read deltas (e.g.
   /// Voronoi cell accounting) attributes I/O to the executing query.
+  /// Lock-free on the shared pool (the counters are atomics).
   BufferPoolStats stats() const;
 
   [[nodiscard]] uint64_t capacity_pages() const { return capacity_; }
@@ -113,45 +133,107 @@ class BufferPool {
   friend struct Corrupter;
   friend class Session;
 
+  /// Sentinel frame index: chain terminator / empty page-table slot.
+  static constexpr uint32_t kNilFrame = 0xffffffffu;
+
+  /// One page frame.  `prev`/`next` thread the frame through either the
+  /// LRU chain (resident frames) or the free list (`next` only).
+  struct Frame {
+    PageId page = 0;
+    uint32_t prev = kNilFrame;
+    uint32_t next = kNilFrame;
+    uint32_t pins = 0;
+  };
+
+  /// Open-addressing PageId -> frame-index map: linear probing over a
+  /// power-of-two slot array, backward-shift deletion (no tombstones).
+  /// Never shrinks, and Clear() keeps the slot array, so a warm pool
+  /// re-fills without allocating.
+  class PageTable {
+   public:
+    /// Frame index for `page`, or kNilFrame when absent.
+    uint32_t Find(PageId page) const;
+    /// `page` must not be present.
+    void Insert(PageId page, uint32_t frame);
+    /// No-op when `page` is absent (Corrupter uses that leniency).
+    void Erase(PageId page);
+    void Clear();
+    [[nodiscard]] size_t size() const { return size_; }
+
+   private:
+    struct Slot {
+      PageId page = 0;
+      uint32_t frame = kNilFrame;  ///< kNilFrame marks an empty slot
+    };
+
+    static uint64_t Hash(PageId page);
+    void Grow();
+
+    std::vector<Slot> slots_;  ///< power-of-two size; empty until first use
+    size_t size_ = 0;
+  };
+
   /// The session bound to this pool on the calling thread, or nullptr.
   Session* CurrentSession() const;
 
   /// Shared-pool access under the mutex (the pre-session code path).
   bool AccessLocked(PageId page);
 
-  /// Access body; callers hold mu_.
+  /// Access body; callers hold mu_ or own the pool exclusively (isolated
+  /// sessions are single-threaded by construction and skip the lock).
   bool AccessInternal(PageId page);
 
   /// Evicts the least recently used unpinned page (possibly the page that
-  /// was just admitted, which is the read-through case).  Caller holds mu_.
+  /// was just admitted, which is the read-through case).  Same locking
+  /// contract as AccessInternal.
   void EvictOneUnpinned();
+
+  // Intrusive-chain helpers; same locking contract as AccessInternal.
+  void Unlink(uint32_t f);
+  void LinkFront(uint32_t f);
+  uint32_t AcquireFrame();        ///< pops the free list or grows frames_
+  void ReleaseFrame(uint32_t f);  ///< pushes a frame on the free list
 
   mutable std::mutex mu_;
   uint64_t capacity_;
-  BufferPoolStats stats_;
-  /// Total pages ever admitted to the pool; unlike stats_ this is never
-  /// reset, so `resident_pages() <= lifetime_admissions_` is an invariant
-  /// that ValidateBufferPool can check across ResetStats()/Clear() calls.
+  /// Counters are atomics so stats() is lock-free; every writer runs under
+  /// mu_ (or single-threaded, for isolated-session private pools), so
+  /// relaxed ordering suffices.
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> hits_{0};
+  /// Total pages ever admitted to the pool; unlike the stats counters this
+  /// is never reset, so `resident_pages() <= lifetime_admissions_` is an
+  /// invariant that ValidateBufferPool can check across
+  /// ResetStats()/Clear() calls.
   uint64_t lifetime_admissions_ = 0;
-  std::list<PageId> lru_;  // front = most recently used
-  std::unordered_map<PageId, std::list<PageId>::iterator> table_;
-  std::unordered_map<PageId, uint32_t> pins_;  // page -> nested pin count
+  std::vector<Frame> frames_;
+  uint32_t head_ = kNilFrame;       ///< most recently used
+  uint32_t tail_ = kNilFrame;       ///< least recently used
+  uint32_t free_head_ = kNilFrame;  ///< free list, singly linked via next
+  uint64_t chain_size_ = 0;         ///< resident frames in the LRU chain
+  uint64_t pinned_count_ = 0;       ///< resident frames with pins > 0
+  PageTable table_;
 };
 
 /// Per-query read accounting against one shared pool (see the BufferPool
 /// class comment).  A session is single-threaded by construction: it is
 /// only reachable through the thread-local ScopedBind of the thread
-/// executing the query, so its counters need no synchronization.
+/// executing the query, so its counters (and its private pool, in isolated
+/// mode) need no synchronization.
 class BufferPool::Session {
  public:
   /// `shared` must outlive the session.  `isolated` selects the private
   /// cold-pool mode (deterministic counts, zero shared-state contention);
   /// otherwise accesses go through the locked shared pool and this session
-  /// records its own share of the traffic.
+  /// records its own share of the traffic.  Only an isolated session
+  /// allocates a private pool; shared-mode sessions carry two counters and
+  /// two pointers, nothing else.
   Session(BufferPool* shared, bool isolated)
       : shared_(shared),
         isolated_(isolated),
-        private_pool_(shared->capacity_pages()) {}
+        private_pool_(isolated ? std::make_unique<BufferPool>(
+                                     shared->capacity_pages())
+                               : nullptr) {}
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -165,13 +247,20 @@ class BufferPool::Session {
   [[nodiscard]] bool isolated() const { return isolated_; }
   [[nodiscard]] BufferPool* shared_pool() const { return shared_; }
 
+  /// Whether the private cold pool exists (isolated mode only; test hook
+  /// for "shared sessions allocate no private pool").
+  [[nodiscard]] bool has_private_pool() const {
+    return private_pool_ != nullptr;
+  }
+
  private:
   friend class BufferPool::ScopedBind;
 
   BufferPool* shared_;
   bool isolated_;
-  BufferPool private_pool_;  ///< isolated mode: same capacity, starts cold
-  BufferPoolStats stats_;    ///< shared mode: this session's traffic
+  /// Isolated mode: same capacity as the shared pool, starts cold.
+  std::unique_ptr<BufferPool> private_pool_;
+  BufferPoolStats stats_;  ///< shared mode: this session's traffic
 };
 
 /// RAII thread-local binding: while alive, Access()/stats() calls on the
@@ -187,21 +276,25 @@ class BufferPool::ScopedBind {
   ScopedBind& operator=(const ScopedBind&) = delete;
 };
 
-/// Deep structural check (also declared in debug/validate.h): frame/page
-/// table bijection, pin-count consistency, capacity and admission-counter
-/// invariants.  Returns a Status naming the first violation.  Only
-/// meaningful on a quiescent pool (no concurrent accessors).
+/// Deep structural check (also declared in debug/validate.h): LRU-chain
+/// link and page-table bijection, pin-count consistency, capacity and
+/// admission-counter invariants.  Returns a Status naming the first
+/// violation.  Only meaningful on a quiescent pool (no concurrent
+/// accessors).
 Status ValidateBufferPool(const BufferPool& pool);
 
 struct BufferPool::Corrupter {
-  /// Breaks the frame/page-table bijection: the LRU list keeps the page
+  /// Breaks the frame/page-table bijection: the LRU chain keeps the page
   /// but the table forgets it.
   static void DropTableEntry(BufferPool* pool, PageId page) {
-    pool->table_.erase(page);
+    pool->table_.Erase(page);
   }
-  /// Records a pin for a page that is not resident.
-  static void PhantomPin(BufferPool* pool, PageId page) {
-    pool->pins_[page] = 1;
+  /// Breaks the intrusive chain: the LRU tail's back-link points at
+  /// itself instead of its predecessor.
+  static void BreakLruBackLink(BufferPool* pool) {
+    if (pool->tail_ != kNilFrame) {
+      pool->frames_[pool->tail_].prev = pool->tail_;
+    }
   }
   /// Rewinds the lifetime admission counter below the resident count.
   static void RewindAdmissions(BufferPool* pool) {

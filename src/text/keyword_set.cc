@@ -23,7 +23,9 @@ KeywordSet::KeywordSet(uint32_t universe_size,
 
 void KeywordSet::Insert(TermId id) {
   STPQ_CHECK(id < universe_size_);
-  blocks_[id / 64] |= uint64_t{1} << (id % 64);
+  const uint64_t bit = uint64_t{1} << (id % 64);
+  blocks_[id / 64] |= bit;
+  sig_ |= bit;
 }
 
 bool KeywordSet::Contains(TermId id) const {
@@ -39,6 +41,7 @@ uint32_t KeywordSet::Count() const {
 
 uint32_t KeywordSet::IntersectCount(const KeywordSet& other) const {
   STPQ_DCHECK(universe_size_ == other.universe_size_);
+  if ((sig_ & other.sig_) == 0) return 0;  // provably disjoint
   uint32_t n = 0;
   for (size_t i = 0; i < blocks_.size(); ++i) {
     n += std::popcount(blocks_[i] & other.blocks_[i]);
@@ -57,6 +60,8 @@ uint32_t KeywordSet::UnionCount(const KeywordSet& other) const {
 
 bool KeywordSet::Intersects(const KeywordSet& other) const {
   STPQ_DCHECK(universe_size_ == other.universe_size_);
+  if ((sig_ & other.sig_) == 0) return false;  // provably disjoint
+  if (blocks_.size() == 1) return true;        // the signature is exact
   for (size_t i = 0; i < blocks_.size(); ++i) {
     if (blocks_[i] & other.blocks_[i]) return true;
   }
@@ -64,20 +69,33 @@ bool KeywordSet::Intersects(const KeywordSet& other) const {
 }
 
 double KeywordSet::Jaccard(const KeywordSet& other) const {
-  uint32_t u = UnionCount(other);
-  if (u == 0) return 0.0;
-  return static_cast<double>(IntersectCount(other)) / static_cast<double>(u);
+  STPQ_DCHECK(universe_size_ == other.universe_size_);
+  // Disjoint sets (including two empty ones) have similarity 0 by the
+  // paper's convention, so the signature test answers directly.
+  if ((sig_ & other.sig_) == 0) return 0.0;
+  uint32_t inter = 0;
+  uint32_t uni = 0;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    inter += std::popcount(blocks_[i] & other.blocks_[i]);
+    uni += std::popcount(blocks_[i] | other.blocks_[i]);
+  }
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
 void KeywordSet::UnionWith(const KeywordSet& other) {
   STPQ_DCHECK(universe_size_ == other.universe_size_);
   for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] |= other.blocks_[i];
+  sig_ |= other.sig_;
 }
 
 std::vector<TermId> KeywordSet::ToTerms() const {
   std::vector<TermId> out;
-  for (uint32_t id = 0; id < universe_size_; ++id) {
-    if (Contains(id)) out.push_back(id);
+  out.reserve(Count());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    for (uint64_t b = blocks_[i]; b != 0; b &= b - 1) {
+      out.push_back(static_cast<TermId>(i * 64 + std::countr_zero(b)));
+    }
   }
   return out;
 }
@@ -87,6 +105,8 @@ KeywordSet KeywordSet::FromBlocks(uint32_t universe_size,
   STPQ_CHECK(blocks.size() == BlockCount(universe_size));
   KeywordSet s(universe_size);
   s.blocks_ = std::move(blocks);
+  s.sig_ = 0;
+  for (uint64_t b : s.blocks_) s.sig_ |= b;
   return s;
 }
 

@@ -1,6 +1,15 @@
 // Keyword sets as fixed-universe bitmaps with popcount-based set algebra.
 //
 // t.W in the paper.  Jaccard(t.W, W) = |t.W n W| / |t.W u W| (Section 3).
+//
+// Every set carries a one-word *signature*: the OR-fold of its blocks
+// (bit b of the signature is set iff some block has bit b set).  Two sets
+// whose signatures do not share a bit cannot share a keyword, so the
+// sim > 0 pruning test (`Intersects`) and the |A n B| = 0 case short-
+// circuit in a single AND before touching the block arrays; a non-zero
+// AND falls back to the exact block scan, so answers never change.  For
+// universes of at most 64 keywords the signature *is* the set and the
+// fast path is exact in both directions.
 #ifndef STPQ_TEXT_KEYWORD_SET_H_
 #define STPQ_TEXT_KEYWORD_SET_H_
 
@@ -39,7 +48,9 @@ class KeywordSet {
   /// True iff the sets share at least one keyword (sim(t, W) > 0 test).
   bool Intersects(const KeywordSet& other) const;
 
-  /// Jaccard similarity; 0 if both sets are empty.
+  /// Jaccard similarity; 0 if both sets are empty.  Single fused block
+  /// pass (intersection and union popcounts together) behind the
+  /// signature short-circuit.
   double Jaccard(const KeywordSet& other) const;
 
   /// In-place union (the node-summary aggregation of Section 4.1).
@@ -53,12 +64,18 @@ class KeywordSet {
   /// Raw 64-bit blocks, LSB-first (bit d of block d/64 = term d).
   const std::vector<uint64_t>& blocks() const { return blocks_; }
 
+  /// One-word OR-fold of the blocks (see the file comment).  Maintained
+  /// incrementally by Insert/UnionWith; `sig_a & sig_b == 0` proves the
+  /// sets disjoint.
+  uint64_t signature() const { return sig_; }
+
   /// Builds a set directly from raw blocks (must match the universe size).
   static KeywordSet FromBlocks(uint32_t universe_size,
                                std::vector<uint64_t> blocks);
 
  private:
   uint32_t universe_size_ = 0;
+  uint64_t sig_ = 0;
   std::vector<uint64_t> blocks_;
 };
 

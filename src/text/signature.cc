@@ -1,5 +1,7 @@
 #include "text/signature.h"
 
+#include <bit>
+
 #include "util/logging.h"
 
 namespace stpq {
@@ -11,6 +13,19 @@ uint64_t Mix(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// Calls `fn(term)` for every keyword in `set`, ascending.  Enumerates
+/// set bits with countr_zero over the raw blocks — no temporary term
+/// vector on the query hot path.
+template <typename Fn>
+void ForEachTerm(const KeywordSet& set, Fn&& fn) {
+  const std::vector<uint64_t>& blocks = set.blocks();
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (uint64_t b = blocks[i]; b != 0; b &= b - 1) {
+      fn(static_cast<TermId>(i * 64 + std::countr_zero(b)));
+    }
+  }
 }
 }  // namespace
 
@@ -35,34 +50,52 @@ SignatureScheme::SignatureScheme(uint32_t signature_bits,
   STPQ_CHECK(signature_bits_ > 0 && hashes_per_term_ > 0);
 }
 
+uint32_t SignatureScheme::TermBit(TermId term, uint32_t j) const {
+  uint64_t h = Mix(seed_ ^ (static_cast<uint64_t>(term) << 32 | j));
+  return static_cast<uint32_t>(h % signature_bits_);
+}
+
 Signature SignatureScheme::TermSignature(TermId term) const {
   Signature sig(signature_bits_);
-  for (uint32_t j = 0; j < hashes_per_term_; ++j) {
-    uint64_t h = Mix(seed_ ^ (static_cast<uint64_t>(term) << 32 | j));
-    sig.SetBit(static_cast<uint32_t>(h % signature_bits_));
-  }
+  for (uint32_t j = 0; j < hashes_per_term_; ++j) sig.SetBit(TermBit(term, j));
   return sig;
 }
 
 Signature SignatureScheme::SetSignature(const KeywordSet& set) const {
+  // Sets each term's hash bits directly into the result: the same bits
+  // TermSignature would set, without a per-term Signature allocation.
   Signature sig(signature_bits_);
-  for (TermId t : set.ToTerms()) sig.UnionWith(TermSignature(t));
+  ForEachTerm(set, [&](TermId t) {
+    for (uint32_t j = 0; j < hashes_per_term_; ++j) sig.SetBit(TermBit(t, j));
+  });
   return sig;
+}
+
+bool SignatureScheme::CoversTerm(const Signature& signature,
+                                 TermId term) const {
+  for (uint32_t j = 0; j < hashes_per_term_; ++j) {
+    if (!signature.TestBit(TermBit(term, j))) return false;
+  }
+  return true;
 }
 
 uint32_t SignatureScheme::UpperBoundIntersect(const Signature& signature,
                                               const KeywordSet& query) const {
   uint32_t n = 0;
-  for (TermId t : query.ToTerms()) {
-    if (signature.Covers(TermSignature(t))) ++n;
-  }
+  ForEachTerm(query, [&](TermId t) {
+    if (CoversTerm(signature, t)) ++n;
+  });
   return n;
 }
 
 bool SignatureScheme::MayIntersect(const Signature& signature,
                                    const KeywordSet& query) const {
-  for (TermId t : query.ToTerms()) {
-    if (signature.Covers(TermSignature(t))) return true;
+  const std::vector<uint64_t>& blocks = query.blocks();
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (uint64_t b = blocks[i]; b != 0; b &= b - 1) {
+      const TermId t = static_cast<TermId>(i * 64 + std::countr_zero(b));
+      if (CoversTerm(signature, t)) return true;
+    }
   }
   return false;
 }

@@ -68,6 +68,14 @@ class SignatureScheme {
                     const KeywordSet& query) const;
 
  private:
+  /// The j-th hash bit of `term` (j < hashes_per_term_).
+  uint32_t TermBit(TermId term, uint32_t j) const;
+
+  /// Whether all of `term`'s hash bits are set in `signature` — the same
+  /// answer as `signature.Covers(TermSignature(term))` without building
+  /// the per-term Signature.
+  bool CoversTerm(const Signature& signature, TermId term) const;
+
   uint32_t signature_bits_;
   uint32_t hashes_per_term_;
   uint64_t seed_;

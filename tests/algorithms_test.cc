@@ -57,10 +57,11 @@ TEST(ComputeScoreTest, RangeMatchesBruteForce) {
   q.lambda = 0.5;
   q.keywords = {KeywordSet(32, {0, 1, 2})};
   QueryStats stats;
+  TraversalScratch scratch;
   for (int i = 0; i < 60; ++i) {
     const Point& p = ds.objects[i].pos;
     double got = ComputeScoreRange(index, p, q.keywords[0], q.lambda,
-                                   q.radius, stats);
+                                   q.radius, stats, scratch);
     EXPECT_NEAR(got, brute.ComponentScore(p, 0, q), 1e-12) << "object " << i;
   }
 }
@@ -84,11 +85,12 @@ TEST(ComputeScoreTest, BatchAgreesWithSingle) {
   }
   std::vector<double> scores(batch.size());
   QueryStats stats;
+  TraversalScratch scratch;
   ComputeScoresRangeBatch(index, batch, mbr, query, 0.5, 0.05, scores,
-                          stats);
+                          stats, scratch);
   for (size_t i = 0; i < batch.size(); ++i) {
     double single = ComputeScoreRange(index, batch[i].pos, query, 0.5, 0.05,
-                                      stats);
+                                      stats, scratch);
     EXPECT_NEAR(scores[i], single, 1e-12) << "object " << i;
   }
 }
@@ -99,10 +101,13 @@ TEST(ComputeScoreTest, ZeroRadiusOnlyColocated) {
   SrtIndex index(&ds.feature_tables[0], opts);
   KeywordSet query = ex::Terms(ds.vocabularies[0], {"pizza"});
   QueryStats stats;
+  TraversalScratch scratch;
   // p exactly at Ontario's Pizza: radius 0 still matches it.
-  double at = ComputeScoreRange(index, {7, 6}, query, 0.5, 0.0, stats);
+  double at =
+      ComputeScoreRange(index, {7, 6}, query, 0.5, 0.0, stats, scratch);
   EXPECT_NEAR(at, 0.4 + 0.5 * 0.5, 1e-12);  // s = .5*.8 + .5*(1/2)
-  double off = ComputeScoreRange(index, {7.1, 6}, query, 0.5, 0.0, stats);
+  double off =
+      ComputeScoreRange(index, {7.1, 6}, query, 0.5, 0.0, stats, scratch);
   EXPECT_EQ(off, 0.0);
 }
 

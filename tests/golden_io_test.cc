@@ -1,0 +1,217 @@
+// Golden I/O regression test: page-read counts for the paper-example
+// workloads (and one bounded shared-pool workload whose hit/miss split
+// pins the exact LRU eviction order) are checked against constants
+// captured before the buffer-pool rewrite and the keyword-signature fast
+// paths.  The hot-path optimizations must change no query result and no
+// I/O accounting, so these counts are byte-identical by design.
+//
+// To re-capture after an *intentional* I/O-behavior change, run with
+// STPQ_GOLDEN_PRINT=1 and paste the printed tables over the constants.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "gen/synthetic.h"
+#include "paper_example.h"
+#include "util/rng.h"
+
+namespace stpq {
+namespace {
+
+struct GoldenRow {
+  const char* index;    // "SRT" / "IR2"
+  const char* algo;     // "STDS" / "STPS"
+  const char* variant;  // "range" / "influence" / "nn"
+  uint64_t object_reads;
+  uint64_t feature_reads;
+  uint64_t buffer_hits;
+
+  bool operator==(const GoldenRow& other) const {
+    return object_reads == other.object_reads &&
+           feature_reads == other.feature_reads &&
+           buffer_hits == other.buffer_hits;
+  }
+};
+
+const char* VariantName(ScoreVariant v) {
+  switch (v) {
+    case ScoreVariant::kRange:
+      return "range";
+    case ScoreVariant::kInfluence:
+      return "influence";
+    case ScoreVariant::kNearestNeighbor:
+      return "nn";
+  }
+  return "?";
+}
+
+void PrintRows(const char* label, const std::vector<GoldenRow>& rows) {
+  std::fprintf(stderr, "// %s\n", label);
+  for (const GoldenRow& r : rows) {
+    std::fprintf(stderr, "    {\"%s\", \"%s\", \"%s\", %llu, %llu, %llu},\n",
+                 r.index, r.algo, r.variant,
+                 static_cast<unsigned long long>(r.object_reads),
+                 static_cast<unsigned long long>(r.feature_reads),
+                 static_cast<unsigned long long>(r.buffer_hits));
+  }
+}
+
+bool GoldenPrintMode() {
+  return std::getenv("STPQ_GOLDEN_PRINT") != nullptr;
+}
+
+/// Paper-example matrix: every (index, algorithm, variant) combination on
+/// the Section 3 tourist query, cold isolated session per query (the
+/// default), small pages so the trees have real depth.
+std::vector<GoldenRow> RunPaperMatrix() {
+  std::vector<GoldenRow> rows;
+  Vocabulary rv = testing_example::RestaurantVocab();
+  Vocabulary cv = testing_example::CafeVocab();
+  for (FeatureIndexKind kind :
+       {FeatureIndexKind::kSrt, FeatureIndexKind::kIr2}) {
+    Dataset ds = testing_example::ExampleDataset();
+    EngineOptions opts;
+    opts.index_kind = kind;
+    opts.page_size_bytes = 128;
+    Engine engine(std::move(ds.objects), std::move(ds.feature_tables), opts);
+    for (Algorithm algo : {Algorithm::kStds, Algorithm::kStps}) {
+      for (ScoreVariant variant :
+           {ScoreVariant::kRange, ScoreVariant::kInfluence,
+            ScoreVariant::kNearestNeighbor}) {
+        Query q = testing_example::TouristQuery(rv, cv);
+        q.variant = variant;
+        Result<QueryResult> result = engine.Execute(q, algo);
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+        if (!result.ok()) return rows;
+        const QueryStats& stats = result.value().stats;
+        rows.push_back({kind == FeatureIndexKind::kSrt ? "SRT" : "IR2",
+                        algo == Algorithm::kStds ? "STDS" : "STPS",
+                        VariantName(variant), stats.object_index_reads,
+                        stats.feature_index_reads, stats.buffer_hits});
+      }
+    }
+  }
+  return rows;
+}
+
+/// Bounded shared-pool workload: 32-page pools kept warm across a mixed
+/// query stream, so the cumulative reads/hits split depends on the exact
+/// LRU eviction order (any reordering in the rewritten pool shows up
+/// here even if single-query cold counts survive).
+std::vector<GoldenRow> RunSharedPoolWorkload() {
+  std::vector<GoldenRow> rows;
+  SyntheticConfig cfg;
+  cfg.seed = 77;
+  cfg.num_objects = 1000;
+  cfg.num_features_per_set = 1000;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 64;
+  cfg.num_clusters = 64;
+  for (FeatureIndexKind kind :
+       {FeatureIndexKind::kSrt, FeatureIndexKind::kIr2}) {
+    Dataset ds = GenerateSynthetic(cfg);
+    EngineOptions opts;
+    opts.index_kind = kind;
+    opts.page_size_bytes = 256;
+    opts.buffer_pool_pages = 32;
+    opts.cold_cache_per_query = false;
+    Engine engine(std::move(ds.objects), std::move(ds.feature_tables), opts);
+    Rng rng(99);
+    QueryStats total;
+    for (int i = 0; i < 40; ++i) {
+      Query q;
+      q.k = 5;
+      q.radius = 0.05;
+      q.lambda = 0.5;
+      for (uint32_t s = 0; s < cfg.num_feature_sets; ++s) {
+        KeywordSet kw(cfg.vocabulary_size);
+        kw.Insert(
+            static_cast<TermId>(rng.UniformInt(0, cfg.vocabulary_size - 1)));
+        kw.Insert(
+            static_cast<TermId>(rng.UniformInt(0, cfg.vocabulary_size - 1)));
+        q.keywords.push_back(std::move(kw));
+      }
+      q.variant = (i % 8 == 5)   ? ScoreVariant::kInfluence
+                  : (i % 8 == 7) ? ScoreVariant::kNearestNeighbor
+                                 : ScoreVariant::kRange;
+      Algorithm algo = (i % 4 == 3) ? Algorithm::kStds : Algorithm::kStps;
+      Result<QueryResult> result = engine.Execute(q, algo);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (!result.ok()) return rows;
+      total += result.value().stats;
+    }
+    rows.push_back({kind == FeatureIndexKind::kSrt ? "SRT" : "IR2", "mixed",
+                    "warm40", total.object_index_reads,
+                    total.feature_index_reads, total.buffer_hits});
+  }
+  return rows;
+}
+
+void ExpectRowsMatch(const std::vector<GoldenRow>& expected,
+                     const std::vector<GoldenRow>& actual, const char* label) {
+  ASSERT_EQ(expected.size(), actual.size());
+  bool all_match = true;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i] == actual[i], true)
+        << label << " row " << i << " (" << actual[i].index << "/"
+        << actual[i].algo << "/" << actual[i].variant << "): expected "
+        << expected[i].object_reads << "/" << expected[i].feature_reads << "/"
+        << expected[i].buffer_hits << " (object reads / feature reads / "
+        << "hits), got " << actual[i].object_reads << "/"
+        << actual[i].feature_reads << "/" << actual[i].buffer_hits;
+    all_match = all_match && expected[i] == actual[i];
+  }
+  if (!all_match) PrintRows(label, actual);
+}
+
+// Captured on the pre-rewrite seed (std::list LRU pool, no keyword
+// signatures); the optimizations must reproduce them exactly.
+const std::vector<GoldenRow>& ExpectedPaperMatrix() {
+  static const std::vector<GoldenRow> kRows = {
+      {"SRT", "STDS", "range", 4, 5, 6},
+      {"SRT", "STDS", "influence", 4, 5, 33},
+      {"SRT", "STDS", "nn", 4, 5, 35},
+      {"SRT", "STPS", "range", 2, 5, 0},
+      {"SRT", "STPS", "influence", 3, 5, 24},
+      {"SRT", "STPS", "nn", 2, 5, 10},
+      {"IR2", "STDS", "range", 4, 5, 6},
+      {"IR2", "STDS", "influence", 4, 5, 33},
+      {"IR2", "STDS", "nn", 4, 5, 33},
+      {"IR2", "STPS", "range", 2, 5, 0},
+      {"IR2", "STPS", "influence", 3, 5, 24},
+      {"IR2", "STPS", "nn", 2, 5, 10},
+  };
+  return kRows;
+}
+
+const std::vector<GoldenRow>& ExpectedSharedPool() {
+  static const std::vector<GoldenRow> kRows = {
+      {"SRT", "mixed", "warm40", 3632, 83187, 139311},
+      {"IR2", "mixed", "warm40", 3632, 18716, 112042},
+  };
+  return kRows;
+}
+
+TEST(GoldenIoTest, PaperExampleMatrix) {
+  std::vector<GoldenRow> actual = RunPaperMatrix();
+  if (GoldenPrintMode()) {
+    PrintRows("PaperExampleMatrix", actual);
+    GTEST_SKIP() << "golden print mode";
+  }
+  ExpectRowsMatch(ExpectedPaperMatrix(), actual, "PaperExampleMatrix");
+}
+
+TEST(GoldenIoTest, SharedPoolWorkload) {
+  std::vector<GoldenRow> actual = RunSharedPoolWorkload();
+  if (GoldenPrintMode()) {
+    PrintRows("SharedPoolWorkload", actual);
+    GTEST_SKIP() << "golden print mode";
+  }
+  ExpectRowsMatch(ExpectedSharedPool(), actual, "SharedPoolWorkload");
+}
+
+}  // namespace
+}  // namespace stpq

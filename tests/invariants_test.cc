@@ -321,13 +321,14 @@ TEST(BufferPoolValidatorTest, DetectsBrokenPageTable) {
       << st.ToString();
 }
 
-TEST(BufferPoolValidatorTest, DetectsPhantomPin) {
+TEST(BufferPoolValidatorTest, DetectsBrokenLruBackLink) {
   BufferPool pool(4);
   pool.Access(1);
-  BufferPool::Corrupter::PhantomPin(&pool, 99);  // 99 is not resident
+  pool.Access(2);
+  BufferPool::Corrupter::BreakLruBackLink(&pool);
   Status st = ValidateBufferPool(pool);
   ASSERT_FALSE(st.ok());
-  EXPECT_NE(st.message().find("not resident"), std::string::npos)
+  EXPECT_NE(st.message().find("back-link"), std::string::npos)
       << st.ToString();
 }
 

@@ -138,6 +138,7 @@ TEST(VoronoiPartitionTest, RelevantCellsPartitionTheDomain) {
   KeywordSet query(8, {0, 1, 2});
   Rect2 domain = MakeRect2(0, 0, 1, 1);
   QueryStats stats;
+  TraversalScratch scratch;
   double total_area = 0;
   std::vector<ObjectId> relevant;
   for (const FeatureObject& t : ds.feature_tables[0].All()) {
@@ -146,7 +147,7 @@ TEST(VoronoiPartitionTest, RelevantCellsPartitionTheDomain) {
   ASSERT_GT(relevant.size(), 10u);
   for (ObjectId id : relevant) {
     ConvexPolygon cell =
-        ComputeVoronoiCell(index, id, query, 0.5, domain, stats);
+        ComputeVoronoiCell(index, id, query, 0.5, domain, stats, scratch);
     total_area += cell.Area();
   }
   EXPECT_NEAR(total_area, 1.0, 1e-6);

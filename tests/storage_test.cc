@@ -71,6 +71,33 @@ TEST(BufferPoolTest, StatsDelta) {
   EXPECT_EQ(delta.hits, 1u);
 }
 
+TEST(BufferPoolTest, StatsDeltaSaturatesOnUnderflow) {
+  BufferPool pool(8);
+  pool.Access(1);
+  pool.Access(1);
+  BufferPoolStats newer = pool.stats();  // reads=1, hits=1
+  pool.ResetStats();
+  // Subtracting the newer snapshot from the (reset) older one must clamp
+  // at zero instead of wrapping around to ~2^64.
+  BufferPoolStats delta = pool.stats() - newer;
+  EXPECT_EQ(delta.reads, 0u);
+  EXPECT_EQ(delta.hits, 0u);
+}
+
+TEST(BufferPoolSessionTest, SharedSessionAllocatesNoPrivatePool) {
+  BufferPool pool(8);
+  BufferPool::Session shared_session(&pool, /*isolated=*/false);
+  EXPECT_FALSE(shared_session.has_private_pool());
+  BufferPool::Session isolated_session(&pool, /*isolated=*/true);
+  EXPECT_TRUE(isolated_session.has_private_pool());
+  // Shared-mode accesses route through the shared pool and are tallied on
+  // the session.
+  EXPECT_FALSE(shared_session.Access(1));
+  EXPECT_TRUE(shared_session.Access(1));
+  EXPECT_EQ(shared_session.stats().reads, 1u);
+  EXPECT_EQ(shared_session.stats().hits, 1u);
+}
+
 TEST(BufferPoolTest, DistinctNamespacesDontCollide) {
   // Two indexes sharing one pool use page_base offsets; distinct ids are
   // distinct pages.

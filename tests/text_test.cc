@@ -223,5 +223,108 @@ TEST(SignatureSchemeTest, DeterministicAcrossInstances) {
   EXPECT_TRUE(a.SetSignature(set) == b.SetSignature(set));
 }
 
+// ------------------------- keyword-signature properties (one-word OR-fold)
+
+namespace {
+
+/// Reference OR-fold of the raw blocks — what signature() must equal.
+uint64_t FoldBlocks(const KeywordSet& s) {
+  uint64_t sig = 0;
+  for (uint64_t b : s.blocks()) sig |= b;
+  return sig;
+}
+
+/// Reference intersection test over the raw blocks, bypassing the
+/// signature fast path.
+bool BlockScanIntersects(const KeywordSet& a, const KeywordSet& b) {
+  for (size_t i = 0; i < a.blocks().size(); ++i) {
+    if (a.blocks()[i] & b.blocks()[i]) return true;
+  }
+  return false;
+}
+
+/// Random set over `w` terms; expected density `bits` terms (possibly 0).
+KeywordSet RandomSet(Rng& rng, uint32_t w, uint32_t bits) {
+  KeywordSet s(w);
+  for (uint32_t i = 0; i < bits; ++i) {
+    s.Insert(static_cast<TermId>(rng.UniformInt(0, w - 1)));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(KeywordSignatureProperty, IntersectsAgreesWithBlockScan) {
+  // Universes deliberately include sizes not divisible by 64 and sub-word
+  // sizes where the signature is exact.
+  const uint32_t universes[] = {1, 5, 63, 64, 65, 100, 999, 4113};
+  Rng rng(321);
+  for (uint32_t w : universes) {
+    for (int iter = 0; iter < 200; ++iter) {
+      // Densities from empty through dense: empty sets must never
+      // intersect anything, dense ones exercise the fallback scan.
+      const uint32_t bits_a = static_cast<uint32_t>(rng.UniformInt(0, 8));
+      const uint32_t bits_b = static_cast<uint32_t>(rng.UniformInt(0, 8));
+      KeywordSet a = RandomSet(rng, w, bits_a);
+      KeywordSet b = RandomSet(rng, w, bits_b);
+      const bool expected = BlockScanIntersects(a, b);
+      EXPECT_EQ(a.Intersects(b), expected) << "universe " << w;
+      EXPECT_EQ(b.Intersects(a), expected) << "universe " << w;
+      // The signed short-circuit must not change the exact counters
+      // either: IntersectCount is zero iff the scan finds no overlap,
+      // and Jaccard stays consistent with the count-based definition.
+      EXPECT_EQ(a.IntersectCount(b) > 0, expected);
+      const uint32_t uni = a.UnionCount(b);
+      const double expected_jaccard =
+          uni == 0 ? 0.0
+                   : static_cast<double>(a.IntersectCount(b)) / uni;
+      EXPECT_DOUBLE_EQ(a.Jaccard(b), expected_jaccard);
+    }
+  }
+}
+
+TEST(KeywordSignatureProperty, SignatureIsExactNegative) {
+  // sig_a & sig_b == 0 must *prove* disjointness (no false negatives).
+  Rng rng(654);
+  for (int iter = 0; iter < 500; ++iter) {
+    KeywordSet a = RandomSet(rng, 777, 6);
+    KeywordSet b = RandomSet(rng, 777, 6);
+    if ((a.signature() & b.signature()) == 0) {
+      EXPECT_FALSE(BlockScanIntersects(a, b));
+    }
+  }
+}
+
+TEST(KeywordSignatureProperty, MaintainedAcrossMutations) {
+  Rng rng(987);
+  for (int iter = 0; iter < 100; ++iter) {
+    const uint32_t w = static_cast<uint32_t>(rng.UniformInt(1, 300));
+    KeywordSet a = RandomSet(rng, w, 5);
+    EXPECT_EQ(a.signature(), FoldBlocks(a));
+
+    // UnionWith folds the other set's signature in.
+    KeywordSet b = RandomSet(rng, w, 5);
+    a.UnionWith(b);
+    EXPECT_EQ(a.signature(), FoldBlocks(a));
+
+    // FromBlocks recomputes from raw storage; round-tripping preserves
+    // both the blocks and the signature.
+    KeywordSet c = KeywordSet::FromBlocks(w, a.blocks());
+    EXPECT_EQ(c.signature(), a.signature());
+    EXPECT_TRUE(c == a);
+  }
+}
+
+TEST(KeywordSignatureProperty, EmptySets) {
+  KeywordSet empty(100), other(100, {3, 64, 99});
+  EXPECT_EQ(empty.signature(), 0u);
+  EXPECT_FALSE(empty.Intersects(other));
+  EXPECT_FALSE(other.Intersects(empty));
+  EXPECT_FALSE(empty.Intersects(empty));
+  EXPECT_DOUBLE_EQ(empty.Jaccard(empty), 0.0);
+  KeywordSet zero_universe;
+  EXPECT_FALSE(zero_universe.Intersects(zero_universe));
+}
+
 }  // namespace
 }  // namespace stpq

@@ -56,9 +56,10 @@ TEST(InfluenceScoreTest, MatchesBruteForce) {
   q.lambda = 0.5;
   q.keywords = {KeywordSet(32, {0, 1, 2})};
   QueryStats stats;
+  TraversalScratch scratch;
   for (const DataObject& o : ds.objects) {
     double got = ComputeScoreInfluence(index, o.pos, q.keywords[0], q.lambda,
-                                       q.radius, stats);
+                                       q.radius, stats, scratch);
     EXPECT_NEAR(got, brute.ComponentScore(o.pos, 0, q), 1e-12);
   }
 }
@@ -86,9 +87,10 @@ TEST(NnScoreTest, MatchesBruteForce) {
   q.lambda = 0.5;
   q.keywords = {KeywordSet(32, {0, 1, 2})};
   QueryStats stats;
+  TraversalScratch scratch;
   for (const DataObject& o : ds.objects) {
     double got = ComputeScoreNearestNeighbor(index, o.pos, q.keywords[0],
-                                             q.lambda, stats);
+                                             q.lambda, stats, scratch);
     EXPECT_NEAR(got, brute.ComponentScore(o.pos, 0, q), 1e-12);
   }
 }
@@ -103,8 +105,9 @@ TEST(NnScoreTest, IgnoresIrrelevantNearerFeature) {
   SrtIndex index(&table, opts);
   KeywordSet query(4, {1});
   QueryStats stats;
-  double got =
-      ComputeScoreNearestNeighbor(index, {0.49, 0.5}, query, 0.5, stats);
+  TraversalScratch scratch;
+  double got = ComputeScoreNearestNeighbor(index, {0.49, 0.5}, query, 0.5,
+                                           stats, scratch);
   EXPECT_NEAR(got, 0.5 * 0.6 + 0.5 * 1.0, 1e-12);
 }
 
@@ -129,12 +132,14 @@ TEST(NnScoreTest, EquidistantTieBreaksByPreferenceScore) {
     SrtIndex index(&table, opts);
     KeywordSet query(4, {1});
     QueryStats stats;
+    TraversalScratch scratch;
     BestFeature best =
-        ComputeBestNearestNeighbor(index, p, query, 0.5, stats);
+        ComputeBestNearestNeighbor(index, p, query, 0.5, stats, scratch);
     EXPECT_EQ(best.feature, high_first ? 0u : 1u)
         << "high_first=" << high_first;
     EXPECT_NEAR(best.score, expected, 1e-12);
-    EXPECT_NEAR(ComputeScoreNearestNeighbor(index, p, query, 0.5, stats),
+    EXPECT_NEAR(ComputeScoreNearestNeighbor(index, p, query, 0.5, stats,
+                                            scratch),
                 expected, 1e-12);
   }
 }
@@ -155,6 +160,7 @@ TEST(VoronoiTest, CellContainsExactlyNearestRegion) {
   Rect2 domain = MakeRect2(0, 0, 1, 1);
   Rng rng(71);
   QueryStats stats;
+  TraversalScratch scratch;
   // Pick several relevant features and verify their cells pointwise.
   std::vector<ObjectId> relevant;
   for (const FeatureObject& t : ds.feature_tables[0].All()) {
@@ -163,8 +169,8 @@ TEST(VoronoiTest, CellContainsExactlyNearestRegion) {
   ASSERT_GE(relevant.size(), 5u);
   for (int c = 0; c < 5; ++c) {
     ObjectId center = relevant[rng.UniformInt(0, relevant.size() - 1)];
-    ConvexPolygon cell =
-        ComputeVoronoiCell(index, center, query, 0.5, domain, stats);
+    ConvexPolygon cell = ComputeVoronoiCell(index, center, query, 0.5,
+                                            domain, stats, scratch);
     const Point cpos = ds.feature_tables[0].Get(center).pos;
     for (int s = 0; s < 200; ++s) {
       Point p{rng.Uniform(), rng.Uniform()};
@@ -200,8 +206,9 @@ TEST(VoronoiTest, SingleFeatureOwnsWholeDomain) {
   SrtIndex index(&table, opts);
   KeywordSet query(4, {0});
   QueryStats stats;
-  ConvexPolygon cell = ComputeVoronoiCell(index, 0, query, 0.5,
-                                          MakeRect2(0, 0, 1, 1), stats);
+  TraversalScratch scratch;
+  ConvexPolygon cell = ComputeVoronoiCell(
+      index, 0, query, 0.5, MakeRect2(0, 0, 1, 1), stats, scratch);
   EXPECT_NEAR(cell.Area(), 1.0, 1e-12);
 }
 
