@@ -12,6 +12,7 @@
 #include "index/srt_index.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "text/keyword_set.h"
 #include "text/signature.h"
@@ -300,6 +301,81 @@ void BM_BufferPoolSessionIsolated(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BufferPoolSessionIsolated);
+
+// ------------------------------------------ tracer overhead (DESIGN.md §14)
+
+// The idle cost every emission point pays when tracing is compiled in but
+// the tracer is stopped: one relaxed load and a predicted branch.
+void BM_TraceInstantIdle(benchmark::State& state) {
+  Tracer::Global().Stop();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    STPQ_TRACE_INSTANT(TraceEventType::kPoolHit, 0, 0, 0, i);
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_TraceInstantIdle);
+
+void BM_TraceSpanIdle(benchmark::State& state) {
+  Tracer::Global().Stop();
+  for (auto _ : state) {
+    STPQ_TRACE_SPAN(TraceEventType::kComponentScore, 0, 0);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanIdle);
+
+// Recording cost: timestamp + ring store.  The thread's ring is drained
+// (discarded) periodically so the steady state measures the emit path,
+// not the ring-full drop path.
+void BM_TraceInstantActive(benchmark::State& state) {
+  Tracer::Global().Start();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    STPQ_TRACE_INSTANT(TraceEventType::kPoolHit, 0, 0, 0, i);
+    if ((++i & 0x3fff) == 0) Tracer::DrainCurrentThread(0, nullptr);
+  }
+  Tracer::Global().Stop();
+  Tracer::Global().Discard();
+}
+BENCHMARK(BM_TraceInstantActive);
+
+void BM_TraceSpanActive(benchmark::State& state) {
+  Tracer::Global().Start();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    {
+      STPQ_TRACE_SPAN(TraceEventType::kComponentScore, 0, 0);
+      benchmark::ClobberMemory();
+    }
+    if ((++i & 0x1fff) == 0) Tracer::DrainCurrentThread(0, nullptr);
+  }
+  Tracer::Global().Stop();
+  Tracer::Global().Discard();
+}
+BENCHMARK(BM_TraceSpanActive);
+
+// Raw SPSC ring throughput: amortized emit + periodic full drain into a
+// reused buffer (the collector side of the slow-query log).
+void BM_TraceRingEmitDrain(benchmark::State& state) {
+  TraceRing ring(0, 4096);
+  TraceEvent e;
+  e.type = TraceEventType::kNodeVisit;
+  e.mark = TraceMark::kInstant;
+  std::vector<TraceEvent> out;
+  out.reserve(4096);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    e.ts_ns = i;
+    ring.TryEmit(e);
+    if ((++i & 0xfff) == 0) {
+      out.clear();
+      ring.Drain(/*keep_all=*/true, 0, &out);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+}
+BENCHMARK(BM_TraceRingEmitDrain);
 
 }  // namespace
 }  // namespace stpq

@@ -7,6 +7,7 @@
 
 #include "core/score.h"
 #include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -38,6 +39,7 @@ SortedFeatureStream::SortedFeatureStream(const FeatureIndex* index,
 
 std::optional<SortedFeatureStream::Item> SortedFeatureStream::Next() {
   STPQ_TRACE_PHASE(*stats_, QueryPhase::kComponentScore);
+  const uint8_t tree = TraceTreeForSet(index_->set_ordinal());
   while (!heap_.empty()) {
     HeapEntry top = heap_.top();
     heap_.pop();
@@ -45,14 +47,22 @@ std::optional<SortedFeatureStream::Item> SortedFeatureStream::Next() {
       ++stats_->features_retrieved;
       return Item{top.id, top.priority};
     }
+    const uint16_t level = index_->NodeLevel(top.id);
     index_->VisitChildren(top.id, *query_kw_, lambda_, &scratch_);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const FeatureBranch& b : scratch_) {
       // Textual pruning only: sorted feature retrieval has no spatial
       // constraint (the 2r test applies to combinations, not features).
-      if (!b.text_match) continue;
+      if (!b.text_match) {
+        ++pruned;
+        continue;
+      }
       heap_.push({b.score_bound, b.id, b.is_feature});
+      ++descended;
       ++stats_->heap_pushes;
     }
+    RecordNodeVisit(*stats_, tree, level, top.id, pruned, descended);
   }
   if (!virtual_emitted_) {
     // heap_i.pop() "returns a virtual feature object as final object".
@@ -303,6 +313,9 @@ void CombinationIterator::ExpandSuccessors(const RankTuple& ranks) {
 
 std::optional<Combination> CombinationIterator::Next() {
   STPQ_TRACE_PHASE(*stats_, QueryPhase::kCombination);
+  STPQ_TRACE_SPAN(TraceEventType::kCombinationRound,
+                  static_cast<uint32_t>(indexes_.size()),
+                  stats_->combinations_emitted);
   if (!initialized_) {
     for (size_t i = 0; i < indexes_.size(); ++i) Pull(i);
     initialized_ = true;

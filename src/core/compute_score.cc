@@ -5,6 +5,7 @@
 #include "core/score.h"
 #include "geom/rect.h"
 #include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -15,6 +16,9 @@ BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
                              TraversalScratch& scratch) {
   if (index.RootId() == kInvalidNodeId) return {};
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
+  STPQ_TRACE_SPAN(TraceEventType::kComponentScore, index.set_ordinal(), 0);
+  HeapWatermark watermark;
+  const uint8_t tree = TraceTreeForSet(index.set_ordinal());
   const double r2 = r * r;
   BorrowedMaxHeap heap(scratch.heap);
   heap.push({1.0, index.RootId(), false});
@@ -29,13 +33,25 @@ BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
       return {top.id, top.priority,
               Distance(p, index.table().Get(top.id).pos)};
     }
+    const uint16_t level = index.NodeLevel(top.id);
     index.VisitChildren(top.id, query_kw, lambda, &branches);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const FeatureBranch& b : branches) {
-      if (!b.text_match) continue;
-      if (MinSquaredDistance(p, b.mbr) > r2) continue;
+      if (!b.text_match) {
+        ++pruned;
+        continue;
+      }
+      if (MinSquaredDistance(p, b.mbr) > r2) {
+        ++pruned;
+        continue;
+      }
       heap.push({b.score_bound, b.id, b.is_feature});
+      ++descended;
       ++stats.heap_pushes;
     }
+    RecordNodeVisit(stats, tree, level, top.id, pruned, descended);
+    watermark.Observe(heap.size());
   }
   return {};
 }
@@ -53,6 +69,9 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
                                  TraversalScratch& scratch) {
   if (index.RootId() == kInvalidNodeId) return {};
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
+  STPQ_TRACE_SPAN(TraceEventType::kComponentScore, index.set_ordinal(), 0);
+  HeapWatermark watermark;
+  const uint8_t tree = TraceTreeForSet(index.set_ordinal());
   BorrowedMaxHeap heap(scratch.heap);
   heap.push({1.0, index.RootId(), false});
   std::vector<FeatureBranch>& branches = scratch.branches;
@@ -64,16 +83,25 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
       return {top.id, top.priority,
               Distance(p, index.table().Get(top.id).pos)};
     }
+    const uint16_t level = index.NodeLevel(top.id);
     index.VisitChildren(top.id, query_kw, lambda, &branches);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const FeatureBranch& b : branches) {
-      if (!b.text_match) continue;
+      if (!b.text_match) {
+        ++pruned;
+        continue;
+      }
       // s-hat(e) decayed at mindist upper-bounds the influence score of
       // every feature below e (score <= s-hat, distance >= mindist).
       double pri =
           b.score_bound * InfluenceFactor(MinDistance(p, b.mbr), r);
       heap.push({pri, b.id, b.is_feature});
+      ++descended;
       ++stats.heap_pushes;
     }
+    RecordNodeVisit(stats, tree, level, top.id, pruned, descended);
+    watermark.Observe(heap.size());
   }
   return {};
 }
@@ -93,6 +121,9 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
                                        TraversalScratch& scratch) {
   if (index.RootId() == kInvalidNodeId) return {};
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
+  STPQ_TRACE_SPAN(TraceEventType::kComponentScore, index.set_ordinal(), 0);
+  HeapWatermark watermark;
+  const uint8_t tree = TraceTreeForSet(index.set_ordinal());
   BorrowedMinHeap heap(scratch.heap);
   heap.push({0.0, index.RootId(), false});
   std::vector<FeatureBranch>& branches = scratch.branches;
@@ -124,12 +155,21 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
       }
       continue;
     }
+    const uint16_t level = index.NodeLevel(top.id);
     index.VisitChildren(top.id, query_kw, lambda, &branches);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const FeatureBranch& b : branches) {
-      if (!b.text_match) continue;
+      if (!b.text_match) {
+        ++pruned;
+        continue;
+      }
       heap.push({MinSquaredDistance(p, b.mbr), b.id, b.is_feature});
+      ++descended;
       ++stats.heap_pushes;
     }
+    RecordNodeVisit(stats, tree, level, top.id, pruned, descended);
+    watermark.Observe(heap.size());
   }
   return found ? best : BestFeature{};
 }
@@ -153,6 +193,9 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
   std::fill(scores.begin(), scores.end(), 0.0);
   if (index.RootId() == kInvalidNodeId || batch.empty()) return;
   STPQ_TRACE_PHASE(stats, QueryPhase::kComponentScore);
+  STPQ_TRACE_SPAN(TraceEventType::kComponentScore, index.set_ordinal(), 0);
+  HeapWatermark watermark;
+  const uint8_t tree = TraceTreeForSet(index.set_ordinal());
   const double r2 = r * r;
 
   // Indices of batch members whose score is still unresolved.
@@ -183,12 +226,21 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
       }
       continue;
     }
+    const uint16_t level = index.NodeLevel(top.id);
     index.VisitChildren(top.id, query_kw, lambda, &branches);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const FeatureBranch& b : branches) {
-      if (!b.text_match) continue;
+      if (!b.text_match) {
+        ++pruned;
+        continue;
+      }
       // Cheap prefilter on the whole batch MBR, then the exact exists-test
       // of Section 5: expand only if at least one active p is in range.
-      if (MinDistance(batch_mbr, b.mbr) > r) continue;
+      if (MinDistance(batch_mbr, b.mbr) > r) {
+        ++pruned;
+        continue;
+      }
       bool any = false;
       for (uint32_t i : active) {
         if (MinSquaredDistance(batch[i].pos, b.mbr) <= r2) {
@@ -196,10 +248,16 @@ void ComputeScoresRangeBatch(const FeatureIndex& index,
           break;
         }
       }
-      if (!any) continue;
+      if (!any) {
+        ++pruned;
+        continue;
+      }
       heap.push({b.score_bound, b.id, b.is_feature});
+      ++descended;
       ++stats.heap_pushes;
     }
+    RecordNodeVisit(stats, tree, level, top.id, pruned, descended);
+    watermark.Observe(heap.size());
   }
 }
 

@@ -7,6 +7,7 @@
 #include "core/stds.h"
 #include "core/stps.h"
 #include "obs/query_metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -96,6 +97,7 @@ Engine::Engine(EngineOptions options, std::vector<DataObject> objects,
     fopts.fill = options_.fill;
     fopts.signature_bits = options_.signature_bits;
     fopts.signature_hashes = options_.signature_hashes;
+    fopts.set_ordinal = static_cast<uint32_t>(i);
     switch (options_.index_kind) {
       case FeatureIndexKind::kSrt:
         feature_indexes_.push_back(
@@ -160,6 +162,7 @@ Result<QueryResult> Engine::Execute(const Query& query,
   ExecutionSession session(object_pool_.get(), feature_pool_.get(),
                            options_.cold_cache_per_query);
   ExecutionSession::Scope scope(&session);
+  TraceQueryScope trace_scope;
   Timer timer;
   QueryResult result;
   if (options.algorithm == Algorithm::kStds) {
@@ -172,6 +175,13 @@ Result<QueryResult> Engine::Execute(const Query& query,
   }
   result.stats.cpu_ms = timer.ElapsedMillis();
   session.ExportIoCounters(result.stats);
+  // Close the query span before the slow log drains this thread's ring so
+  // the end event is part of any captured record.
+  trace_scope.End();
+  if (options.slow_log != nullptr) {
+    options.slow_log->Offer(trace_scope.id(), result.stats.cpu_ms,
+                            result.stats);
+  }
   if (options.stats_sink != nullptr) {
     options.stats_sink->Record(result.stats);
   }

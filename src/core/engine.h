@@ -24,6 +24,7 @@
 #include "index/ir2_tree.h"
 #include "index/object_index.h"
 #include "index/srt_index.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "util/result.h"
 
@@ -53,6 +54,10 @@ struct ExecuteOptions {
   /// QueryResult; not owned.  Used by the parallel workload runner to merge
   /// per-query stats without post-processing the results.
   QueryStatsSink* stats_sink = nullptr;
+  /// Optional slow-query capture; not owned.  Every query is offered to the
+  /// log with its latency; the log retains trace events + stats for queries
+  /// at or above its threshold (bounded retention, drop-oldest).
+  SlowQueryLog* slow_log = nullptr;
 };
 
 /// Engine construction knobs.

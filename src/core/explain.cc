@@ -11,7 +11,7 @@ Explanation ExplainScore(const Engine* engine, const Query& query,
   Explanation out;
   out.object = object;
   const Point& p = engine->objects()[object].pos;
-  QueryStats scratch_stats;
+  QueryStats& scratch_stats = out.stats;
   TraversalScratch scratch;
   for (size_t i = 0; i < engine->num_feature_sets(); ++i) {
     const FeatureIndex& index = engine->feature_index(i);

@@ -29,6 +29,10 @@ struct Explanation {
   ObjectId object = 0;
   double total = 0.0;  ///< tau(p) = sum of contribution scores
   std::vector<Contribution> contributions;  ///< one per feature set
+  /// Cost counters of the explaining traversals themselves, including the
+  /// per-level traversal profile (which nodes were visited, pruned,
+  /// descended while re-deriving each tau_i).
+  QueryStats stats;
 };
 
 /// Explains tau(p) for `object` under `query` using `engine`'s indexes.

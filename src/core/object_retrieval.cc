@@ -2,6 +2,7 @@
 
 #include "geom/rect.h"
 #include "obs/phase.h"
+#include "obs/trace.h"
 #include "rtree/rtree.h"
 
 namespace stpq {
@@ -14,6 +15,9 @@ void CollectObjectsInRange(const ObjectIndex& objects,
                            QueryStats& stats, TraversalScratch& scratch) {
   if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
+  STPQ_TRACE_SPAN(TraceEventType::kRetrievalBatch,
+                  static_cast<uint32_t>(remaining),
+                  static_cast<uint64_t>(member_pos.size()));
   const double r2 = radius * radius;
   size_t added = 0;
   std::vector<NodeId>& stack = scratch.stack;
@@ -22,6 +26,8 @@ void CollectObjectsInRange(const ObjectIndex& objects,
     NodeId nid = stack.back();
     stack.pop_back();
     const RTree<2>::Node& node = objects.tree().ReadNode(nid);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const auto& e : node.entries) {
       if (added >= remaining) break;
       // Prune entries out of range of any real member (Section 6.4).
@@ -32,9 +38,15 @@ void CollectObjectsInRange(const ObjectIndex& objects,
           break;
         }
       }
-      if (!ok) continue;
+      if (!ok) {
+        ++pruned;
+        continue;
+      }
       if (node.IsLeaf()) {
-        if ((*claimed)[e.id]) continue;
+        if ((*claimed)[e.id]) {
+          ++pruned;
+          continue;
+        }
         Point p{e.rect.lo[0], e.rect.lo[1]};
         bool in_range = true;
         for (const Point& t : member_pos) {
@@ -43,15 +55,22 @@ void CollectObjectsInRange(const ObjectIndex& objects,
             break;
           }
         }
-        if (!in_range) continue;
+        if (!in_range) {
+          ++pruned;
+          continue;
+        }
         (*claimed)[e.id] = true;
         ++stats.objects_scored;
         result->push_back(ResultEntry{e.id, score});
         ++added;
+        ++descended;
       } else {
         stack.push_back(e.id);
+        ++descended;
       }
     }
+    RecordNodeVisit(stats, kTraceObjectTree, node.level, nid, pruned,
+                    descended);
   }
 }
 

@@ -62,6 +62,7 @@ class BorrowedHeap {
   }
 
   [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] size_t size() const { return v_.size(); }
   [[nodiscard]] const SearchHeapItem& top() const { return v_.front(); }
 
   void push(const SearchHeapItem& item) {

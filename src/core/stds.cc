@@ -109,7 +109,7 @@ QueryResult Stds::Execute(const Query& query, bool use_batching,
         ++stats.objects_scored;
         topk.Push(partial[j], batch[j].id);
       }
-    });
+    }, &stats);
   } else {
     // Per-object scan (Algorithm 1 verbatim).
     objects_->ForEachLeafBlock([&](std::span<const ObjectId> ids,
@@ -124,7 +124,7 @@ QueryResult Stds::Execute(const Query& query, bool use_batching,
           topk.Push(tau, id);
         }
       }
-    });
+    }, &stats);
   }
 
   for (auto& scored : topk.TakeSortedDescending()) {

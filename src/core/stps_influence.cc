@@ -10,6 +10,7 @@
 #include "core/score.h"
 #include "core/stps.h"
 #include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/topk.h"
 
@@ -33,6 +34,9 @@ std::vector<ScoredObject> TopKInfluenceObjects(
   std::vector<ScoredObject> out;
   if (objects.tree().root_id() == kInvalidNodeId) return out;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
+  STPQ_TRACE_SPAN(TraceEventType::kRetrievalBatch, static_cast<uint32_t>(k),
+                  static_cast<uint64_t>(member_pos.size()));
+  HeapWatermark watermark;
 
   auto bound_for = [&](const Rect2& rect, bool exact_point) {
     double s = 0.0;
@@ -62,12 +66,21 @@ std::vector<ScoredObject> TopKInfluenceObjects(
       continue;
     }
     const RTree<2>::Node& node = objects.tree().ReadNode(top.id);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const auto& e : node.entries) {
       double pri = bound_for(e.rect, node.IsLeaf());
-      if (pri < stop_threshold) continue;
+      if (pri < stop_threshold) {
+        ++pruned;
+        continue;
+      }
       heap.push({pri, e.id, node.IsLeaf()});
+      ++descended;
       ++stats.heap_pushes;
     }
+    RecordNodeVisit(stats, kTraceObjectTree, node.level, top.id, pruned,
+                    descended);
+    watermark.Observe(heap.size());
   }
   return out;
 }
@@ -209,6 +222,9 @@ std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
   std::vector<ObjectId> out;
   if (objects.tree().root_id() == kInvalidNodeId) return out;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
+  STPQ_TRACE_SPAN(TraceEventType::kRetrievalBatch, static_cast<uint32_t>(k),
+                  0);
+  HeapWatermark watermark;
   // Min-heap on squared distance.
   BorrowedMinHeap heap(scratch.heap);
   heap.push({0.0, objects.tree().root_id(), false});
@@ -227,6 +243,10 @@ std::vector<ObjectId> NearestObjects(const ObjectIndex& objects,
       heap.push({d2, e.id, node.IsLeaf()});
       ++stats.heap_pushes;
     }
+    // Incremental NN expands everything it reads: nothing is pruned.
+    RecordNodeVisit(stats, kTraceObjectTree, node.level, top.id, 0,
+                    static_cast<uint32_t>(node.entries.size()));
+    watermark.Observe(heap.size());
   }
   return out;
 }
@@ -331,7 +351,8 @@ QueryResult Stps::ExecuteInfluenceAnchored(const Query& query,
     double tau_now = topk.Threshold();
     if (topk.Full() && tau_now > 0.0 && cap > tau_now) {
       double radius = query.radius * std::log2(cap / tau_now);
-      for (ObjectId id : objects_->RangeQuery(anchor.pos, radius)) {
+      for (ObjectId id :
+           objects_->RangeQuery(anchor.pos, radius, &result.stats)) {
         exactify(id);
       }
     }

@@ -12,6 +12,7 @@
 #include "core/stps.h"
 #include "core/voronoi.h"
 #include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -27,6 +28,8 @@ void CollectObjectsInRegion(const ObjectIndex& objects,
                             QueryStats& stats, TraversalScratch& scratch) {
   if (objects.tree().root_id() == kInvalidNodeId || remaining == 0) return;
   STPQ_TRACE_PHASE(stats, QueryPhase::kObjectRetrieval);
+  STPQ_TRACE_SPAN(TraceEventType::kRetrievalBatch,
+                  static_cast<uint32_t>(remaining), 0);
   const Rect2 bbox = region.BoundingBox();
   size_t added = 0;
   std::vector<NodeId>& stack = scratch.stack;
@@ -35,21 +38,36 @@ void CollectObjectsInRegion(const ObjectIndex& objects,
     NodeId nid = stack.back();
     stack.pop_back();
     const RTree<2>::Node& node = objects.tree().ReadNode(nid);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const auto& e : node.entries) {
       if (added >= remaining) break;
-      if (!bbox.Intersects(e.rect)) continue;
+      if (!bbox.Intersects(e.rect)) {
+        ++pruned;
+        continue;
+      }
       if (node.IsLeaf()) {
-        if ((*claimed)[e.id]) continue;
+        if ((*claimed)[e.id]) {
+          ++pruned;
+          continue;
+        }
         Point p{e.rect.lo[0], e.rect.lo[1]};
-        if (!region.Contains(p)) continue;
+        if (!region.Contains(p)) {
+          ++pruned;
+          continue;
+        }
         (*claimed)[e.id] = true;
         ++stats.objects_scored;
         result->push_back(ResultEntry{e.id, score});
         ++added;
+        ++descended;
       } else {
         stack.push_back(e.id);
+        ++descended;
       }
     }
+    RecordNodeVisit(stats, kTraceObjectTree, node.level, nid, pruned,
+                    descended);
   }
 }
 

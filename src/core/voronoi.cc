@@ -1,6 +1,7 @@
 #include "core/voronoi.h"
 
 #include "obs/phase.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace stpq {
@@ -12,6 +13,9 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
                                  TraversalScratch& scratch) {
   Timer timer;
   STPQ_TRACE_PHASE(stats, QueryPhase::kVoronoi);
+  STPQ_TRACE_SPAN(TraceEventType::kVoronoiCell, index.set_ordinal(),
+                  center_id);
+  const uint8_t tree = TraceTreeForSet(index.set_ordinal());
   const BufferPoolStats before =
       index.buffer_pool() != nullptr ? index.buffer_pool()->stats()
                                      : BufferPoolStats{};
@@ -41,11 +45,20 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
       max_vertex = cell.MaxDistanceFrom(center);
       continue;
     }
+    const uint16_t level = index.NodeLevel(top.id);
     index.VisitChildren(top.id, query_kw, lambda, &branches);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
     for (const FeatureBranch& b : branches) {
-      if (!b.text_match) continue;  // only relevant features define cells
+      if (!b.text_match) {
+        // Only relevant features define cells.
+        ++pruned;
+        continue;
+      }
       heap.push({MinSquaredDistance(center, b.mbr), b.id, b.is_feature});
+      ++descended;
     }
+    RecordNodeVisit(stats, tree, level, top.id, pruned, descended);
   }
 
   if (index.buffer_pool() != nullptr) {

@@ -142,6 +142,7 @@ Result<ParallelWorkloadReport> ParallelWorkloadRunner::Run(
   ExecuteOptions exec_options;
   exec_options.algorithm = options.algorithm;
   exec_options.stats_sink = &sink;
+  exec_options.slow_log = options.slow_log;
 
   // Dynamic work distribution: each worker claims the next unprocessed
   // query.  Results land in distinct slots, so only the claim counter and

@@ -62,6 +62,8 @@ struct ParallelWorkloadOptions {
   size_t threads = 1;
   /// Price of one simulated page read in milliseconds.
   double io_unit_cost_ms = 0.0;
+  /// Optional slow-query capture shared by the workers; not owned.
+  SlowQueryLog* slow_log = nullptr;
 };
 
 /// Outcome of a parallel run: the merged summary, the per-query results in

@@ -38,6 +38,10 @@ class FeatureIndex {
   /// Root node id, or kInvalidNodeId for an empty index.
   virtual NodeId RootId() const = 0;
 
+  /// Tree level of `node_id` (0 = leaf).  Metadata peek for the traversal
+  /// profile (util/metrics.h); charges no page access.
+  virtual uint16_t NodeLevel(NodeId node_id) const = 0;
+
   /// Appends the children of `node_id` to `out` (which is cleared first),
   /// computing score bounds against the query keywords `query_kw` and the
   /// smoothing parameter `lambda`.  Charges one page access.
@@ -53,6 +57,18 @@ class FeatureIndex {
 
   /// Human-readable index name ("SRT", "IR2"), for benchmark labels.
   virtual const char* Name() const = 0;
+
+  /// Position of this index's feature set in the engine's table order;
+  /// addresses the per-set slice of TraversalProfile.  0 for standalone
+  /// indexes built outside an engine.
+  uint32_t set_ordinal() const { return set_ordinal_; }
+
+ protected:
+  explicit FeatureIndex(uint32_t set_ordinal = 0)
+      : set_ordinal_(set_ordinal) {}
+
+ private:
+  uint32_t set_ordinal_ = 0;
 };
 
 /// Which feature-index implementation to build (benchmark axis).

@@ -29,7 +29,8 @@ RTreeOptions MakeTreeOptions(const FeatureIndexOptions& opts,
 }  // namespace
 
 Ir2Tree::Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options)
-    : table_(table),
+    : FeatureIndex(options.set_ordinal),
+      table_(table),
       scheme_(EffectiveSignatureBits(options, table->universe_size()),
               options.signature_hashes),
       tree_(MakeTreeOptions(options, scheme_.signature_bits())) {

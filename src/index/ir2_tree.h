@@ -37,6 +37,9 @@ class Ir2Tree : public FeatureIndex {
   Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options);
 
   NodeId RootId() const override;
+  uint16_t NodeLevel(NodeId node_id) const override {
+    return tree_.PeekNode(node_id).level;
+  }
   void VisitChildren(NodeId node_id, const KeywordSet& query_kw,
                      double lambda,
                      std::vector<FeatureBranch>* out) const override;

@@ -1,6 +1,7 @@
 #include "index/object_index.h"
 
 #include "debug/validate.h"
+#include "obs/trace.h"
 #include "rtree/bulk_load.h"
 
 namespace stpq {
@@ -32,22 +33,52 @@ ObjectIndex::ObjectIndex(const std::vector<DataObject>* objects,
 }
 
 std::vector<ObjectId> ObjectIndex::RangeQuery(const Point& center,
-                                              double radius) const {
+                                              double radius,
+                                              QueryStats* stats) const {
   std::vector<ObjectId> out;
   if (tree_.root_id() == kInvalidNodeId) return out;
   Rect2 box = MakeRect2(center.x - radius, center.y - radius,
                         center.x + radius, center.y + radius);
   const double r2 = radius * radius;
-  tree_.ForEachInRange(box, [&](uint32_t id, const Rect2& rect, const NoAug&) {
-    Point p{rect.lo[0], rect.lo[1]};
-    if (SquaredDistance(p, center) <= r2) out.push_back(id);
-  });
+  // Same traversal as RTree::ForEachInRange (LIFO stack, identical page
+  // order), unrolled here so node expansions can feed the traversal
+  // profile.
+  std::vector<NodeId> stack{tree_.root_id()};
+  while (!stack.empty()) {
+    NodeId nid = stack.back();
+    stack.pop_back();
+    const RTree<2>::Node& node = tree_.ReadNode(nid);
+    uint32_t pruned = 0;
+    uint32_t descended = 0;
+    for (const auto& e : node.entries) {
+      if (!box.Intersects(e.rect)) {
+        ++pruned;
+        continue;
+      }
+      if (node.IsLeaf()) {
+        Point p{e.rect.lo[0], e.rect.lo[1]};
+        if (SquaredDistance(p, center) <= r2) {
+          out.push_back(e.id);
+          ++descended;
+        } else {
+          ++pruned;
+        }
+      } else {
+        stack.push_back(e.id);
+        ++descended;
+      }
+    }
+    if (stats != nullptr) {
+      RecordNodeVisit(*stats, kTraceObjectTree, node.level, nid, pruned,
+                      descended);
+    }
+  }
   return out;
 }
 
 void ObjectIndex::ForEachLeafBlock(
-    const std::function<void(std::span<const ObjectId>, const Rect2&)>& fn)
-    const {
+    const std::function<void(std::span<const ObjectId>, const Rect2&)>& fn,
+    QueryStats* stats) const {
   if (tree_.root_id() == kInvalidNodeId) return;
   std::vector<NodeId> stack{tree_.root_id()};
   std::vector<ObjectId> ids;
@@ -65,6 +96,11 @@ void ObjectIndex::ForEachLeafBlock(
       fn(ids, mbr);
     } else {
       for (const auto& e : node.entries) stack.push_back(e.id);
+    }
+    if (stats != nullptr) {
+      // A full scan prunes nothing: every entry is handed on.
+      RecordNodeVisit(*stats, kTraceObjectTree, node.level, nid, 0,
+                      static_cast<uint32_t>(node.entries.size()));
     }
   }
 }

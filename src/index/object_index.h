@@ -8,6 +8,7 @@
 
 #include "index/feature.h"
 #include "rtree/rtree.h"
+#include "util/metrics.h"
 
 namespace stpq {
 
@@ -30,13 +31,18 @@ class ObjectIndex {
   size_t size() const { return objects_->size(); }
 
   /// Ids of all objects within Euclidean distance `radius` of `center`.
-  std::vector<ObjectId> RangeQuery(const Point& center, double radius) const;
+  /// With `stats`, node expansions land in the object-tree traversal
+  /// profile (and as trace instants).
+  std::vector<ObjectId> RangeQuery(const Point& center, double radius,
+                                   QueryStats* stats = nullptr) const;
 
   /// Calls `fn` once per leaf node with the leaf's object ids and its MBR.
   /// Used by batched STDS: each leaf is a spatially clustered batch.
+  /// With `stats`, node expansions land in the object-tree traversal
+  /// profile (and as trace instants).
   void ForEachLeafBlock(
-      const std::function<void(std::span<const ObjectId>, const Rect2&)>& fn)
-      const;
+      const std::function<void(std::span<const ObjectId>, const Rect2&)>& fn,
+      QueryStats* stats = nullptr) const;
 
   /// Underlying tree for custom traversals (STPS object retrieval).
   const RTree<2>& tree() const { return tree_; }

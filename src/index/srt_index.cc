@@ -22,7 +22,8 @@ RTreeOptions MakeTreeOptions(const FeatureIndexOptions& opts,
 
 SrtIndex::SrtIndex(const FeatureTable* table,
                    const FeatureIndexOptions& options)
-    : table_(table),
+    : FeatureIndex(options.set_ordinal),
+      table_(table),
       build_kind_(options.bulk_load),
       tree_(MakeTreeOptions(options, table->universe_size())) {
   using Entry = RTree<4, SrtAug>::Entry;

@@ -36,6 +36,9 @@ struct FeatureIndexOptions {
   uint32_t signature_bits = 0;
   /// IR2-tree only: bits set per keyword.
   uint32_t signature_hashes = 3;
+  /// Position of this index's feature set in the engine's table order
+  /// (traversal-profile attribution; see FeatureIndex::set_ordinal).
+  uint32_t set_ordinal = 0;
 };
 
 /// Entry augmentation of the SRT-index: e.s and H(e.W) of Section 4.1.
@@ -68,6 +71,9 @@ class SrtIndex : public FeatureIndex {
   SrtIndex(const FeatureTable* table, const FeatureIndexOptions& options);
 
   NodeId RootId() const override;
+  uint16_t NodeLevel(NodeId node_id) const override {
+    return tree_.PeekNode(node_id).level;
+  }
   void VisitChildren(NodeId node_id, const KeywordSet& query_kw,
                      double lambda,
                      std::vector<FeatureBranch>* out) const override;

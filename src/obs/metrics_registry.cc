@@ -17,6 +17,23 @@ std::string FormatLe(double upper) {
   return os.str();
 }
 
+/// Text-format 0.0.4 HELP escaping: backslash and newline must be escaped
+/// so multi-line help text cannot break the exposition framing.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void HistogramMetric::Record(double ms) {
@@ -93,7 +110,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& [name, entry] : entries_) {
-    os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# HELP " << name << " " << EscapeHelp(entry.help) << "\n";
     switch (entry.kind) {
       case Kind::kCounter:
         os << "# TYPE " << name << " counter\n";

@@ -34,6 +34,24 @@ QueryMetrics::QueryMetrics(MetricsRegistry& registry)
       voronoi_cache_hits_total(registry.GetCounter(
           "stpq_voronoi_cache_hits_total",
           "Voronoi cells served from the shared cache")),
+      object_tree_nodes_visited_total(registry.GetCounter(
+          "stpq_object_tree_nodes_visited_total",
+          "Object R-tree nodes expanded by query traversals")),
+      object_tree_entries_pruned_total(registry.GetCounter(
+          "stpq_object_tree_entries_pruned_total",
+          "Object R-tree child entries pruned during traversal")),
+      object_tree_entries_descended_total(registry.GetCounter(
+          "stpq_object_tree_entries_descended_total",
+          "Object R-tree child entries descended into or accepted")),
+      feature_tree_nodes_visited_total(registry.GetCounter(
+          "stpq_feature_tree_nodes_visited_total",
+          "Feature-index nodes expanded by query traversals")),
+      feature_tree_entries_pruned_total(registry.GetCounter(
+          "stpq_feature_tree_entries_pruned_total",
+          "Feature-index child entries pruned during traversal")),
+      feature_tree_entries_descended_total(registry.GetCounter(
+          "stpq_feature_tree_entries_descended_total",
+          "Feature-index child entries descended into or accepted")),
       query_cpu_ms(registry.GetHistogram(
           "stpq_query_cpu_ms", "Per-query CPU time in milliseconds")),
       object_pool_resident_pages(registry.GetGauge(
@@ -64,6 +82,16 @@ void QueryMetrics::RecordQuery(const QueryStats& stats) {
   objects_scored_total.Increment(stats.objects_scored);
   voronoi_cells_total.Increment(stats.voronoi_cells);
   voronoi_cache_hits_total.Increment(stats.voronoi_cache_hits);
+  object_tree_nodes_visited_total.Increment(
+      stats.traversal.object_tree.TotalVisited());
+  object_tree_entries_pruned_total.Increment(
+      stats.traversal.object_tree.TotalPruned());
+  object_tree_entries_descended_total.Increment(
+      stats.traversal.object_tree.TotalDescended());
+  feature_tree_nodes_visited_total.Increment(stats.traversal.FeatureVisited());
+  feature_tree_entries_pruned_total.Increment(stats.traversal.FeaturePruned());
+  feature_tree_entries_descended_total.Increment(
+      stats.traversal.FeatureDescended());
   query_cpu_ms.Record(stats.cpu_ms);
   for (size_t i = 0; i < kNumQueryPhases; ++i) {
     phase_us_total[i]->Increment(

@@ -39,6 +39,15 @@ class QueryMetrics {
   Counter& objects_scored_total;
   Counter& voronoi_cells_total;
   Counter& voronoi_cache_hits_total;
+  // Traversal-profile totals (tentpole of DESIGN.md §14): node expansions
+  // and per-entry prune/descend verdicts, split object tree vs feature
+  // trees.
+  Counter& object_tree_nodes_visited_total;
+  Counter& object_tree_entries_pruned_total;
+  Counter& object_tree_entries_descended_total;
+  Counter& feature_tree_nodes_visited_total;
+  Counter& feature_tree_entries_pruned_total;
+  Counter& feature_tree_entries_descended_total;
   HistogramMetric& query_cpu_ms;
   /// Per-phase self-time totals, indexed by QueryPhase.
   Counter* phase_us_total[kNumQueryPhases];

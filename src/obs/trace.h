@@ -1,0 +1,436 @@
+// Per-query event tracing (DESIGN.md §14).
+//
+// Every worker thread owns one fixed-capacity SPSC ring of 32-byte POD
+// trace events.  Emission is wait-free and allocation-free after the
+// thread's first event (which registers the ring): one relaxed flag load
+// when the tracer is idle, plus a bounds check and a store when it is
+// recording.  When a ring fills, new events are *dropped and counted* —
+// recording never blocks and never reallocates, so the alloc_test and
+// golden-I/O guarantees of §13 hold with tracing active.
+//
+// Span events (query, component-score search, combination round, retrieval
+// batch, Voronoi construction) are emitted as begin/end pairs by the RAII
+// TraceSpan; instant events record individual node visits (tree, level,
+// prune/descend verdicts), buffer-pool hits/misses/evictions, and search
+// heap high-water marks.  Each event carries the per-query trace id
+// assigned by TraceQueryScope in Engine::Execute, so one ring can hold
+// interleaved queries and the exporter (obs/trace_export.h) can still
+// attribute every event.
+//
+// Defining STPQ_DISABLE_TRACING compiles every emission point away (the
+// macros expand to nothing and TraceSpan/TraceQueryScope become empty);
+// the TraversalProfile counters in QueryStats are *not* part of tracing
+// and stay on in every build.
+#ifndef STPQ_OBS_TRACE_H_
+#define STPQ_OBS_TRACE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace stpq {
+
+/// What a trace event describes.  The first five are span types (begin/end
+/// pairs); the rest are instants.
+enum class TraceEventType : uint8_t {
+  kQuery = 0,          ///< one Engine::Execute call
+  kComponentScore,     ///< one tau_i(p) search / batch search
+  kCombinationRound,   ///< one CombinationIterator::Next call
+  kRetrievalBatch,     ///< one data-object retrieval traversal
+  kVoronoiCell,        ///< one Voronoi cell construction
+  kNodeVisit,          ///< one index-node expansion (instant)
+  kPoolHit,            ///< buffer-pool hit (instant)
+  kPoolMiss,           ///< buffer-pool miss = simulated read (instant)
+  kPoolEvict,          ///< buffer-pool eviction (instant)
+  kHeapHighWater,      ///< search-heap high-water mark (instant)
+};
+
+inline constexpr size_t kNumTraceEventTypes = 10;
+
+/// Stable lowercase name ("query", "node_visit", ...), used as the Chrome
+/// trace event name.
+const char* TraceEventTypeName(TraceEventType type);
+
+/// Span phase of an event.
+enum class TraceMark : uint8_t {
+  kBegin = 0,
+  kEnd,
+  kInstant,
+};
+
+/// `tree` value of a kNodeVisit event addressing the object R-tree (other
+/// values are feature-set ordinals).
+inline constexpr uint8_t kTraceObjectTree = 0xff;
+
+/// One ring slot.  Arg semantics depend on `type`:
+///   kQuery:          arg_c = trace id
+///   kComponentScore: arg_c = feature set ordinal
+///   kNodeVisit:      arg_a = tree (kTraceObjectTree or set ordinal),
+///                    arg_b = node level (0 = leaf),
+///                    arg_c = (pruned << 16) | descended (each capped),
+///                    arg_d = node id
+///   kPool*:          arg_d = page id
+///   kHeapHighWater:  arg_d = max heap size observed by the span
+struct TraceEvent {
+  uint64_t ts_ns = 0;    ///< steady-clock nanos since the tracer epoch
+  uint32_t trace_id = 0; ///< per-query id (0 = outside any query)
+  TraceEventType type = TraceEventType::kQuery;
+  TraceMark mark = TraceMark::kInstant;
+  uint8_t arg_a = 0;
+  uint8_t arg_b = 0;
+  uint32_t arg_c = 0;
+  uint64_t arg_d = 0;
+};
+
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay one cache "
+                                        "half-line: fix the field packing");
+
+/// Single-producer single-consumer ring of trace events.  The producer is
+/// the owning thread (TryEmit); consumers (Collect, slow-query capture)
+/// serialize against each other on an internal mutex the producer never
+/// touches.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two; allocation happens here
+  /// and never again.
+  TraceRing(uint32_t thread_ordinal, size_t capacity);
+
+  /// Appends `e`; returns false (and counts a drop) when full.  Producer
+  /// thread only.  Never allocates.
+  bool TryEmit(const TraceEvent& e);
+
+  /// Consumes every pending event.  Events are appended to `out` (may be
+  /// nullptr to discard); when `keep_all` is false only events whose
+  /// trace id equals `filter_trace_id` are kept.
+  void Drain(bool keep_all, uint32_t filter_trace_id,
+             std::vector<TraceEvent>* out);
+
+  /// Drops recorded since the last TakeDropped call.
+  uint64_t TakeDropped() {
+    return dropped_.exchange(0, std::memory_order_relaxed);
+  }
+
+  uint32_t thread_ordinal() const { return thread_ordinal_; }
+
+ private:
+  const uint32_t thread_ordinal_;
+  size_t mask_;
+  std::vector<TraceEvent> buf_;
+  std::mutex consume_mu_;
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< next slot to write
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< next slot to read
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Events drained from one ring, tagged with the owning thread's ordinal.
+struct TraceThreadEvents {
+  uint32_t thread_ordinal = 0;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+};
+
+/// Everything collected from the tracer at one point in time.
+struct TraceCollection {
+  std::vector<TraceThreadEvents> threads;
+  uint64_t dropped = 0;  ///< sum over threads
+
+  size_t TotalEvents() const {
+    size_t n = 0;
+    for (const TraceThreadEvents& t : threads) n += t.events.size();
+    return n;
+  }
+  bool Empty() const { return TotalEvents() == 0; }
+};
+
+/// The process-wide tracer.  Start() arms recording; rings register
+/// lazily on each thread's first emission and live for the process
+/// lifetime (reused if the same thread traces again).
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = size_t{1} << 16;
+
+  static Tracer& Global();
+
+  /// Arms recording.  `ring_capacity` applies to rings created after this
+  /// call; existing rings keep their size.
+  void Start(size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Disarms recording; already-recorded events stay collectable.
+  void Stop();
+
+  /// Whether emission points should record.  One relaxed atomic load.
+  static bool Active() {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Allocates a fresh nonzero per-query trace id.
+  uint32_t NextTraceId() {
+    uint32_t id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    return id == 0 ? next_trace_id_.fetch_add(1, std::memory_order_relaxed)
+                   : id;
+  }
+
+  /// Drains every ring into a collection (consumes the events).
+  TraceCollection Collect();
+
+  /// Discards all pending events and drop counts (tests / re-arming).
+  void Discard();
+
+  /// Records one event on the calling thread's ring.  No-op when the
+  /// tracer is idle.  The first call on a thread allocates its ring.
+  static void Emit(TraceEventType type, TraceMark mark, uint8_t arg_a,
+                   uint8_t arg_b, uint32_t arg_c, uint64_t arg_d);
+
+  /// Consumes the calling thread's pending events, keeping those with
+  /// `trace_id` (slow-query capture).  Nothing happens if the thread has
+  /// never emitted.
+  static void DrainCurrentThread(uint32_t trace_id,
+                                 std::vector<TraceEvent>* out);
+
+  /// The trace id stamped on events emitted by this thread.
+  static uint32_t CurrentTraceId() { return tls_trace_id_; }
+  static void SetCurrentTraceId(uint32_t id) { tls_trace_id_ = id; }
+
+  /// Ordinal of the calling thread's ring (0 before the first emission).
+  static uint32_t CurrentThreadOrdinal() {
+    return tls_ring_ != nullptr ? tls_ring_->thread_ordinal() : 0;
+  }
+
+  /// Nanoseconds since the tracer epoch (process start).
+  static uint64_t NowNs();
+
+ private:
+  Tracer() = default;
+
+  TraceRing* RingForThisThread();
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+  std::atomic<uint32_t> next_trace_id_{1};
+
+  static std::atomic<bool> active_;
+  static thread_local TraceRing* tls_ring_;
+  static thread_local uint32_t tls_trace_id_;
+};
+
+#if !defined(STPQ_DISABLE_TRACING)
+
+/// RAII span: emits a begin event now and the matching end event at scope
+/// exit.  When the tracer is idle both ends cost one branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceEventType type, uint32_t arg_c = 0,
+                     uint64_t arg_d = 0)
+      : type_(type), active_(Tracer::Active()) {
+    if (active_) {
+      Tracer::Emit(type_, TraceMark::kBegin, 0, 0, arg_c, arg_d);
+    }
+  }
+
+  ~TraceSpan() {
+    if (active_) Tracer::Emit(type_, TraceMark::kEnd, 0, 0, 0, 0);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceEventType type_;
+  bool active_;
+};
+
+/// RAII query scope: assigns a trace id, stamps it on the thread, and
+/// brackets the query in a kQuery span.  End() may be called early so the
+/// end event lands before slow-query capture drains the ring.
+class TraceQueryScope {
+ public:
+  TraceQueryScope() {
+    if (Tracer::Active()) {
+      id_ = Tracer::Global().NextTraceId();
+      prev_ = Tracer::CurrentTraceId();
+      Tracer::SetCurrentTraceId(id_);
+      Tracer::Emit(TraceEventType::kQuery, TraceMark::kBegin, 0, 0, id_, 0);
+    }
+  }
+
+  ~TraceQueryScope() { End(); }
+
+  void End() {
+    if (id_ != 0 && !ended_) {
+      ended_ = true;
+      Tracer::Emit(TraceEventType::kQuery, TraceMark::kEnd, 0, 0, id_, 0);
+      Tracer::SetCurrentTraceId(prev_);
+    }
+  }
+
+  /// The query's trace id (0 when the tracer was idle at construction).
+  uint32_t id() const { return id_; }
+
+  TraceQueryScope(const TraceQueryScope&) = delete;
+  TraceQueryScope& operator=(const TraceQueryScope&) = delete;
+
+ private:
+  uint32_t id_ = 0;
+  uint32_t prev_ = 0;
+  bool ended_ = false;
+};
+
+/// Tracks a search heap's high-water mark and emits one kHeapHighWater
+/// instant at scope exit.  Recording is latched at construction, so an
+/// idle tracer costs one branch per Observe call and nothing at exit.
+class HeapWatermark {
+ public:
+  HeapWatermark() : active_(Tracer::Active()) {}
+
+  void Observe(size_t size) {
+    if (active_ && size > high_water_) high_water_ = size;
+  }
+
+  ~HeapWatermark() {
+    if (active_ && high_water_ > 0) {
+      Tracer::Emit(TraceEventType::kHeapHighWater, TraceMark::kInstant, 0, 0,
+                   0, high_water_);
+    }
+  }
+
+  HeapWatermark(const HeapWatermark&) = delete;
+  HeapWatermark& operator=(const HeapWatermark&) = delete;
+
+ private:
+  bool active_;
+  size_t high_water_ = 0;
+};
+
+#else  // STPQ_DISABLE_TRACING
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceEventType, uint32_t = 0, uint64_t = 0) {}
+};
+
+class TraceQueryScope {
+ public:
+  void End() {}
+  uint32_t id() const { return 0; }
+};
+
+class HeapWatermark {
+ public:
+  void Observe(size_t) {}
+};
+
+#endif  // STPQ_DISABLE_TRACING
+
+/// kNodeVisit `tree` value for feature set `ordinal` (clamped below the
+/// object-tree sentinel; real ordinals are bounded by kMaxFeatureSets).
+inline uint8_t TraceTreeForSet(uint32_t ordinal) {
+  return static_cast<uint8_t>(
+      ordinal < kTraceObjectTree ? ordinal : kTraceObjectTree - 1);
+}
+
+/// Records one node expansion in the query's traversal profile and, when
+/// the tracer is recording, as a kNodeVisit instant.  `tree` is
+/// kTraceObjectTree or a feature-set ordinal; `pruned`/`descended` count
+/// the verdicts over the node's child entries.
+inline void RecordNodeVisit(QueryStats& stats, uint8_t tree, unsigned level,
+                            uint64_t node_id, uint32_t pruned,
+                            uint32_t descended) {
+  TreeTraversalCounts& counts = tree == kTraceObjectTree
+                                    ? stats.traversal.object_tree
+                                    : stats.traversal.FeatureTree(tree);
+  counts.RecordVisit(level, pruned, descended);
+#if !defined(STPQ_DISABLE_TRACING)
+  if (Tracer::Active()) {
+    const uint32_t verdicts =
+        (std::min<uint32_t>(pruned, 0xffff) << 16) |
+        std::min<uint32_t>(descended, 0xffff);
+    Tracer::Emit(TraceEventType::kNodeVisit, TraceMark::kInstant, tree,
+                 static_cast<uint8_t>(level < 0xff ? level : 0xff), verdicts,
+                 node_id);
+  }
+#endif
+}
+
+/// One captured slow query: its trace id, latency, final stats, and the
+/// events its executing thread recorded for it (empty when the tracer was
+/// idle).
+struct SlowQueryRecord {
+  uint32_t trace_id = 0;
+  uint32_t thread_ordinal = 0;  ///< ring the events came from
+  double elapsed_ms = 0.0;
+  QueryStats stats;
+  std::vector<TraceEvent> events;
+};
+
+/// Thread-safe bounded retention of the most recent queries at or above a
+/// latency threshold.  Engine::Execute offers every completed query; the
+/// offer additionally drains the executing thread's ring (keeping only the
+/// offered query's events), which doubles as per-query ring hygiene during
+/// long captures.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(double threshold_ms, size_t max_records = 32)
+      : threshold_ms_(threshold_ms), max_records_(max_records) {}
+
+  /// Called on the thread that executed the query, after completion.
+  void Offer(uint32_t trace_id, double elapsed_ms, const QueryStats& stats);
+
+  /// Copies the retained records, most recent last.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  size_t size() const;
+  double threshold_ms() const { return threshold_ms_; }
+
+ private:
+  const double threshold_ms_;
+  const size_t max_records_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryRecord> records_;
+};
+
+}  // namespace stpq
+
+// Emission macros.  All expand to nothing under STPQ_DISABLE_TRACING.
+#if defined(STPQ_DISABLE_TRACING)
+
+#define STPQ_TRACE_ACTIVE() false
+#define STPQ_TRACE_SPAN(type, arg_c, arg_d) \
+  do {                                      \
+  } while (false)
+#define STPQ_TRACE_INSTANT(type, arg_a, arg_b, arg_c, arg_d) \
+  do {                                                       \
+  } while (false)
+
+#else
+
+#define STPQ_TRACE_CAT2(a, b) a##b
+#define STPQ_TRACE_CAT(a, b) STPQ_TRACE_CAT2(a, b)
+
+/// Whether the tracer is recording (hoist out of hot loops).
+#define STPQ_TRACE_ACTIVE() (::stpq::Tracer::Active())
+
+/// Opens a trace span for the rest of the enclosing block.
+#define STPQ_TRACE_SPAN(type, arg_c, arg_d)                 \
+  ::stpq::TraceSpan STPQ_TRACE_CAT(stpq_trace_span_,        \
+                                   __LINE__)(type, arg_c, arg_d)
+
+/// Records one instant event when the tracer is recording.
+#define STPQ_TRACE_INSTANT(type, arg_a, arg_b, arg_c, arg_d)               \
+  do {                                                                     \
+    if (::stpq::Tracer::Active()) {                                        \
+      ::stpq::Tracer::Emit(type, ::stpq::TraceMark::kInstant, arg_a,       \
+                           arg_b, arg_c, arg_d);                           \
+    }                                                                      \
+  } while (false)
+
+#endif  // STPQ_DISABLE_TRACING
+
+#endif  // STPQ_OBS_TRACE_H_

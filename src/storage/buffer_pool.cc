@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -162,6 +163,8 @@ bool BufferPool::AccessInternal(PageId page) {
     // lock-free stats() readers well-defined.
     hits_.store(hits_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_relaxed);
+    STPQ_TRACE_INSTANT(TraceEventType::kPoolHit, 0, 0,
+                       static_cast<uint32_t>(page & 0xffffffffu), page);
     if (capacity_ != 0 && head_ != f) {  // unbounded pools skip LRU upkeep
       Unlink(f);
       LinkFront(f);
@@ -170,6 +173,8 @@ bool BufferPool::AccessInternal(PageId page) {
   }
   reads_.store(reads_.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
+  STPQ_TRACE_INSTANT(TraceEventType::kPoolMiss, 0, 0,
+                     static_cast<uint32_t>(page & 0xffffffffu), page);
   f = AcquireFrame();
   frames_[f].page = page;
   frames_[f].pins = 0;
@@ -189,6 +194,9 @@ void BufferPool::EvictOneUnpinned() {
   // (an uncached read-through that leaves every pinned resident in place).
   for (uint32_t f = tail_;; f = frames_[f].prev) {
     if (frames_[f].pins == 0) {
+      STPQ_TRACE_INSTANT(TraceEventType::kPoolEvict, 0, 0,
+                         static_cast<uint32_t>(frames_[f].page & 0xffffffffu),
+                         frames_[f].page);
       table_.Erase(frames_[f].page);
       Unlink(f);
       ReleaseFrame(f);

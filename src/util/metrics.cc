@@ -6,11 +6,16 @@
 namespace stpq {
 
 // Regression guard: QueryStats has 12 uint64_t counters, 2 standalone
-// doubles, and the phase_ms array — all 8-byte members (no padding on any
-// supported ABI).  Adding a field changes the size and fails this assert —
-// update operator+=, ToString(), and the QueryStatsContract tests in
-// util_test.cc, then bump the count.
-static_assert(sizeof(QueryStats) == (12 + 2 + kNumQueryPhases) * 8,
+// doubles, the phase_ms array, and the traversal profile — all 8-byte
+// members (no padding on any supported ABI).  Adding a field changes the
+// size and fails this assert — update operator+=, ToString(), and the
+// QueryStatsContract tests in util_test.cc, then bump the count.
+static_assert(sizeof(TraversalProfile) ==
+                  (1 + kMaxProfiledFeatureSets) *
+                      TreeTraversalCounts::kNumLevels * 3 * 8,
+              "TraversalProfile changed: update QueryStats's contract");
+static_assert(sizeof(QueryStats) ==
+                  (12 + 2 + kNumQueryPhases) * 8 + sizeof(TraversalProfile),
               "QueryStats changed: update operator+=, ToString(), and the "
               "QueryStatsContract tests, then adjust this assert");
 
@@ -26,6 +31,36 @@ const char* QueryPhaseName(QueryPhase phase) {
       return "voronoi";
   }
   return "unknown";
+}
+
+uint64_t TraversalProfile::TotalVisited() const {
+  return object_tree.TotalVisited() + FeatureVisited();
+}
+
+uint64_t TraversalProfile::TotalPruned() const {
+  return object_tree.TotalPruned() + FeaturePruned();
+}
+
+uint64_t TraversalProfile::TotalDescended() const {
+  return object_tree.TotalDescended() + FeatureDescended();
+}
+
+uint64_t TraversalProfile::FeatureVisited() const {
+  uint64_t sum = 0;
+  for (const TreeTraversalCounts& t : feature_tree) sum += t.TotalVisited();
+  return sum;
+}
+
+uint64_t TraversalProfile::FeaturePruned() const {
+  uint64_t sum = 0;
+  for (const TreeTraversalCounts& t : feature_tree) sum += t.TotalPruned();
+  return sum;
+}
+
+uint64_t TraversalProfile::FeatureDescended() const {
+  uint64_t sum = 0;
+  for (const TreeTraversalCounts& t : feature_tree) sum += t.TotalDescended();
+  return sum;
 }
 
 double QueryStats::TracedMillis() const {
@@ -56,6 +91,7 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   for (size_t i = 0; i < kNumQueryPhases; ++i) {
     phase_ms[i] += other.phase_ms[i];
   }
+  traversal += other.traversal;
   return *this;
 }
 
@@ -73,6 +109,15 @@ std::string QueryStats::ToString() const {
        << ", clip_features=" << voronoi_clip_features
        << ", reads=" << voronoi_reads << ", cpu_ms=" << voronoi_cpu_ms
        << ", cache_hits=" << voronoi_cache_hits << ")";
+  }
+  if (traversal.TotalVisited() > 0 || traversal.TotalPruned() > 0 ||
+      traversal.TotalDescended() > 0) {
+    os << " traversal(obj_visited=" << traversal.object_tree.TotalVisited()
+       << ", obj_pruned=" << traversal.object_tree.TotalPruned()
+       << ", obj_descended=" << traversal.object_tree.TotalDescended()
+       << ", feat_visited=" << traversal.FeatureVisited()
+       << ", feat_pruned=" << traversal.FeaturePruned()
+       << ", feat_descended=" << traversal.FeatureDescended() << ")";
   }
   if (TracedMillis() > 0.0) {
     os << " phases(";

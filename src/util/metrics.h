@@ -36,6 +36,96 @@ inline constexpr size_t kNumQueryPhases = 4;
 /// Human-readable phase name ("combination", "component_score", ...).
 const char* QueryPhaseName(QueryPhase phase);
 
+/// Feature sets the traversal profile resolves individually.  Mirrors
+/// combination.h's kMaxFeatureSets (a static_assert there keeps the two in
+/// sync); deeper ordinals fold into the last slot.
+inline constexpr size_t kMaxProfiledFeatureSets = 8;
+
+/// Per-tree-level traversal counters for one index tree.
+///
+/// `visited[L]` counts node expansions at level L (one per page access of
+/// that tree in the query path); while a level-L node is expanded, each of
+/// its child entries is either discarded by a filter (`pruned[L]`) or
+/// enqueued for traversal / accepted into the result (`descended[L]`).
+/// Levels follow the R-tree convention (0 = leaf); levels beyond
+/// kNumLevels-1 clamp into the last slot.
+struct TreeTraversalCounts {
+  static constexpr size_t kNumLevels = 8;
+
+  uint64_t visited[kNumLevels] = {};
+  uint64_t pruned[kNumLevels] = {};
+  uint64_t descended[kNumLevels] = {};
+
+  void RecordVisit(size_t level, uint64_t pruned_n, uint64_t descended_n) {
+    const size_t slot = level < kNumLevels ? level : kNumLevels - 1;
+    visited[slot] += 1;
+    pruned[slot] += pruned_n;
+    descended[slot] += descended_n;
+  }
+
+  uint64_t TotalVisited() const {
+    uint64_t sum = 0;
+    for (uint64_t v : visited) sum += v;
+    return sum;
+  }
+  uint64_t TotalPruned() const {
+    uint64_t sum = 0;
+    for (uint64_t v : pruned) sum += v;
+    return sum;
+  }
+  uint64_t TotalDescended() const {
+    uint64_t sum = 0;
+    for (uint64_t v : descended) sum += v;
+    return sum;
+  }
+
+  TreeTraversalCounts& operator+=(const TreeTraversalCounts& other) {
+    for (size_t i = 0; i < kNumLevels; ++i) {
+      visited[i] += other.visited[i];
+      pruned[i] += other.pruned[i];
+      descended[i] += other.descended[i];
+    }
+    return *this;
+  }
+};
+
+/// Per-query traversal profile: one TreeTraversalCounts for the object
+/// R-tree plus one per feature set.  Every simulated page access in the
+/// query path records exactly one visit here, so per-tree visited totals
+/// reconcile with the buffer-pool read+hit counters (trace_export_test
+/// asserts the invariant).
+struct TraversalProfile {
+  TreeTraversalCounts object_tree;
+  TreeTraversalCounts feature_tree[kMaxProfiledFeatureSets];
+
+  /// The counts of feature set `ordinal` (clamped into the last slot).
+  TreeTraversalCounts& FeatureTree(uint32_t ordinal) {
+    return feature_tree[ordinal < kMaxProfiledFeatureSets
+                            ? ordinal
+                            : kMaxProfiledFeatureSets - 1];
+  }
+  const TreeTraversalCounts& FeatureTree(uint32_t ordinal) const {
+    return feature_tree[ordinal < kMaxProfiledFeatureSets
+                            ? ordinal
+                            : kMaxProfiledFeatureSets - 1];
+  }
+
+  uint64_t TotalVisited() const;
+  uint64_t TotalPruned() const;
+  uint64_t TotalDescended() const;
+  uint64_t FeatureVisited() const;
+  uint64_t FeaturePruned() const;
+  uint64_t FeatureDescended() const;
+
+  TraversalProfile& operator+=(const TraversalProfile& other) {
+    object_tree += other.object_tree;
+    for (size_t i = 0; i < kMaxProfiledFeatureSets; ++i) {
+      feature_tree[i] += other.feature_tree[i];
+    }
+    return *this;
+  }
+};
+
 /// Cost counters accumulated while processing a single query (or a batch).
 ///
 /// Contract: every field must be covered by operator+= and ToString(), and
@@ -68,6 +158,11 @@ struct QueryStats {
   /// Self-time per phase (PhaseTimer attributes exclusive time, so nested
   /// timers never double-count and the entries sum to at most cpu_ms).
   double phase_ms[kNumQueryPhases] = {};
+
+  /// Per-tree-level visited/pruned/descended counts (DESIGN.md §14).
+  /// Always populated — the counters are plain adds on state the kernels
+  /// already touch, so they change neither allocations nor page reads.
+  TraversalProfile traversal;
 
   /// Total simulated page reads.
   uint64_t TotalReads() const {

@@ -14,6 +14,7 @@
 #include "core/compute_score.h"
 #include "gen/synthetic.h"
 #include "index/srt_index.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace {
@@ -37,6 +38,67 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace stpq {
 namespace {
+
+// Tracing variant of the invariant: with the tracer recording into an
+// already-registered ring, the warm kernel still performs zero heap
+// allocations — TryEmit writes into preallocated ring slots, and a full
+// ring drops events instead of growing.
+TEST(AllocationTest, WarmTracedRangeTraversalAllocatesNothing) {
+  SyntheticConfig cfg;
+  cfg.seed = 31;
+  cfg.num_objects = 32;
+  cfg.num_features_per_set = 5000;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 64;
+  cfg.num_clusters = 128;
+  Dataset ds = GenerateSynthetic(cfg);
+  FeatureIndexOptions opts;
+  SrtIndex index(&ds.feature_tables[0], opts);
+
+  Rng rng(32);
+  std::vector<Point> points;
+  std::vector<KeywordSet> queries;
+  for (int i = 0; i < 16; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform()});
+    KeywordSet kw(cfg.vocabulary_size);
+    kw.Insert(static_cast<TermId>(rng.UniformInt(0, 63)));
+    kw.Insert(static_cast<TermId>(rng.UniformInt(0, 63)));
+    queries.push_back(std::move(kw));
+  }
+
+  QueryStats stats;
+  TraversalScratch scratch;
+  auto run_all = [&] {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      total += ComputeBestRange(index, points[i], queries[i], 0.5, 0.08,
+                                stats, scratch)
+                   .score;
+    }
+    return total;
+  };
+
+  Tracer::Global().Start();
+  // Warm-up: grows the scratch vectors *and* registers this thread's
+  // trace ring (its single allocation happens here, once per process).
+  const double warm_total = run_all();
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const double steady_total = run_all();
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  Tracer::Global().Stop();
+  Tracer::Global().Discard();
+
+  EXPECT_EQ(after - before, 0u)
+      << "warm traced range traversal performed " << (after - before)
+      << " heap allocations";
+  EXPECT_DOUBLE_EQ(steady_total, warm_total);
+#if !defined(STPQ_DISABLE_TRACING)
+  // The traced run really recorded node visits (same counters either way).
+  EXPECT_GT(stats.traversal.FeatureVisited(), 0u);
+#endif
+}
 
 TEST(AllocationTest, WarmScratchRangeTraversalAllocatesNothing) {
   SyntheticConfig cfg;

@@ -5,6 +5,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -106,6 +108,44 @@ TEST(PhaseTimerTest, NestedTimersMayTargetDifferentStats) {
   // The parent's self time is tiny compared to the child's span.
   EXPECT_LT(parent_stats.PhaseMillis(QueryPhase::kCombination),
             child_stats.PhaseMillis(QueryPhase::kObjectRetrieval));
+}
+
+TEST(PhaseTimerTest, UntracedMillisCoversCrossStatsNesting) {
+  // A nested span that writes to a *different* stats object (cursor inside
+  // a query) is invisible to the parent's phase breakdown: its time shows
+  // up as the parent's untraced remainder, never as negative slack.
+  QueryStats parent_stats, child_stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    PhaseTimer parent(parent_stats, QueryPhase::kCombination);
+    Spin(2);
+    {
+      PhaseTimer child(child_stats, QueryPhase::kObjectRetrieval);
+      Spin(50);
+    }
+    Spin(2);
+  }
+  parent_stats.cpu_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  const double child_ms =
+      child_stats.PhaseMillis(QueryPhase::kObjectRetrieval);
+  EXPECT_GT(child_ms, 0.0);
+  // The child's work dominates the wall time but is untraced from the
+  // parent's perspective (loose factor: scheduling noise).
+  EXPECT_GE(parent_stats.UntracedMillis(), child_ms * 0.5);
+  EXPECT_LE(parent_stats.TracedMillis(), parent_stats.cpu_ms + 1e-6);
+}
+
+TEST(QueryStatsTest, UntracedMillisClampsAtZero) {
+  QueryStats s;
+  s.phase_ms[static_cast<size_t>(QueryPhase::kCombination)] = 5.0;
+  EXPECT_DOUBLE_EQ(s.TracedMillis(), 5.0);
+  // Timer resolution can push traced past cpu_ms; the remainder clamps.
+  s.cpu_ms = 1.0;
+  EXPECT_DOUBLE_EQ(s.UntracedMillis(), 0.0);
+  s.cpu_ms = 8.0;
+  EXPECT_DOUBLE_EQ(s.UntracedMillis(), 3.0);
 }
 
 // ---------------------------------------------------------- LatencyBuckets
@@ -276,6 +316,58 @@ TEST(MetricsRegistryTest, PrometheusTextExposition) {
   EXPECT_EQ(prev, 2u);  // the +Inf bucket equals _count
 }
 
+TEST(MetricsRegistryTest, PrometheusHelpEscapesBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.GetCounter("stpq_escape_total", "line one\nback\\slash").Increment();
+  const std::string text = reg.RenderPrometheusText();
+  // Text format 0.0.4: '\\' -> '\\\\' and a raw newline -> the two
+  // characters '\\n', so every HELP line stays a single line.
+  EXPECT_NE(text.find("# HELP stpq_escape_total line one\\nback\\\\slash"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExpositionEverySampleHasHelpAndType) {
+  MetricsRegistry reg;
+  reg.GetCounter("stpq_conf_total", "counter help").Increment(3);
+  reg.GetGauge("stpq_conf_gauge", "gauge help").Set(1.0);
+  reg.GetHistogram("stpq_conf_ms", "histogram help").Record(2.0);
+  const std::string text = reg.RenderPrometheusText();
+  ASSERT_FALSE(text.empty());
+  // The exposition must end with a newline (text format requirement).
+  EXPECT_EQ(text.back(), '\n');
+
+  // Every sample line's metric family must have been announced by a
+  // "# HELP" and a "# TYPE" line earlier in the stream.
+  std::set<std::string> helped, typed;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      helped.insert(line.substr(7, line.find(' ', 7) - 7));
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      typed.insert(line.substr(7, line.find(' ', 7) - 7));
+      continue;
+    }
+    ASSERT_NE(line.front(), '#') << line;
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    // Histogram samples belong to the family without the suffix.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0 &&
+          typed.count(name.substr(0, name.size() - len)) > 0) {
+        name = name.substr(0, name.size() - len);
+        break;
+      }
+    }
+    EXPECT_EQ(helped.count(name), 1u) << "sample without HELP: " << line;
+    EXPECT_EQ(typed.count(name), 1u) << "sample without TYPE: " << line;
+  }
+}
+
 TEST(MetricsRegistryTest, ResetForTestKeepsHandlesValid) {
   MetricsRegistry reg;
   Counter& c = reg.GetCounter("reset_total", "help");
@@ -313,6 +405,29 @@ TEST(QueryMetricsTest, RecordQueryFoldsCounters) {
       qm.phase_us_total[static_cast<size_t>(QueryPhase::kCombination)]
           ->value(),
       4000u);
+}
+
+TEST(QueryMetricsTest, RecordQueryFoldsTraversalCounters) {
+  MetricsRegistry reg;
+  QueryMetrics qm(reg);
+  QueryStats stats;
+  stats.traversal.object_tree.RecordVisit(/*level=*/0, /*pruned_n=*/2,
+                                          /*descended_n=*/3);
+  stats.traversal.object_tree.RecordVisit(1, 4, 5);
+  stats.traversal.FeatureTree(0).RecordVisit(0, 6, 7);
+  stats.traversal.FeatureTree(1).RecordVisit(2, 8, 9);
+  qm.RecordQuery(stats);
+  EXPECT_EQ(qm.object_tree_nodes_visited_total.value(), 2u);
+  EXPECT_EQ(qm.object_tree_entries_pruned_total.value(), 6u);
+  EXPECT_EQ(qm.object_tree_entries_descended_total.value(), 8u);
+  EXPECT_EQ(qm.feature_tree_nodes_visited_total.value(), 2u);
+  EXPECT_EQ(qm.feature_tree_entries_pruned_total.value(), 14u);
+  EXPECT_EQ(qm.feature_tree_entries_descended_total.value(), 16u);
+  const std::string text = reg.RenderPrometheusText();
+  EXPECT_NE(text.find("stpq_object_tree_nodes_visited_total 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("stpq_feature_tree_entries_pruned_total 14"),
+            std::string::npos);
 }
 
 // --------------------------------------------- engine + workload wiring

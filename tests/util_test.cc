@@ -218,6 +218,19 @@ QueryStats DistinctStats() {
   for (size_t i = 0; i < kNumQueryPhases; ++i) {
     s.phase_ms[i] = 120.5 + static_cast<double>(i);
   }
+  // Traversal profile: distinct values in every level slot of every tree.
+  uint64_t v = 300;
+  auto fill_counts = [&v](TreeTraversalCounts& counts) {
+    for (size_t l = 0; l < TreeTraversalCounts::kNumLevels; ++l) {
+      counts.visited[l] = v++;
+      counts.pruned[l] = v++;
+      counts.descended[l] = v++;
+    }
+  };
+  fill_counts(s.traversal.object_tree);
+  for (size_t f = 0; f < kMaxProfiledFeatureSets; ++f) {
+    fill_counts(s.traversal.feature_tree[f]);
+  }
   return s;
 }
 
@@ -228,7 +241,9 @@ TEST(QueryStatsContract, ToStringMentionsEveryCounter) {
         "features=105", "combos=107/106", "scored=108", "cpu_ms=114.5",
         "cells=109", "clip_features=110", "reads=111", "cpu_ms=112.5",
         "cache_hits=113", "combination=120.5", "component_score=121.5",
-        "object_retrieval=122.5", "voronoi=123.5"}) {
+        "object_retrieval=122.5", "voronoi=123.5", "obj_visited=",
+        "obj_pruned=", "obj_descended=", "feat_visited=", "feat_pruned=",
+        "feat_descended="}) {
     EXPECT_NE(str.find(needle), std::string::npos)
         << "'" << needle << "' missing from: " << str;
   }
@@ -248,6 +263,39 @@ TEST(QueryStatsContract, PlusEqualsCoversEveryField) {
   EXPECT_EQ(sum.voronoi_cache_hits, 226u);
   EXPECT_DOUBLE_EQ(sum.cpu_ms, 229.0);
   EXPECT_DOUBLE_EQ(sum.phase_ms[0], 241.0);
+  EXPECT_EQ(sum.traversal.object_tree.visited[0], 600u);
+  EXPECT_EQ(sum.traversal.feature_tree[kMaxProfiledFeatureSets - 1]
+                .descended[TreeTraversalCounts::kNumLevels - 1],
+            2u * (300 + (1 + kMaxProfiledFeatureSets) * 3 *
+                            TreeTraversalCounts::kNumLevels - 1));
+}
+
+TEST(TraversalProfileTest, RecordVisitClampsAndTotals) {
+  TreeTraversalCounts counts;
+  counts.RecordVisit(0, 2, 3);
+  counts.RecordVisit(1, 1, 0);
+  // Levels beyond the last slot fold into it instead of writing OOB.
+  counts.RecordVisit(TreeTraversalCounts::kNumLevels + 5, 7, 11);
+  EXPECT_EQ(counts.visited[0], 1u);
+  EXPECT_EQ(counts.visited[1], 1u);
+  EXPECT_EQ(counts.visited[TreeTraversalCounts::kNumLevels - 1], 1u);
+  EXPECT_EQ(counts.TotalVisited(), 3u);
+  EXPECT_EQ(counts.TotalPruned(), 10u);
+  EXPECT_EQ(counts.TotalDescended(), 14u);
+}
+
+TEST(TraversalProfileTest, FeatureTreeOrdinalClamps) {
+  TraversalProfile profile;
+  profile.FeatureTree(0).RecordVisit(0, 1, 1);
+  // Out-of-range ordinals land in the last profiled slot, never OOB.
+  profile.FeatureTree(kMaxProfiledFeatureSets + 100).RecordVisit(0, 5, 0);
+  EXPECT_EQ(profile.feature_tree[0].TotalVisited(), 1u);
+  EXPECT_EQ(
+      profile.feature_tree[kMaxProfiledFeatureSets - 1].TotalVisited(), 1u);
+  EXPECT_EQ(profile.FeatureVisited(), 2u);
+  EXPECT_EQ(profile.FeaturePruned(), 6u);
+  EXPECT_EQ(profile.TotalVisited(), 2u);
+  EXPECT_EQ(profile.TotalDescended(), 1u);
 }
 
 TEST(QueryStatsTest, PhaseAccounting) {

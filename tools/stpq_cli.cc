@@ -11,10 +11,15 @@
 //                     [--algo stps|stds] [--index srt|ir2]
 //   stpq_cli workload --data data.stpq --threads N[,N...] [--queries 200]
 //                     [--io-ms 0.1] [--algo stps|stds] [--index srt|ir2]
-//                     [--metrics out.prom]
+//                     [--metrics out.prom] [--trace-out trace.json]
 //   stpq_cli profile  --data data.stpq [--queries 100] [--io-ms 0.1]
 //                     [--algo stps|stds] [--index srt|ir2]
 //                     [--variant range|influence|nn] [--metrics out.prom]
+//                     [--trace-out trace.json]
+//   stpq_cli trace    --data data.stpq [--trace-out trace.json]
+//                     [--slow-ms T] [--queries 100] [--threads N]
+//                     [--algo stps|stds] [--index srt|ir2]
+//                     [--variant range|influence|nn]
 //   stpq_cli validate --data data.stpq [--index srt|ir2]
 //
 // Flags accept both "--flag value" and "--flag=value".
@@ -38,6 +43,8 @@
 #include "io/dataset_io.h"
 #include "obs/histogram.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 using namespace stpq;
 
@@ -90,7 +97,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: stpq_cli "
-      "<generate|info|query|bench|workload|profile|validate> [flags]\n"
+      "<generate|info|query|bench|workload|profile|trace|validate> [flags]\n"
       "  generate --out FILE [--kind synthetic|real] [--scale S] [--seed N]\n"
       "  info     --data FILE\n"
       "  query    --data FILE --keywords \"a,b;c\" [--k N] [--r R]\n"
@@ -100,9 +107,14 @@ int Usage() {
       "           [--algo stps|stds] [--index srt|ir2]\n"
       "  workload --data FILE --threads N[,N...] [--queries N] [--io-ms MS]\n"
       "           [--algo stps|stds] [--index srt|ir2] [--metrics FILE]\n"
+      "           [--trace-out FILE]\n"
       "  profile  --data FILE [--queries N] [--io-ms MS]\n"
       "           [--algo stps|stds] [--index srt|ir2]\n"
       "           [--variant range|influence|nn] [--metrics FILE]\n"
+      "           [--trace-out FILE]\n"
+      "  trace    --data FILE [--trace-out FILE] [--slow-ms T]\n"
+      "           [--queries N] [--threads N] [--algo stps|stds]\n"
+      "           [--index srt|ir2] [--variant range|influence|nn]\n"
       "  validate --data FILE [--index srt|ir2]\n");
   return 2;
 }
@@ -320,6 +332,21 @@ bool WriteMetricsFile(const std::string& path) {
   return static_cast<bool>(out);
 }
 
+/// Drains the global tracer and writes a Chrome trace-event JSON file.
+bool WriteTraceFile(const std::string& path) {
+  TraceCollection collection = Tracer::Global().Collect();
+  Status st = WriteChromeTraceFile(collection, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return false;
+  }
+  std::printf("trace: %zu events from %zu threads (%llu dropped) -> %s\n",
+              collection.TotalEvents(), collection.threads.size(),
+              static_cast<unsigned long long>(collection.dropped),
+              path.c_str());
+  return true;
+}
+
 /// Parses "1,2,4,8" into thread counts; returns empty on a parse error.
 std::vector<size_t> ParseThreadList(const std::string& spec) {
   std::vector<size_t> out;
@@ -384,6 +411,8 @@ int Workload(const Args& args) {
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
   opts.io_unit_cost_ms = args.GetDouble("io-ms", 0.1);
 
+  if (args.Has("trace-out")) Tracer::Global().Start();
+
   std::printf("%zu queries, %s, %s index\n", queries.size(),
               opts.algorithm == Algorithm::kStds ? "STDS" : "STPS",
               engine.value().IndexName());
@@ -402,6 +431,10 @@ int Workload(const Args& args) {
                 r.wall_ms, r.queries_per_sec, r.summary.mean_page_reads,
                 r.latency.PercentileMs(0.50), r.latency.PercentileMs(0.95),
                 r.latency.PercentileMs(0.99));
+  }
+  if (args.Has("trace-out")) {
+    Tracer::Global().Stop();
+    if (!WriteTraceFile(args.Get("trace-out"))) return 1;
   }
   if (args.Has("metrics") && !WriteMetricsFile(args.Get("metrics"))) {
     return 1;
@@ -439,6 +472,8 @@ int Profile(const Args& args) {
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
 
+  if (args.Has("trace-out")) Tracer::Global().Start();
+
   QueryStats aggregate;
   LatencyHistogram latency;
   for (const Query& q : queries) {
@@ -475,10 +510,84 @@ int Profile(const Args& args) {
   row("other", aggregate.UntracedMillis());
   std::printf("counters: %s\n", aggregate.ToString().c_str());
 
+  if (args.Has("trace-out")) {
+    Tracer::Global().Stop();
+    if (!WriteTraceFile(args.Get("trace-out"))) return 1;
+  }
   if (args.Has("metrics") && !WriteMetricsFile(args.Get("metrics"))) {
     return 1;
   }
   return 0;
+}
+
+/// Runs a generated workload with the tracer armed and exports a Chrome
+/// trace-event JSON file (load it at ui.perfetto.dev or
+/// chrome://tracing).  With --slow-ms only queries at or above the
+/// threshold are captured (slow-query mode); without it the full event
+/// stream of the run is exported.
+int Trace(const Args& args) {
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  QueryWorkloadConfig qcfg;
+  qcfg.count = args.GetUint("queries", 100);
+  qcfg.k = args.GetUint("k", 10);
+  qcfg.radius = args.GetDouble("r", 0.01);
+  qcfg.lambda = args.GetDouble("lambda", 0.5);
+  std::string variant = args.Get("variant", "range");
+  if (variant == "influence") qcfg.variant = ScoreVariant::kInfluence;
+  if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
+  std::vector<Query> queries = GenerateQueries(ds, qcfg);
+
+  Result<Engine> engine = Engine::Create(
+      std::move(ds.objects), std::move(ds.feature_tables),
+      MakeEngineOptions(args));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string out_path = args.Get("trace-out", "trace.json");
+  const bool slow_mode = args.Has("slow-ms");
+  SlowQueryLog slow_log(args.GetDouble("slow-ms", 0.0));
+
+  Tracer::Global().Start();
+  ParallelWorkloadRunner runner(&engine.value());
+  ParallelWorkloadOptions opts;
+  opts.algorithm =
+      args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
+  opts.threads = args.GetUint("threads", 1);
+  opts.io_unit_cost_ms = args.GetDouble("io-ms", 0.1);
+  if (slow_mode) opts.slow_log = &slow_log;
+  Result<ParallelWorkloadReport> report = runner.Run(queries, opts);
+  Tracer::Global().Stop();
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.value().summary.ToString().c_str());
+
+  if (slow_mode) {
+    // Slow-query mode: keep only the captured queries; the rest of the
+    // stream (already drained per query by the log) is discarded.
+    TraceCollection leftover = Tracer::Global().Collect();
+    std::vector<SlowQueryRecord> records = slow_log.Snapshot();
+    TraceCollection collection =
+        CollectionFromSlowQueries(records, leftover.dropped);
+    Status st = WriteChromeTraceFile(collection, out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %zu slow queries (>= %.3f ms), %zu events -> %s\n",
+                records.size(), slow_log.threshold_ms(),
+                collection.TotalEvents(), out_path.c_str());
+    return 0;
+  }
+  return WriteTraceFile(out_path) ? 0 : 1;
 }
 
 /// Builds every index over the dataset and runs the deep structural
@@ -542,6 +651,7 @@ int main(int argc, char** argv) {
   if (args.command == "bench") return Bench(args);
   if (args.command == "workload") return Workload(args);
   if (args.command == "profile") return Profile(args);
+  if (args.command == "trace") return Trace(args);
   if (args.command == "validate") return Validate(args);
   return Usage();
 }
