@@ -37,6 +37,7 @@
 
 #include "core/query.h"
 #include "index/feature_index.h"
+#include "util/attributes.h"
 
 namespace stpq {
 
@@ -72,7 +73,7 @@ class SortedFeatureStream {
   };
 
   /// Next feature (or the final virtual feature); nullopt afterwards.
-  std::optional<Item> Next();
+  STPQ_HOT std::optional<Item> Next();
 
   /// True once the virtual feature has been returned.
   bool Exhausted() const { return virtual_emitted_; }
@@ -109,7 +110,7 @@ class CombinationIterator {
 
   /// The next valid combination with the highest score, or nullopt when no
   /// combinations remain.
-  std::optional<Combination> Next();
+  STPQ_HOT std::optional<Combination> Next();
 
  private:
   struct Retrieved {

@@ -23,6 +23,7 @@
 #include "core/query.h"
 #include "core/scratch.h"
 #include "index/feature_index.h"
+#include "util/attributes.h"
 #include "util/metrics.h"
 
 namespace stpq {
@@ -37,16 +38,16 @@ struct BestFeature {
 
 /// Definition 2 score: the best s(t) among relevant features within
 /// distance r of p, or 0 if none qualifies.
-double ComputeScoreRange(const FeatureIndex& index, const Point& p,
+STPQ_HOT double ComputeScoreRange(const FeatureIndex& index, const Point& p,
                          const KeywordSet& query_kw, double lambda, double r,
                          QueryStats& stats, TraversalScratch& scratch);
 
 /// Detailed versions: also identify the feature that realizes the score.
-BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
+STPQ_HOT BestFeature ComputeBestRange(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
                              double r, QueryStats& stats,
                              TraversalScratch& scratch);
-BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
+STPQ_HOT BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
                                  const KeywordSet& query_kw, double lambda,
                                  double r, QueryStats& stats,
                                  TraversalScratch& scratch);
@@ -58,7 +59,7 @@ BestFeature ComputeBestInfluence(const FeatureIndex& index, const Point& p,
 /// recomputed values) tie-break by the larger preference score s(t).
 /// Heap priorities (MBR mindists) are only ever used as lower bounds, so
 /// floating-point noise in them cannot flip the tie decision.
-BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
+STPQ_HOT BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
                                        const Point& p,
                                        const KeywordSet& query_kw,
                                        double lambda, QueryStats& stats,
@@ -66,7 +67,7 @@ BestFeature ComputeBestNearestNeighbor(const FeatureIndex& index,
 
 /// Definition 6 score: the best s(t) * 2^(-dist(p,t)/r) among relevant
 /// features, or 0 if none qualifies.
-double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
+STPQ_HOT double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
                              const KeywordSet& query_kw, double lambda,
                              double r, QueryStats& stats,
                              TraversalScratch& scratch);
@@ -74,7 +75,7 @@ double ComputeScoreInfluence(const FeatureIndex& index, const Point& p,
 /// Definition 7 score: s(t) of the nearest relevant feature (max s(t) among
 /// equidistant nearest, see ComputeBestNearestNeighbor), or 0 if none
 /// qualifies.
-double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
+STPQ_HOT double ComputeScoreNearestNeighbor(const FeatureIndex& index, const Point& p,
                                    const KeywordSet& query_kw, double lambda,
                                    QueryStats& stats,
                                    TraversalScratch& scratch);
@@ -89,7 +90,7 @@ struct BatchObject {
 /// Section 5): one index traversal resolves every object in `batch`.
 /// `scores[i]` receives tau_i for batch[i] (0 if no feature qualifies).
 /// `batch_mbr` must cover all batch positions.
-void ComputeScoresRangeBatch(const FeatureIndex& index,
+STPQ_HOT void ComputeScoresRangeBatch(const FeatureIndex& index,
                              std::span<const BatchObject> batch,
                              const Rect2& batch_mbr,
                              const KeywordSet& query_kw, double lambda,

@@ -100,7 +100,7 @@ class Engine {
   /// Validated construction: checks `options` (page size, fill factor,
   /// signature parameters) and returns InvalidArgument instead of building
   /// a broken engine.  Prefer this over the constructor.
-  static Result<Engine> Create(std::vector<DataObject> objects,
+  [[nodiscard]] static Result<Engine> Create(std::vector<DataObject> objects,
                                std::vector<FeatureTable> feature_tables,
                                EngineOptions options = {});
 
@@ -124,11 +124,12 @@ class Engine {
   ///
   /// Thread-safe: any number of Execute/OpenCursor calls may run
   /// concurrently on one engine.
-  Result<QueryResult> Execute(const Query& query, Algorithm algorithm) const;
+  [[nodiscard]] Result<QueryResult> Execute(const Query& query,
+                                           Algorithm algorithm) const;
 
   /// Execute with per-call options (algorithm + optional stats sink).
-  Result<QueryResult> Execute(const Query& query,
-                              const ExecuteOptions& options) const;
+  [[nodiscard]] Result<QueryResult> Execute(
+      const Query& query, const ExecuteOptions& options) const;
 
   /// Opens an incremental cursor over a range-score query (k is ignored;
   /// results stream in non-increasing tau(p) until the caller stops).
@@ -137,11 +138,12 @@ class Engine {
   /// and from a different thread than the one that opened it (one thread
   /// at a time).  Returns InvalidArgument for malformed queries and for
   /// non-range variants.
-  Result<std::unique_ptr<StpsCursor>> OpenCursor(const Query& query) const;
+  [[nodiscard]] Result<std::unique_ptr<StpsCursor>> OpenCursor(
+      const Query& query) const;
 
   /// Checks `query` against this engine's shape: keyword-set count,
   /// k >= 1, lambda in [0, 1], radius > 0 for radius-dependent variants.
-  Status ValidateQuery(const Query& query) const;
+  [[nodiscard]] Status ValidateQuery(const Query& query) const;
 
   /// The shared Voronoi cell cache (nullptr unless reuse_voronoi_cells).
   VoronoiCellCache* voronoi_cache() const { return voronoi_cache_.get(); }

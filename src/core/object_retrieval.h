@@ -8,6 +8,7 @@
 #include "core/query.h"
 #include "core/scratch.h"
 #include "index/object_index.h"
+#include "util/attributes.h"
 
 namespace stpq {
 
@@ -16,7 +17,7 @@ namespace stpq {
 /// appended to `result` with score `score`.  Collection stops once
 /// `remaining` objects were added (SIZE_MAX = unbounded).  Entries whose
 /// MBR is out of range of any member are pruned.
-void CollectObjectsInRange(const ObjectIndex& objects,
+STPQ_HOT void CollectObjectsInRange(const ObjectIndex& objects,
                            const std::vector<Point>& member_pos,
                            double radius, double score, size_t remaining,
                            std::vector<bool>* claimed,

@@ -17,6 +17,7 @@
 #include "core/scratch.h"
 #include "index/feature_index.h"
 #include "index/object_index.h"
+#include "util/attributes.h"
 
 namespace stpq {
 
@@ -37,7 +38,7 @@ class Stds {
   /// (ignored for non-range variants, which always score per object).
   /// `scratch` (may be null) provides reusable traversal buffers — the
   /// engine passes its session's scratch; a null falls back to a local.
-  QueryResult Execute(const Query& query, bool use_batching = true,
+  STPQ_HOT QueryResult Execute(const Query& query, bool use_batching = true,
                       TraversalScratch* scratch = nullptr) const;
 
  private:

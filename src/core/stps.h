@@ -15,6 +15,7 @@
 #include "core/voronoi_cache.h"
 #include "index/feature_index.h"
 #include "index/object_index.h"
+#include "util/attributes.h"
 
 namespace stpq {
 
@@ -62,19 +63,19 @@ class Stps {
   /// the Voronoi-based NN retrieval of Section 7.2).  `scratch` (may be
   /// null) provides reusable traversal buffers — the engine passes its
   /// session's scratch; a null falls back to a local.
-  QueryResult Execute(const Query& query,
+  STPQ_HOT QueryResult Execute(const Query& query,
                       PullingStrategy strategy = PullingStrategy::kPrioritized,
                       TraversalScratch* scratch = nullptr) const;
 
  private:
-  QueryResult ExecuteRange(const Query& query, PullingStrategy strategy,
+  STPQ_HOT QueryResult ExecuteRange(const Query& query, PullingStrategy strategy,
                            TraversalScratch& scratch) const;
-  QueryResult ExecuteInfluence(const Query& query, PullingStrategy strategy,
+  STPQ_HOT QueryResult ExecuteInfluence(const Query& query, PullingStrategy strategy,
                                TraversalScratch& scratch) const;
-  QueryResult ExecuteInfluenceAnchored(const Query& query,
+  STPQ_HOT QueryResult ExecuteInfluenceAnchored(const Query& query,
                                        PullingStrategy strategy,
                                        TraversalScratch& scratch) const;
-  QueryResult ExecuteNearestNeighbor(const Query& query,
+  STPQ_HOT QueryResult ExecuteNearestNeighbor(const Query& query,
                                      PullingStrategy strategy,
                                      TraversalScratch& scratch) const;
 

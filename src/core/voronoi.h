@@ -14,6 +14,7 @@
 #include "geom/polygon.h"
 #include "index/feature_index.h"
 #include "text/keyword_set.h"
+#include "util/attributes.h"
 #include "util/metrics.h"
 
 namespace stpq {
@@ -22,7 +23,7 @@ namespace stpq {
 /// `index` with sim(t, query_kw) > 0, clipped to `domain`.  Charges the
 /// feature index's buffer pool; cost is recorded in the voronoi_* counters
 /// of `stats` (the striped bars of the paper's Figures 13-14).
-ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
+STPQ_HOT ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
                                  ObjectId center_id,
                                  const KeywordSet& query_kw, double lambda,
                                  const Rect2& domain, QueryStats& stats,
@@ -30,7 +31,7 @@ ConvexPolygon ComputeVoronoiCell(const FeatureIndex& index,
 
 /// Intersects `poly` with `other` in place (clips by every edge of
 /// `other`); both must be convex with CCW vertex order.
-void IntersectConvex(ConvexPolygon* poly, const ConvexPolygon& other);
+STPQ_HOT void IntersectConvex(ConvexPolygon* poly, const ConvexPolygon& other);
 
 }  // namespace stpq
 

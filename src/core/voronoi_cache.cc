@@ -5,7 +5,7 @@ namespace stpq {
 std::optional<ConvexPolygon> VoronoiCellCache::Find(
     size_t feature_set, ObjectId feature, const KeywordSet& query_kw) {
   Key key{static_cast<uint32_t>(feature_set), feature, query_kw.blocks()};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cells_.find(key);
   if (it == cells_.end()) {
     ++misses_;
@@ -18,29 +18,29 @@ std::optional<ConvexPolygon> VoronoiCellCache::Find(
 void VoronoiCellCache::Put(size_t feature_set, ObjectId feature,
                            const KeywordSet& query_kw, ConvexPolygon cell) {
   Key key{static_cast<uint32_t>(feature_set), feature, query_kw.blocks()};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cells_.try_emplace(std::move(key), std::move(cell));
 }
 
 void VoronoiCellCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cells_.clear();
   hits_ = 0;
   misses_ = 0;
 }
 
 size_t VoronoiCellCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cells_.size();
 }
 
 uint64_t VoronoiCellCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t VoronoiCellCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -20,7 +20,6 @@
 #define STPQ_CORE_VORONOI_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "geom/polygon.h"
 #include "index/feature.h"
 #include "text/keyword_set.h"
+#include "util/thread_annotations.h"
 
 namespace stpq {
 
@@ -37,18 +37,19 @@ class VoronoiCellCache {
  public:
   /// Returns a copy of the cached cell, or nullopt on a miss.
   std::optional<ConvexPolygon> Find(size_t feature_set, ObjectId feature,
-                                    const KeywordSet& query_kw);
+                                    const KeywordSet& query_kw)
+      STPQ_EXCLUDES(mu_);
 
   /// Stores a cell.  If another thread already stored one for the same key
   /// the existing entry wins (both are the same cell).
   void Put(size_t feature_set, ObjectId feature, const KeywordSet& query_kw,
-           ConvexPolygon cell);
+           ConvexPolygon cell) STPQ_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() STPQ_EXCLUDES(mu_);
 
-  size_t size() const;
-  uint64_t hits() const;
-  uint64_t misses() const;
+  size_t size() const STPQ_EXCLUDES(mu_);
+  uint64_t hits() const STPQ_EXCLUDES(mu_);
+  uint64_t misses() const STPQ_EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -70,10 +71,10 @@ class VoronoiCellCache {
     }
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, ConvexPolygon, KeyHash> cells_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<Key, ConvexPolygon, KeyHash> cells_ STPQ_GUARDED_BY(mu_);
+  uint64_t hits_ STPQ_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ STPQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace stpq

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace stpq {
@@ -64,19 +64,19 @@ WorkloadSummary SummarizeResults(const std::vector<QueryResult>& results,
 /// Mutex-guarded stats accumulator shared by the parallel workers.
 class AggregatingStatsSink : public QueryStatsSink {
  public:
-  void Record(const QueryStats& stats) override {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(const QueryStats& stats) override STPQ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     total_ += stats;
   }
 
-  QueryStats total() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  QueryStats total() const STPQ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return total_;
   }
 
  private:
-  mutable std::mutex mu_;
-  QueryStats total_;
+  mutable Mutex mu_;
+  QueryStats total_ STPQ_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -50,7 +50,7 @@ struct WorkloadSummary {
 /// `io_unit_cost_ms` prices one simulated page read (the paper's dark-bar
 /// constant).  Returns InvalidArgument if any query is malformed for the
 /// engine (nothing is executed in that case).
-Result<WorkloadSummary> RunWorkload(const Engine& engine,
+[[nodiscard]] Result<WorkloadSummary> RunWorkload(const Engine& engine,
                                     const std::vector<Query>& queries,
                                     Algorithm algorithm,
                                     double io_unit_cost_ms);
@@ -90,7 +90,7 @@ class ParallelWorkloadRunner {
 
   /// Runs the batch.  Every query is validated up front, so a non-OK
   /// status means nothing was executed; worker threads cannot fail.
-  Result<ParallelWorkloadReport> Run(
+  [[nodiscard]] Result<ParallelWorkloadReport> Run(
       const std::vector<Query>& queries,
       const ParallelWorkloadOptions& options) const;
 

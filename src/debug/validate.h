@@ -214,26 +214,26 @@ Status ValidateRTree(const RTree<D, Aug>& tree) {
 /// supersets of their children, Hilbert/keyword-cache consistency, leaf
 /// entries matching the feature table, and — for Hilbert bulk loads —
 /// non-decreasing Hilbert keys across the leaf level.
-Status ValidateSrtIndex(const SrtIndex& index);
+[[nodiscard]] Status ValidateSrtIndex(const SrtIndex& index);
 
 /// Modified IR2-tree validation: R-tree structure, max-score dominance,
 /// node signatures covering child signatures, and leaf signatures/scores
 /// matching the feature table.
-Status ValidateIr2Tree(const Ir2Tree& index);
+[[nodiscard]] Status ValidateIr2Tree(const Ir2Tree& index);
 
 /// Object R-tree validation: structure plus a bijection between leaf
 /// records and the object collection.
-Status ValidateObjectIndex(const ObjectIndex& index);
+[[nodiscard]] Status ValidateObjectIndex(const ObjectIndex& index);
 
 /// Inverted-index validation: per-term postings sorted and duplicate-free,
 /// document ids in range, and — when `documents` is the corpus the index
 /// was built from — exact consistency in both directions (posted documents
 /// contain the term; documents containing a term are posted).
-Status ValidateInvertedIndex(const InvertedIndex& index,
+[[nodiscard]] Status ValidateInvertedIndex(const InvertedIndex& index,
                              std::span<const KeywordSet> documents);
 
 /// Postings-only overload for when the source corpus is unavailable.
-Status ValidateInvertedIndex(const InvertedIndex& index);
+[[nodiscard]] Status ValidateInvertedIndex(const InvertedIndex& index);
 
 // ValidateBufferPool is declared in storage/buffer_pool.h (it needs friend
 // access); re-exported here so validators have one include point.

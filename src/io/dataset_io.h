@@ -25,32 +25,32 @@ namespace stpq {
 // ---------------------------------------------------------------- CSV
 
 /// Writes data objects as CSV (with header).
-Status WriteObjectsCsv(const std::string& path,
+[[nodiscard]] Status WriteObjectsCsv(const std::string& path,
                        const std::vector<DataObject>& objects);
 
 /// Reads data objects from CSV produced by WriteObjectsCsv (or compatible).
-Result<std::vector<DataObject>> ReadObjectsCsv(const std::string& path);
+[[nodiscard]] Result<std::vector<DataObject>> ReadObjectsCsv(const std::string& path);
 
 /// Writes one feature table as CSV; keyword ids are rendered through
 /// `vocab` and joined with '|'.
-Status WriteFeaturesCsv(const std::string& path, const FeatureTable& table,
+[[nodiscard]] Status WriteFeaturesCsv(const std::string& path, const FeatureTable& table,
                         const Vocabulary& vocab);
 
 /// Reads a feature table from CSV.  Keywords are interned into `vocab`
 /// (which may start empty); the resulting table's universe is
 /// `universe_size` if nonzero, else the final vocabulary size.
-Result<FeatureTable> ReadFeaturesCsv(const std::string& path,
+[[nodiscard]] Result<FeatureTable> ReadFeaturesCsv(const std::string& path,
                                      Vocabulary* vocab,
                                      uint32_t universe_size = 0);
 
 // -------------------------------------------------------------- binary
 
 /// Serializes a whole dataset to a .stpq binary file.
-Status WriteDatasetBinary(const std::string& path, const Dataset& dataset);
+[[nodiscard]] Status WriteDatasetBinary(const std::string& path, const Dataset& dataset);
 
 /// Loads a dataset written by WriteDatasetBinary; rejects bad magic,
 /// unsupported versions, and truncated files.
-Result<Dataset> ReadDatasetBinary(const std::string& path);
+[[nodiscard]] Result<Dataset> ReadDatasetBinary(const std::string& path);
 
 }  // namespace stpq
 

@@ -59,6 +59,7 @@ LatencyHistogram HistogramMetric::Snapshot() const {
   return out;
 }
 
+// stpq-lint: allow(hot-alloc) leaky singleton: one allocation per process
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
@@ -67,7 +68,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
                                                   const std::string& help,
                                                   Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
@@ -107,7 +108,7 @@ HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, entry] : entries_) {
     os << "# HELP " << name << " " << EscapeHelp(entry.help) << "\n";
@@ -146,7 +147,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Zero in place: handles returned by GetX() must stay valid.
   for (auto& [name, entry] : entries_) {
     switch (entry.kind) {

@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "obs/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace stpq {
 
@@ -90,18 +90,20 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& GetCounter(const std::string& name, const std::string& help);
-  Gauge& GetGauge(const std::string& name, const std::string& help);
+  Counter& GetCounter(const std::string& name, const std::string& help)
+      STPQ_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name, const std::string& help)
+      STPQ_EXCLUDES(mu_);
   HistogramMetric& GetHistogram(const std::string& name,
-                                const std::string& help);
+                                const std::string& help) STPQ_EXCLUDES(mu_);
 
   /// Prometheus text exposition of every registered metric, sorted by
   /// name.  Safe to call while other threads update instruments.
-  std::string RenderPrometheusText() const;
+  std::string RenderPrometheusText() const STPQ_EXCLUDES(mu_);
 
   /// Zeroes every registered instrument (tests only; instruments stay
   /// registered so cached handles remain valid).
-  void ResetForTest();
+  void ResetForTest() STPQ_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -115,10 +117,13 @@ class MetricsRegistry {
   };
 
   Entry& GetEntry(const std::string& name, const std::string& help,
-                  Kind kind);
+                  Kind kind) STPQ_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // sorted for stable exposition
+  mutable Mutex mu_;
+  /// Sorted so the text exposition is stable.  The Entry values hold the
+  /// instruments by unique_ptr, so the handles GetX() returns stay valid
+  /// outside the lock; only the map structure itself is guarded.
+  std::map<std::string, Entry> entries_ STPQ_GUARDED_BY(mu_);
 };
 
 }  // namespace stpq

@@ -4,11 +4,13 @@
 
 namespace stpq {
 
+// stpq-lint: allow(hot-alloc) leaky singleton: one allocation per process
 QueryMetrics& QueryMetrics::Global() {
   static QueryMetrics* metrics = new QueryMetrics(MetricsRegistry::Global());
   return *metrics;
 }
 
+// stpq-lint: allow(hot-alloc) runs once, registering metric names at startup
 QueryMetrics::QueryMetrics(MetricsRegistry& registry)
     : queries_total(registry.GetCounter(
           "stpq_queries_total", "Queries executed to completion")),

@@ -65,7 +65,7 @@ bool TraceRing::TryEmit(const TraceEvent& e) {
 
 void TraceRing::Drain(bool keep_all, uint32_t filter_trace_id,
                       std::vector<TraceEvent>* out) {
-  std::lock_guard<std::mutex> lock(consume_mu_);
+  MutexLock lock(consume_mu_);
   const uint64_t head = head_.load(std::memory_order_acquire);
   uint64_t tail = tail_.load(std::memory_order_relaxed);
   for (; tail != head; ++tail) {
@@ -81,6 +81,7 @@ std::atomic<bool> Tracer::active_{false};
 thread_local TraceRing* Tracer::tls_ring_ = nullptr;
 thread_local uint32_t Tracer::tls_trace_id_ = 0;
 
+// stpq-lint: allow(hot-alloc) leaky singleton: one allocation per process
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
   // Pin the epoch before the first event so timestamps never go negative.
@@ -90,7 +91,7 @@ Tracer& Tracer::Global() {
 
 void Tracer::Start(size_t ring_capacity) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ring_capacity_ = ring_capacity < 2 ? 2 : ring_capacity;
   }
   active_.store(true, std::memory_order_release);
@@ -100,7 +101,7 @@ void Tracer::Stop() { active_.store(false, std::memory_order_release); }
 
 TraceCollection Tracer::Collect() {
   TraceCollection out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<TraceRing>& ring : rings_) {
     TraceThreadEvents t;
     t.thread_ordinal = ring->thread_ordinal();
@@ -115,7 +116,7 @@ TraceCollection Tracer::Collect() {
 }
 
 void Tracer::Discard() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<TraceRing>& ring : rings_) {
     ring->Drain(/*keep_all=*/false, 0, nullptr);
     (void)ring->TakeDropped();
@@ -124,7 +125,7 @@ void Tracer::Discard() {
 
 TraceRing* Tracer::RingForThisThread() {
   if (tls_ring_ == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rings_.push_back(std::make_unique<TraceRing>(
         static_cast<uint32_t>(rings_.size()), ring_capacity_));
     tls_ring_ = rings_.back().get();
@@ -176,18 +177,18 @@ void SlowQueryLog::Offer(uint32_t trace_id, double elapsed_ms,
   record.elapsed_ms = elapsed_ms;
   record.stats = stats;
   record.events = std::move(events);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   records_.push_back(std::move(record));
   while (records_.size() > max_records_) records_.pop_front();
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {records_.begin(), records_.end()};
 }
 
 size_t SlowQueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_.size();
 }
 

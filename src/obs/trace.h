@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace stpq {
 
@@ -110,7 +110,7 @@ class TraceRing {
   /// nullptr to discard); when `keep_all` is false only events whose
   /// trace id equals `filter_trace_id` are kept.
   void Drain(bool keep_all, uint32_t filter_trace_id,
-             std::vector<TraceEvent>* out);
+             std::vector<TraceEvent>* out) STPQ_EXCLUDES(consume_mu_);
 
   /// Drops recorded since the last TakeDropped call.
   uint64_t TakeDropped() {
@@ -123,7 +123,11 @@ class TraceRing {
   const uint32_t thread_ordinal_;
   size_t mask_;
   std::vector<TraceEvent> buf_;
-  std::mutex consume_mu_;
+  /// Serializes concurrent consumers (Collect vs. slow-query capture);
+  /// the ring state itself is the SPSC atomic head_/tail_ pair, which the
+  /// lock-free producer also touches, so no member can be GUARDED_BY it.
+  // stpq-lint: allow(mutex-guard) consumer-ordering lock over atomics
+  Mutex consume_mu_;
   alignas(64) std::atomic<uint64_t> head_{0};  ///< next slot to write
   alignas(64) std::atomic<uint64_t> tail_{0};  ///< next slot to read
   std::atomic<uint64_t> dropped_{0};
@@ -160,7 +164,7 @@ class Tracer {
 
   /// Arms recording.  `ring_capacity` applies to rings created after this
   /// call; existing rings keep their size.
-  void Start(size_t ring_capacity = kDefaultRingCapacity);
+  void Start(size_t ring_capacity = kDefaultRingCapacity) STPQ_EXCLUDES(mu_);
 
   /// Disarms recording; already-recorded events stay collectable.
   void Stop();
@@ -178,10 +182,10 @@ class Tracer {
   }
 
   /// Drains every ring into a collection (consumes the events).
-  TraceCollection Collect();
+  TraceCollection Collect() STPQ_EXCLUDES(mu_);
 
   /// Discards all pending events and drop counts (tests / re-arming).
-  void Discard();
+  void Discard() STPQ_EXCLUDES(mu_);
 
   /// Records one event on the calling thread's ring.  No-op when the
   /// tracer is idle.  The first call on a thread allocates its ring.
@@ -209,11 +213,11 @@ class Tracer {
  private:
   Tracer() = default;
 
-  TraceRing* RingForThisThread();
+  TraceRing* RingForThisThread() STPQ_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<TraceRing>> rings_;
-  size_t ring_capacity_ = kDefaultRingCapacity;
+  Mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ STPQ_GUARDED_BY(mu_);
+  size_t ring_capacity_ STPQ_GUARDED_BY(mu_) = kDefaultRingCapacity;
   std::atomic<uint32_t> next_trace_id_{1};
 
   static std::atomic<bool> active_;
@@ -381,19 +385,20 @@ class SlowQueryLog {
       : threshold_ms_(threshold_ms), max_records_(max_records) {}
 
   /// Called on the thread that executed the query, after completion.
-  void Offer(uint32_t trace_id, double elapsed_ms, const QueryStats& stats);
+  void Offer(uint32_t trace_id, double elapsed_ms, const QueryStats& stats)
+      STPQ_EXCLUDES(mu_);
 
   /// Copies the retained records, most recent last.
-  std::vector<SlowQueryRecord> Snapshot() const;
+  std::vector<SlowQueryRecord> Snapshot() const STPQ_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const STPQ_EXCLUDES(mu_);
   double threshold_ms() const { return threshold_ms_; }
 
  private:
   const double threshold_ms_;
   const size_t max_records_;
-  mutable std::mutex mu_;
-  std::deque<SlowQueryRecord> records_;
+  mutable Mutex mu_;
+  std::deque<SlowQueryRecord> records_ STPQ_GUARDED_BY(mu_);
 };
 
 }  // namespace stpq

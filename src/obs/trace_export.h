@@ -24,7 +24,7 @@ std::string RenderChromeTrace(const TraceCollection& collection);
 
 /// Renders and writes to `path`; fails with an IO error on fopen/write
 /// problems.
-Status WriteChromeTraceFile(const TraceCollection& collection,
+[[nodiscard]] Status WriteChromeTraceFile(const TraceCollection& collection,
                             const std::string& path);
 
 /// Folds slow-query capture records into a collection renderable by

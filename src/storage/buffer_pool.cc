@@ -80,6 +80,9 @@ void BufferPool::PageTable::Clear() {
   size_ = 0;
 }
 
+// Amortized rehash: runs on cold admissions only, never on the warm hit
+// path that the allocation contract covers.
+// stpq-lint: allow(hot-alloc) amortized growth off the warm path
 void BufferPool::PageTable::Grow() {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
@@ -151,7 +154,14 @@ bool BufferPool::Access(PageId page) {
 }
 
 bool BufferPool::AccessLocked(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  return AccessInternal(page);
+}
+
+bool BufferPool::AccessSingleThreaded(PageId page) {
+  // Thread-safety analysis is off here (see the header): `this` is an
+  // isolated session's private pool, reachable only from the one thread
+  // that owns the session, so mu_ is deliberately skipped.
   return AccessInternal(page);
 }
 
@@ -207,7 +217,7 @@ void BufferPool::EvictOneUnpinned() {
 }
 
 Status BufferPool::Pin(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AccessInternal(page);
   const uint32_t f = table_.Find(page);
   if (f == kNilFrame) {
@@ -220,13 +230,13 @@ Status BufferPool::Pin(PageId page) {
 }
 
 uint32_t BufferPool::PinCount(PageId page) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint32_t f = table_.Find(page);
   return f == kNilFrame ? 0 : frames_[f].pins;
 }
 
 Status BufferPool::Unpin(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint32_t f = table_.Find(page);
   if (f == kNilFrame || frames_[f].pins == 0) {
     return Status::FailedPrecondition(
@@ -237,7 +247,7 @@ Status BufferPool::Unpin(PageId page) {
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   STPQ_DCHECK(pinned_count_ == 0);
   // Move every resident frame to the free list; the frame array and the
   // page-table slot array keep their allocations for the next fill.
@@ -253,7 +263,7 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   reads_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
 }
@@ -265,12 +275,12 @@ BufferPoolStats BufferPool::stats() const {
 }
 
 uint64_t BufferPool::resident_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return chain_size_;
 }
 
 uint64_t BufferPool::pinned_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pinned_count_;
 }
 
@@ -279,7 +289,7 @@ bool BufferPool::Session::Access(PageId page) {
     // The private pool is single-threaded by construction (only this
     // session's thread reaches it) and never the target of a binding, so
     // this call skips the mutex and cannot recurse into session routing.
-    return private_pool_->AccessInternal(page);
+    return private_pool_->AccessSingleThreaded(page);
   }
   bool hit = shared_->AccessLocked(page);
   if (hit) {

@@ -45,10 +45,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "util/attributes.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace stpq {
 
@@ -92,24 +93,24 @@ class BufferPool {
   ///
   /// When a Session is bound to the calling thread (ScopedBind), the access
   /// is charged to the session instead; see the class comment.
-  bool Access(PageId page);
+  STPQ_HOT bool Access(PageId page) STPQ_EXCLUDES(mu_);
 
   /// Ensures `page` is resident (counting the read on a miss) and pins it.
   /// Pins nest: each Pin must be matched by one Unpin.  Fails with
   /// FailedPrecondition when the pool is full and every frame is pinned.
   /// Always operates on the shared pool, never on a bound session (the
   /// query path does not pin; pinning is a direct-pool API).
-  Status Pin(PageId page);
+  [[nodiscard]] Status Pin(PageId page) STPQ_EXCLUDES(mu_);
 
   /// Releases one pin on `page`; fails if the page is not pinned.
-  Status Unpin(PageId page);
+  [[nodiscard]] Status Unpin(PageId page) STPQ_EXCLUDES(mu_);
 
   /// Drops all cached pages (simulates a cold cache between workloads).
   /// Must not be called with outstanding pins.
-  void Clear();
+  void Clear() STPQ_EXCLUDES(mu_);
 
   /// Resets the counters without dropping pages.
-  void ResetStats();
+  void ResetStats() STPQ_EXCLUDES(mu_);
 
   /// Counter snapshot.  With a Session bound to the calling thread this
   /// returns the *session's* counters, so code computing read deltas (e.g.
@@ -118,11 +119,11 @@ class BufferPool {
   BufferPoolStats stats() const;
 
   [[nodiscard]] uint64_t capacity_pages() const { return capacity_; }
-  [[nodiscard]] uint64_t resident_pages() const;
-  [[nodiscard]] uint64_t pinned_pages() const;
+  [[nodiscard]] uint64_t resident_pages() const STPQ_EXCLUDES(mu_);
+  [[nodiscard]] uint64_t pinned_pages() const STPQ_EXCLUDES(mu_);
 
   /// Current pin count of `page` (0 when unpinned or not resident).
-  [[nodiscard]] uint32_t PinCount(PageId page) const;
+  [[nodiscard]] uint32_t PinCount(PageId page) const STPQ_EXCLUDES(mu_);
 
   /// Deliberate-corruption backdoor for invariant tests; never used by
   /// library code.
@@ -177,24 +178,34 @@ class BufferPool {
   Session* CurrentSession() const;
 
   /// Shared-pool access under the mutex (the pre-session code path).
-  bool AccessLocked(PageId page);
+  STPQ_HOT bool AccessLocked(PageId page) STPQ_EXCLUDES(mu_);
 
-  /// Access body; callers hold mu_ or own the pool exclusively (isolated
-  /// sessions are single-threaded by construction and skip the lock).
-  bool AccessInternal(PageId page);
+  /// Access body; callers hold mu_ (AccessSingleThreaded is the one
+  /// audited exception for exclusively owned private pools).
+  STPQ_HOT bool AccessInternal(PageId page) STPQ_REQUIRES(mu_);
+
+  /// AccessInternal on a pool that is single-threaded by construction (an
+  /// isolated session's private pool, reachable only through the owning
+  /// thread's binding): skips the mutex, so the thread-safety analysis is
+  /// disabled at exactly this boundary instead of being silenced at every
+  /// touched member.
+  STPQ_HOT bool AccessSingleThreaded(PageId page)
+      STPQ_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Evicts the least recently used unpinned page (possibly the page that
   /// was just admitted, which is the read-through case).  Same locking
   /// contract as AccessInternal.
-  void EvictOneUnpinned();
+  void EvictOneUnpinned() STPQ_REQUIRES(mu_);
 
   // Intrusive-chain helpers; same locking contract as AccessInternal.
-  void Unlink(uint32_t f);
-  void LinkFront(uint32_t f);
-  uint32_t AcquireFrame();        ///< pops the free list or grows frames_
-  void ReleaseFrame(uint32_t f);  ///< pushes a frame on the free list
+  void Unlink(uint32_t f) STPQ_REQUIRES(mu_);
+  void LinkFront(uint32_t f) STPQ_REQUIRES(mu_);
+  /// Pops the free list or grows frames_.
+  uint32_t AcquireFrame() STPQ_REQUIRES(mu_);
+  /// Pushes a frame on the free list.
+  void ReleaseFrame(uint32_t f) STPQ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   uint64_t capacity_;
   /// Counters are atomics so stats() is lock-free; every writer runs under
   /// mu_ (or single-threaded, for isolated-session private pools), so
@@ -205,14 +216,19 @@ class BufferPool {
   /// is never reset, so `resident_pages() <= lifetime_admissions_` is an
   /// invariant that ValidateBufferPool can check across
   /// ResetStats()/Clear() calls.
-  uint64_t lifetime_admissions_ = 0;
-  std::vector<Frame> frames_;
-  uint32_t head_ = kNilFrame;       ///< most recently used
-  uint32_t tail_ = kNilFrame;       ///< least recently used
-  uint32_t free_head_ = kNilFrame;  ///< free list, singly linked via next
-  uint64_t chain_size_ = 0;         ///< resident frames in the LRU chain
-  uint64_t pinned_count_ = 0;       ///< resident frames with pins > 0
-  PageTable table_;
+  uint64_t lifetime_admissions_ STPQ_GUARDED_BY(mu_) = 0;
+  std::vector<Frame> frames_ STPQ_GUARDED_BY(mu_);
+  /// Most recently used.
+  uint32_t head_ STPQ_GUARDED_BY(mu_) = kNilFrame;
+  /// Least recently used.
+  uint32_t tail_ STPQ_GUARDED_BY(mu_) = kNilFrame;
+  /// Free list, singly linked via next.
+  uint32_t free_head_ STPQ_GUARDED_BY(mu_) = kNilFrame;
+  /// Resident frames in the LRU chain.
+  uint64_t chain_size_ STPQ_GUARDED_BY(mu_) = 0;
+  /// Resident frames with pins > 0.
+  uint64_t pinned_count_ STPQ_GUARDED_BY(mu_) = 0;
+  PageTable table_ STPQ_GUARDED_BY(mu_);
 };
 
 /// Per-query read accounting against one shared pool (see the BufferPool
@@ -239,7 +255,7 @@ class BufferPool::Session {
   Session& operator=(const Session&) = delete;
 
   /// Charges one page access to this session; returns true on a hit.
-  bool Access(PageId page);
+  STPQ_HOT bool Access(PageId page);
 
   /// Pages read (misses) and hits charged to this session so far.
   BufferPoolStats stats() const;
@@ -281,23 +297,29 @@ class BufferPool::ScopedBind {
 /// admission-counter invariants.  Returns a Status naming the first
 /// violation.  Only meaningful on a quiescent pool (no concurrent
 /// accessors).
-Status ValidateBufferPool(const BufferPool& pool);
+[[nodiscard]] Status ValidateBufferPool(const BufferPool& pool);
 
+// The corrupters mutate guarded state without the lock by design: they run
+// on quiescent pools in invariant tests, and taking the mutex would hide
+// exactly the raw-state damage they exist to inflict.
 struct BufferPool::Corrupter {
   /// Breaks the frame/page-table bijection: the LRU chain keeps the page
   /// but the table forgets it.
-  static void DropTableEntry(BufferPool* pool, PageId page) {
+  static void DropTableEntry(BufferPool* pool,
+                             PageId page) STPQ_NO_THREAD_SAFETY_ANALYSIS {
     pool->table_.Erase(page);
   }
   /// Breaks the intrusive chain: the LRU tail's back-link points at
   /// itself instead of its predecessor.
-  static void BreakLruBackLink(BufferPool* pool) {
+  static void BreakLruBackLink(BufferPool* pool)
+      STPQ_NO_THREAD_SAFETY_ANALYSIS {
     if (pool->tail_ != kNilFrame) {
       pool->frames_[pool->tail_].prev = pool->tail_;
     }
   }
   /// Rewinds the lifetime admission counter below the resident count.
-  static void RewindAdmissions(BufferPool* pool) {
+  static void RewindAdmissions(BufferPool* pool)
+      STPQ_NO_THREAD_SAFETY_ANALYSIS {
     pool->lifetime_admissions_ = 0;
   }
 };

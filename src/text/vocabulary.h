@@ -28,7 +28,7 @@ class Vocabulary {
   TermId Intern(std::string_view term);
 
   /// Returns the id of `term` or NotFound.
-  Result<TermId> Lookup(std::string_view term) const;
+  [[nodiscard]] Result<TermId> Lookup(std::string_view term) const;
 
   /// The keyword string for `id`; id must be < size().
   const std::string& Term(TermId id) const;

@@ -1,0 +1,26 @@
+// Function attributes carrying project contracts (DESIGN.md §15).
+#ifndef STPQ_UTIL_ATTRIBUTES_H_
+#define STPQ_UTIL_ATTRIBUTES_H_
+
+/// Marks a function as part of the allocation-free query hot path
+/// (DESIGN.md §13): after a session's warm-up, neither the function nor
+/// anything it transitively calls may reach operator new / malloc or
+/// construct an allocating standard-library object.  The contract is
+/// enforced two ways — at runtime by the counting allocator in alloc_test,
+/// and statically by tools/stpq_lint.py rule `hot-alloc`, which walks the
+/// project call graph from every STPQ_HOT root.  The attribute also feeds
+/// the optimizer's hot-function heuristics on GCC and Clang.
+#if defined(__GNUC__) || defined(__clang__)
+#define STPQ_HOT __attribute__((hot))
+#else
+#define STPQ_HOT
+#endif
+
+/// The complement: error/teardown paths kept out of the hot working set.
+#if defined(__GNUC__) || defined(__clang__)
+#define STPQ_COLD __attribute__((cold))
+#else
+#define STPQ_COLD
+#endif
+
+#endif  // STPQ_UTIL_ATTRIBUTES_H_

@@ -1,0 +1,119 @@
+// Clang Thread Safety Analysis annotations (DESIGN.md §15).
+//
+// The engine's concurrency contracts — which mutex guards which members,
+// which internal methods require the lock held, which public entry points
+// must not be called with it held — were previously prose in class
+// comments, enforced only by tests that happened to exercise a violation.
+// These macros move the contracts into the type system: under Clang,
+// -Wthread-safety (promoted to an error by -Werror=thread-safety-analysis,
+// see the top-level CMakeLists) rejects any access to a STPQ_GUARDED_BY
+// member outside its mutex and any call to a STPQ_REQUIRES method without
+// the capability.  Under GCC (which has no thread-safety analysis) every
+// macro expands to nothing, so the annotations are free documentation.
+//
+// Use the stpq::Mutex / stpq::MutexLock wrappers below instead of
+// std::mutex / std::lock_guard in annotated classes: the analysis only
+// tracks types marked as capabilities, and libstdc++'s std::mutex is not.
+// The project linter (tools/stpq_lint.py, rule `mutex-guard`) enforces
+// that every mutex member carries at least one STPQ_GUARDED_BY
+// relationship or an explicit suppression naming why not.
+#ifndef STPQ_UTIL_THREAD_ANNOTATIONS_H_
+#define STPQ_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STPQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STPQ_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (a lock) the analysis tracks.
+#define STPQ_CAPABILITY(x) STPQ_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define STPQ_SCOPED_CAPABILITY STPQ_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define STPQ_GUARDED_BY(x) STPQ_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define STPQ_PT_GUARDED_BY(x) STPQ_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding the listed capabilities.
+#define STPQ_REQUIRES(...) \
+  STPQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and does not release
+/// them before returning.
+#define STPQ_ACQUIRE(...) \
+  STPQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (held on entry).
+#define STPQ_RELEASE(...) \
+  STPQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define STPQ_TRY_ACQUIRE(ret, ...) \
+  STPQ_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention: it acquires them itself).
+#define STPQ_EXCLUDES(...) STPQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-acquisition order between two mutexes.
+#define STPQ_ACQUIRED_BEFORE(...) \
+  STPQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define STPQ_ACQUIRED_AFTER(...) \
+  STPQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define STPQ_RETURN_CAPABILITY(x) STPQ_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assertion that the calling thread already holds the capability; the
+/// analysis trusts it for the rest of the scope.
+#define STPQ_ASSERT_CAPABILITY(x) \
+  STPQ_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use must
+/// carry a comment explaining the out-of-band reason the access is safe
+/// (e.g. an object that is single-threaded by construction, or a
+/// test-only corruption backdoor on a quiescent object).
+#define STPQ_NO_THREAD_SAFETY_ANALYSIS \
+  STPQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace stpq {
+
+/// std::mutex wrapper visible to the thread-safety analysis.  Same cost:
+/// the wrapper is a single std::mutex member and every method is inline.
+class STPQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STPQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() STPQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() STPQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock: std::lock_guard over stpq::Mutex, visible to the analysis.
+class STPQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STPQ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() STPQ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_UTIL_THREAD_ANNOTATIONS_H_

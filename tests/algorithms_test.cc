@@ -151,8 +151,8 @@ INSTANTIATE_TEST_SUITE_P(Indexes, PaperExampleAlgorithms,
                          ::testing::Values(FeatureIndexKind::kSrt,
                                            FeatureIndexKind::kIr2),
                          [](const ::testing::TestParamInfo<FeatureIndexKind>&
-                                info) {
-                           return info.param == FeatureIndexKind::kSrt
+                                param_info) {
+                           return param_info.param == FeatureIndexKind::kSrt
                                       ? "SRT"
                                       : "IR2";
                          });
@@ -213,11 +213,11 @@ INSTANTIATE_TEST_SUITE_P(
         AgreementParam{FeatureIndexKind::kIr2, 2, 0.05, 0.5, 10},
         AgreementParam{FeatureIndexKind::kIr2, 3, 0.08, 0.3, 5},
         AgreementParam{FeatureIndexKind::kIr2, 1, 0.02, 0.7, 20}),
-    [](const ::testing::TestParamInfo<AgreementParam>& info) {
-      const AgreementParam& p = info.param;
+    [](const ::testing::TestParamInfo<AgreementParam>& param_info) {
+      const AgreementParam& p = param_info.param;
       return std::string(p.kind == FeatureIndexKind::kSrt ? "srt" : "ir2") +
              "_c" + std::to_string(p.c) + "_k" + std::to_string(p.k) + "_i" +
-             std::to_string(info.index);
+             std::to_string(param_info.index);
     });
 
 // ------------------------------------------------------------- edge cases

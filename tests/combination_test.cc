@@ -261,8 +261,9 @@ INSTANTIATE_TEST_SUITE_P(Strategies, CombinationIteratorTest,
                          ::testing::Values(PullingStrategy::kPrioritized,
                                            PullingStrategy::kRoundRobin),
                          [](const ::testing::TestParamInfo<PullingStrategy>&
-                                info) {
-                           return info.param == PullingStrategy::kPrioritized
+                                param_info) {
+                           return param_info.param ==
+                                          PullingStrategy::kPrioritized
                                       ? "Prioritized"
                                       : "RoundRobin";
                          });

@@ -80,9 +80,9 @@ INSTANTIATE_TEST_SUITE_P(
                       DimsBits{3, 1}, DimsBits{3, 4}, DimsBits{4, 1},
                       DimsBits{4, 2}, DimsBits{4, 4}, DimsBits{5, 1},
                       DimsBits{8, 1}, DimsBits{8, 2}, DimsBits{16, 1}),
-    [](const ::testing::TestParamInfo<DimsBits>& info) {
-      return "d" + std::to_string(info.param.dims) + "b" +
-             std::to_string(info.param.bits);
+    [](const ::testing::TestParamInfo<DimsBits>& param_info) {
+      return "d" + std::to_string(param_info.param.dims) + "b" +
+             std::to_string(param_info.param.bits);
     });
 
 TEST(HilbertKeyTest, UnitCoordinatesClamped) {
@@ -168,8 +168,9 @@ TEST_P(KeywordHilbertUniverseTest, EncodingIsInjective) {
 INSTANTIATE_TEST_SUITE_P(Universes, KeywordHilbertUniverseTest,
                          ::testing::Values(3u, 8u, 63u, 64u, 65u, 128u, 130u,
                                            192u, 256u, 300u),
-                         [](const ::testing::TestParamInfo<uint32_t>& info) {
-                           return "w" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<uint32_t>&
+                                param_info) {
+                           return "w" + std::to_string(param_info.param);
                          });
 
 TEST(KeywordHilbertTest, LocalityAdjacentValuesDifferInOneKeyword) {

@@ -214,17 +214,19 @@ INSTANTIATE_TEST_SUITE_P(
     Indexes, FeatureIndexConformance,
     ::testing::Values(
         IndexFactory{"SRT",
-                     [](const FeatureTable* t, const FeatureIndexOptions& o) {
+                     [](const FeatureTable* table,
+                        const FeatureIndexOptions& o) {
                        return std::unique_ptr<FeatureIndex>(
-                           new SrtIndex(t, o));
+                           new SrtIndex(table, o));
                      }},
         IndexFactory{"IR2",
-                     [](const FeatureTable* t, const FeatureIndexOptions& o) {
+                     [](const FeatureTable* table,
+                        const FeatureIndexOptions& o) {
                        return std::unique_ptr<FeatureIndex>(
-                           new Ir2Tree(t, o));
+                           new Ir2Tree(table, o));
                      }}),
-    [](const ::testing::TestParamInfo<IndexFactory>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<IndexFactory>& param_info) {
+      return param_info.param.name;
     });
 
 // ------------------------------------------------ index-specific details

@@ -1,0 +1,38 @@
+// stpq_lint fixture: the hot-alloc rule.  Tagged functions and everything
+// they transitively call must not allocate.  This file is never compiled;
+// it only feeds the linter's frontend (see tests/lint/run_lint_tests.py).
+#include <vector>
+
+namespace fixture {
+
+int LeafAllocates() {
+  auto* p = new int(7);  // finding: new inside the hot closure
+  int v = *p;
+  delete p;
+  return v;
+}
+
+int MiddleCallsLeaf() { return LeafAllocates(); }
+
+STPQ_HOT int HotRoot() {
+  std::vector<int> locals;  // finding: owning container local in hot code
+  locals.push_back(MiddleCallsLeaf());
+  return static_cast<int>(locals.size());
+}
+
+STPQ_HOT int HotButClean(const std::vector<int>& scratch) {
+  // References to containers are fine: the caller owns the storage.
+  int sum = 0;
+  for (int x : scratch) sum += x;
+  return sum;
+}
+
+// stpq-lint: allow(hot-alloc) fixture: function-level suppression
+STPQ_HOT int HotSuppressed() { return *new int(1); }
+
+int ColdAllocates() {
+  // Not reachable from any STPQ_HOT root: no finding.
+  return *new int(2);
+}
+
+}  // namespace fixture

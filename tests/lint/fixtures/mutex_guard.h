@@ -1,0 +1,43 @@
+// stpq_lint fixture: the mutex-guard rule.  Every owned mutex member must
+// appear in a GUARDED_BY relationship (or carry a reasoned suppression).
+// Never compiled — linter input only.
+#pragma once
+
+namespace fixture {
+
+class Unguarded {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_;  // finding: protects nothing on record
+  int value_ = 0;
+};
+
+class Guarded {
+ public:
+  void Touch() STPQ_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;  // clean: value_ names it
+  int value_ STPQ_GUARDED_BY(mu_) = 0;
+};
+
+class StdGuarded {
+ private:
+  std::mutex raw_mu_;  // clean: table_ names it
+  int table_ STPQ_GUARDED_BY(raw_mu_) = 0;
+};
+
+class SuppressedOrdering {
+ private:
+  // stpq-lint: allow(mutex-guard) fixture: pure ordering lock
+  Mutex order_mu_;
+};
+
+class Holder {
+ private:
+  Mutex& borrowed_;  // clean: references don't own the capability
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// stpq_lint fixture: the nodiscard-status rule.  Public header functions
+// returning Status or Result<T> must be [[nodiscard]] so dropped errors
+// fail the build.  Never compiled — linter input only.
+#pragma once
+
+namespace fixture {
+
+Status OpenThing(int id);                  // finding
+Result<int> CountThings();                 // finding
+[[nodiscard]] Status CloseThing(int id);   // clean
+[[nodiscard]] Result<int> SizeThing();     // clean
+void Fire(int id);                         // clean: no Status involved
+
+class Gadget {
+ public:
+  Status Arm();                 // finding
+  [[nodiscard]] Status Fuse();  // clean
+
+ private:
+  Status Prime();  // clean: rule covers the public surface only
+};
+
+}  // namespace fixture

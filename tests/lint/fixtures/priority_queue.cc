@@ -1,0 +1,25 @@
+// stpq_lint fixture: the priority-queue rule.  std::priority_queue owns a
+// heap-allocated vector; query code borrows BorrowedHeap from session
+// scratch instead.  Never compiled — linter input only.
+#include <queue>
+
+namespace fixture {
+
+class Merger {
+ public:
+  void Push(int v) { heap_.push(v); }
+
+ private:
+  std::priority_queue<int> heap_;  // finding
+};
+
+int DrainLocal() {
+  std::priority_queue<int> local;  // finding
+  local.push(3);
+  return local.top();
+}
+
+// stpq-lint: allow(priority-queue) fixture: suppressed occurrence
+using SuppressedHeap = std::priority_queue<int>;
+
+}  // namespace fixture

@@ -119,8 +119,8 @@ TEST_P(RTreeInsertTest, BulkLoadStrMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RTreeInsertTest,
                          ::testing::Values(1, 7, 8, 9, 64, 257, 1000, 4096),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 TEST(RTreeTest, HeightGrowsLogarithmically) {

@@ -294,12 +294,12 @@ INSTANTIATE_TEST_SUITE_P(
                      2, 10, 0.5},
         VariantParam{ScoreVariant::kNearestNeighbor, FeatureIndexKind::kSrt,
                      3, 5, 0.7}),
-    [](const ::testing::TestParamInfo<VariantParam>& info) {
-      const VariantParam& p = info.param;
+    [](const ::testing::TestParamInfo<VariantParam>& param_info) {
+      const VariantParam& p = param_info.param;
       return std::string(VariantName(p.variant)) + "_" +
              (p.kind == FeatureIndexKind::kSrt ? "srt" : "ir2") + "_c" +
              std::to_string(p.c) + "_k" + std::to_string(p.k) + "_i" +
-             std::to_string(info.index);
+             std::to_string(param_info.index);
     });
 
 // ------------------------------------------------------- paper example

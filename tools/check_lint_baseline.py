@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Ratchet check for tools/lint_baseline.json: the baseline may shrink,
+never grow.
+
+The baseline is the ledger of known legacy stpq_lint findings.  New code
+must come in clean (stpq_lint itself fails CI on any finding outside the
+baseline), and this script closes the other loophole: silently absorbing
+new debt by regenerating the baseline.  It compares a proposed baseline
+against the committed one and fails if any key was added.
+
+Usage:
+  python3 tools/check_lint_baseline.py --old <committed.json> --new <proposed.json>
+
+Typical CI wiring: run stpq_lint with --write-baseline into a temp file,
+then compare that against the committed tools/lint_baseline.json.  Exit
+codes: 0 = ok (shrank or unchanged), 1 = baseline grew, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_keys(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"check_lint_baseline: cannot read {path}: {err}")
+    keys = data.get("findings")
+    if not isinstance(keys, list) or \
+            not all(isinstance(k, str) for k in keys):
+        sys.exit(f"check_lint_baseline: {path} has no 'findings' string list")
+    return set(keys)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="fail if the stpq_lint baseline grew")
+    ap.add_argument("--old", required=True,
+                    help="committed baseline (the ratchet position)")
+    ap.add_argument("--new", required=True,
+                    help="proposed baseline (freshly written by stpq_lint "
+                         "--write-baseline)")
+    args = ap.parse_args(argv)
+
+    old = load_keys(args.old)
+    new = load_keys(args.new)
+    added = sorted(new - old)
+    removed = sorted(old - new)
+
+    for k in removed:
+        print(f"shrank: {k}")
+    for k in added:
+        print(f"GREW:   {k}")
+    print(f"check_lint_baseline: {len(old)} -> {len(new)} entries "
+          f"({len(removed)} removed, {len(added)} added)")
+    if added:
+        print("The lint baseline only ratchets down. Fix the new findings "
+              "or add an inline `stpq-lint: allow(<rule>)` suppression "
+              "with a reason a reviewer can challenge.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
