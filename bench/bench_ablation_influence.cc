@@ -27,8 +27,8 @@ void RunRow(const BenchEnv& env, const std::string& label, const Dataset& ds,
     }
     EngineOptions opts;
     opts.influence_mode = mode;
-    Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                  opts);
+    Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                  opts).TakeValue();
     // Guard the combinatorial mode with a budget: run one query first.
     Timer probe;
     QueryResult first = engine.Execute(qs[0], Algorithm::kStps).TakeValue();

@@ -20,8 +20,8 @@ void RunRow(const BenchEnv& env, const std::string& label, const Dataset& ds,
        {PullingStrategy::kRoundRobin, PullingStrategy::kPrioritized}) {
     EngineOptions opts;
     opts.pulling = strategy;
-    Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                  opts);
+    Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                  opts).TakeValue();
     WorkloadResult r = RunWorkload(&engine, qs, Algorithm::kStps, env);
     std::printf("%-24s %-12s %12.3f %12.1f %14.1f %12.3f\n", label.c_str(),
                 strategy == PullingStrategy::kPrioritized ? "prioritized"

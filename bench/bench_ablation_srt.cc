@@ -20,8 +20,8 @@ void RunConfig(const BenchEnv& env, const std::string& label,
   EngineOptions opts;
   opts.index_kind = kind;
   opts.bulk_load = bulk;
-  Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                opts);
+  Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                opts).TakeValue();
   WorkloadResult r = RunWorkload(&engine, queries, Algorithm::kStps, env);
   std::printf("%-28s %12.3f %12.1f %14.1f %12.3f\n", label.c_str(), r.cpu_ms,
               r.reads,

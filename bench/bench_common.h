@@ -137,8 +137,9 @@ inline void PrintVoronoiRow(const std::string& param, const char* index,
 inline Engine MakeEngine(const Dataset& ds, FeatureIndexKind kind) {
   EngineOptions opts;
   opts.index_kind = kind;
-  return Engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                opts);
+  return Engine::Build(ds.objects,
+                       std::vector<FeatureTable>(ds.feature_tables), opts)
+      .TakeValue();
 }
 
 inline const char* KindName(FeatureIndexKind kind) {

@@ -3,7 +3,11 @@
 // and the buffer pool.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/compute_score.h"
 #include "gen/synthetic.h"
@@ -14,6 +18,7 @@
 #include "rtree/rtree.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_store.h"
 #include "text/keyword_set.h"
 #include "text/signature.h"
 #include "util/rng.h"
@@ -301,6 +306,73 @@ void BM_BufferPoolSessionIsolated(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BufferPoolSessionIsolated);
+
+// ------------------------------- file-backed page store (DESIGN.md §16)
+
+/// Lazily writes a zero-filled fixture file of `pages` 4 KiB pages and
+/// opens a FilePageStore over it in the requested I/O mode.
+std::unique_ptr<FilePageStore> OpenFixtureStore(uint64_t pages,
+                                                FilePageStore::IoMode mode) {
+  static const std::string path = [] {
+    std::string p = (std::filesystem::temp_directory_path() /
+                     "stpq_bench_store.bin")
+                        .string();
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    std::vector<char> zeros(4096, 0);
+    for (uint64_t i = 0; i < 4096; ++i) {
+      out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+    }
+    return p;
+  }();
+  Result<std::unique_ptr<FilePageStore>> store = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, pages, 0, 4096}}, mode);
+  return store.TakeValue();
+}
+
+/// Cost of serving one buffer-pool miss from the index file: an extent
+/// lookup plus one cache-line touch per 64 bytes of the mapped slot.
+void BM_FilePageStoreFetchMmap(benchmark::State& state) {
+  std::unique_ptr<FilePageStore> store =
+      OpenFixtureStore(4096, FilePageStore::IoMode::kMmap);
+  const std::vector<PageId> seq = PageSequence(18, 4095);
+  size_t i = 0;
+  for (auto _ : state) {
+    store->FetchPage(seq[i]);
+    benchmark::ClobberMemory();
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_FilePageStoreFetchMmap);
+
+/// Same fetch through the pread fallback (no mapping): what platforms
+/// without mmap — or files opened with IoMode::kPread — pay per miss.
+void BM_FilePageStoreFetchPread(benchmark::State& state) {
+  std::unique_ptr<FilePageStore> store =
+      OpenFixtureStore(4096, FilePageStore::IoMode::kPread);
+  const std::vector<PageId> seq = PageSequence(19, 4095);
+  size_t i = 0;
+  for (auto _ : state) {
+    store->FetchPage(seq[i]);
+    benchmark::ClobberMemory();
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_FilePageStoreFetchPread);
+
+/// End-to-end miss path: LRU admission + eviction + file fetch, the
+/// per-page cost a cold query pays on a reopened engine.
+void BM_BufferPoolMissFileBacked(benchmark::State& state) {
+  std::unique_ptr<FilePageStore> store =
+      OpenFixtureStore(4096, FilePageStore::IoMode::kAuto);
+  BufferPool pool(64, store.get());  // small pool: almost every access misses
+  const std::vector<PageId> seq = PageSequence(20, 4095);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Access(seq[i]));
+    i = (i + 1) & (seq.size() - 1);
+  }
+}
+BENCHMARK(BM_BufferPoolMissFileBacked);
 
 // ------------------------------------------ tracer overhead (DESIGN.md §14)
 

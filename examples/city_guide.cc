@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
        {FeatureIndexKind::kSrt, FeatureIndexKind::kIr2}) {
     EngineOptions opts;
     opts.index_kind = kind;
-    Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                  opts);
+    Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                  opts).TakeValue();
     QueryResult result = engine.Execute(query, Algorithm::kStps).TakeValue();
     std::printf("=== %s index ===\n", engine.IndexName());
     for (const ResultEntry& e : result.entries) {

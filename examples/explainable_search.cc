@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
       Terms(data.vocabularies[0], {"mexican", "tacos"}));
   query.keywords.push_back(Terms(data.vocabularies[1], {"smoothies"}));
 
-  Engine engine(data.objects, std::move(data.feature_tables),
-                EngineOptions{});
+  Engine engine = Engine::Build(data.objects, std::move(data.feature_tables),
+                EngineOptions{}).TakeValue();
 
   // Stream until quality drops below 80% of the best hit (a posteriori k).
   std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(query).TakeValue();

@@ -85,7 +85,7 @@ int main() {
   std::vector<FeatureTable> tables;
   tables.emplace_back(std::move(restaurants), cuisine.size());
   tables.emplace_back(std::move(cafes), menu.size());
-  Engine engine(std::move(hotels), std::move(tables), EngineOptions{});
+  Engine engine = Engine::Build(std::move(hotels), std::move(tables), EngineOptions{}).TakeValue();
 
   // ---- 6. The tourist query.
   Query query;

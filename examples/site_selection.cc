@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               "supplier (set 1) and nearest qualified transit hub (set 2)\n\n",
               ds.objects.size());
 
-  Engine engine(ds.objects, std::move(ds.feature_tables), EngineOptions{});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), EngineOptions{}).TakeValue();
 
   Query query;
   query.k = 5;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
               ds.objects.size(), ds.feature_tables[0].size(),
               ds.feature_tables[1].size());
 
-  Engine engine(ds.objects, std::move(ds.feature_tables), EngineOptions{});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), EngineOptions{}).TakeValue();
 
   Query query;
   query.k = 8;

@@ -6,6 +6,7 @@
 #include "core/exec_session.h"
 #include "core/stds.h"
 #include "core/stps.h"
+#include "io/index_file.h"
 #include "obs/query_metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -23,10 +24,21 @@ constexpr uint32_t kMinPageSizeBytes = 64;
 }  // namespace
 
 Status Engine::ValidateOptions(const EngineOptions& options) {
-  if (options.page_size_bytes < kMinPageSizeBytes) {
+  if (options.storage.page_size < kMinPageSizeBytes) {
     return Status::InvalidArgument(
-        "page_size_bytes must be >= " + std::to_string(kMinPageSizeBytes) +
-        ", got " + std::to_string(options.page_size_bytes));
+        "storage.page_size must be >= " + std::to_string(kMinPageSizeBytes) +
+        ", got " + std::to_string(options.storage.page_size));
+  }
+  if (options.storage.backend == StorageBackend::kFile &&
+      options.storage.path.empty()) {
+    return Status::InvalidArgument(
+        "storage.backend=file requires storage.path (use Engine::Open)");
+  }
+  if (options.storage.backend == StorageBackend::kSimulated &&
+      !options.storage.path.empty()) {
+    return Status::InvalidArgument(
+        "storage.path is set but storage.backend is simulated; use "
+        "Engine::Open to attach an index file");
   }
   if (!(options.fill > 0.0 && options.fill <= 1.0)) {
     return Status::InvalidArgument("fill must be in (0, 1], got " +
@@ -45,54 +57,53 @@ Status Engine::ValidateOptions(const EngineOptions& options) {
   return Status::OK();
 }
 
-Result<Engine> Engine::Create(std::vector<DataObject> objects,
-                              std::vector<FeatureTable> feature_tables,
-                              EngineOptions options) {
+Result<Engine> Engine::Build(std::vector<DataObject> objects,
+                             std::vector<FeatureTable> feature_tables,
+                             EngineOptions options) {
+  if (options.storage.backend != StorageBackend::kSimulated) {
+    return Status::InvalidArgument(
+        "Engine::Build constructs in memory (storage.backend=simulated); "
+        "use Engine::Open for the file backend");
+  }
   Status st = ValidateOptions(options);
   if (!st.ok()) return st;
   return Engine(options, std::move(objects), std::move(feature_tables));
 }
 
-Engine::Engine(std::vector<DataObject> objects,
-               std::vector<FeatureTable> feature_tables,
-               EngineOptions options)
-    : Engine(options, std::move(objects), std::move(feature_tables)) {
-  // Validation ran inside the delegated constructor via STPQ_CHECK.
+Result<Engine> Engine::Create(std::vector<DataObject> objects,
+                              std::vector<FeatureTable> feature_tables,
+                              EngineOptions options) {
+  return Build(std::move(objects), std::move(feature_tables),
+               std::move(options));
 }
 
 Engine::Engine(EngineOptions options, std::vector<DataObject> objects,
                std::vector<FeatureTable> feature_tables)
-    : options_(options),
+    : options_(std::move(options)),
       objects_(std::make_unique<std::vector<DataObject>>(std::move(objects))),
       feature_tables_(std::make_unique<std::vector<FeatureTable>>(
           std::move(feature_tables))) {
-  {
-    Status st = ValidateOptions(options_);
-    if (!st.ok()) {
-      std::fprintf(stderr, "Engine: invalid EngineOptions: %s\n",
-                   st.ToString().c_str());
-    }
-    STPQ_CHECK(st.ok());
-  }
   for (size_t i = 0; i < objects_->size(); ++i) {
     (*objects_)[i].id = static_cast<ObjectId>(i);
   }
-  object_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
-  feature_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+  page_store_ = std::make_unique<SimulatedPageStore>();
+  object_pool_ = std::make_unique<BufferPool>(options_.storage.pool_capacity,
+                                              page_store_.get());
+  feature_pool_ = std::make_unique<BufferPool>(options_.storage.pool_capacity,
+                                               page_store_.get());
 
   ObjectIndexOptions obj_opts;
-  obj_opts.page_size_bytes = options_.page_size_bytes;
+  obj_opts.page_size_bytes = options_.storage.page_size;
   obj_opts.buffer_pool = object_pool_.get();
   obj_opts.fill = options_.fill;
   object_index_ = std::make_unique<ObjectIndex>(objects_.get(), obj_opts);
 
   // Feature indexes share one pool; page_base keeps their page ids apart.
-  constexpr PageId kIndexStride = PageId{1} << 32;
   for (size_t i = 0; i < feature_tables_->size(); ++i) {
     FeatureIndexOptions fopts;
-    fopts.page_size_bytes = options_.page_size_bytes;
+    fopts.page_size_bytes = options_.storage.page_size;
     fopts.buffer_pool = feature_pool_.get();
-    fopts.page_base = kIndexStride * (i + 1);
+    fopts.page_base = kIndexPageStride * (i + 1);
     fopts.bulk_load = options_.bulk_load;
     fopts.fill = options_.fill;
     fopts.signature_bits = options_.signature_bits;
@@ -120,6 +131,111 @@ Engine::Engine(EngineOptions options, std::vector<DataObject> objects,
   object_pool_->ResetStats();
   feature_pool_->Clear();
   feature_pool_->ResetStats();
+}
+
+Result<Engine> Engine::Open(const std::string& path, EngineOptions options) {
+  Result<LoadedIndex> loaded_r = LoadIndexFile(path);
+  if (!loaded_r.ok()) return loaded_r.status();
+  LoadedIndex loaded = loaded_r.TakeValue();
+
+  // The file's build parameters win: fan-outs, signature widths and page
+  // layout must match the persisted node records exactly.
+  options.index_kind = loaded.params.index_kind;
+  options.bulk_load = loaded.params.bulk_load;
+  options.fill = loaded.params.fill;
+  options.signature_bits = loaded.params.signature_bits;
+  options.signature_hashes = loaded.params.signature_hashes;
+  options.storage.backend = StorageBackend::kFile;
+  options.storage.path = path;
+  options.storage.page_size = loaded.params.page_size_bytes;
+  Status st = ValidateOptions(options);
+  if (!st.ok()) return st;
+
+  Result<std::unique_ptr<FilePageStore>> store_r =
+      FilePageStore::Open(path, std::move(loaded.extents));
+  if (!store_r.ok()) return store_r.status();
+  return Engine(std::move(options), std::move(loaded), store_r.TakeValue());
+}
+
+Engine::Engine(EngineOptions options, LoadedIndex loaded,
+               std::unique_ptr<PageStore> store)
+    : options_(std::move(options)),
+      objects_(std::make_unique<std::vector<DataObject>>(
+          std::move(loaded.objects))),
+      feature_tables_(std::make_unique<std::vector<FeatureTable>>(
+          std::move(loaded.feature_tables))) {
+  page_store_ = std::move(store);
+  object_pool_ = std::make_unique<BufferPool>(options_.storage.pool_capacity,
+                                              page_store_.get());
+  feature_pool_ = std::make_unique<BufferPool>(options_.storage.pool_capacity,
+                                               page_store_.get());
+
+  ObjectIndexOptions obj_opts;
+  obj_opts.page_size_bytes = options_.storage.page_size;
+  obj_opts.buffer_pool = object_pool_.get();
+  obj_opts.fill = options_.fill;
+  object_index_ = std::make_unique<ObjectIndex>(
+      objects_.get(), obj_opts, std::move(loaded.object_tree));
+
+  for (size_t i = 0; i < feature_tables_->size(); ++i) {
+    FeatureIndexOptions fopts;
+    fopts.page_size_bytes = options_.storage.page_size;
+    fopts.buffer_pool = feature_pool_.get();
+    fopts.page_base = kIndexPageStride * (i + 1);
+    fopts.bulk_load = options_.bulk_load;
+    fopts.fill = options_.fill;
+    fopts.signature_bits = options_.signature_bits;
+    fopts.signature_hashes = options_.signature_hashes;
+    fopts.set_ordinal = static_cast<uint32_t>(i);
+    switch (options_.index_kind) {
+      case FeatureIndexKind::kSrt:
+        feature_indexes_.push_back(std::make_unique<SrtIndex>(
+            &(*feature_tables_)[i], fopts, std::move(loaded.srt_trees[i])));
+        break;
+      case FeatureIndexKind::kIr2:
+        feature_indexes_.push_back(std::make_unique<Ir2Tree>(
+            &(*feature_tables_)[i], fopts, std::move(loaded.ir2_trees[i])));
+        break;
+    }
+    index_ptrs_.push_back(feature_indexes_.back().get());
+  }
+
+  if (options_.reuse_voronoi_cells) {
+    voronoi_cache_ = std::make_unique<VoronoiCellCache>();
+  }
+  // Restoration reads no pages, but start from an explicit clean slate
+  // like the build path does.
+  object_pool_->Clear();
+  object_pool_->ResetStats();
+  feature_pool_->Clear();
+  feature_pool_->ResetStats();
+}
+
+Status Engine::Save(const std::string& path,
+                    const std::vector<Vocabulary>& vocabularies) const {
+  const size_t num_tables = feature_tables_->size();
+  if (!vocabularies.empty() && vocabularies.size() != num_tables) {
+    return Status::InvalidArgument(
+        "Save needs one vocabulary per feature table (" +
+        std::to_string(num_tables) + "), got " +
+        std::to_string(vocabularies.size()));
+  }
+  std::vector<Vocabulary> blank;
+  if (vocabularies.empty()) blank.resize(num_tables);
+
+  IndexFileWriteRequest request;
+  request.params.index_kind = options_.index_kind;
+  request.params.bulk_load = options_.bulk_load;
+  request.params.page_size_bytes = options_.storage.page_size;
+  request.params.fill = options_.fill;
+  request.params.signature_bits = options_.signature_bits;
+  request.params.signature_hashes = options_.signature_hashes;
+  request.objects = objects_.get();
+  request.feature_tables = feature_tables_.get();
+  request.vocabularies = vocabularies.empty() ? &blank : &vocabularies;
+  request.object_index = object_index_.get();
+  request.feature_indexes = index_ptrs_;
+  return WriteIndexFile(path, request);
 }
 
 Status Engine::ValidateQuery(const Query& query) const {

@@ -14,6 +14,7 @@
 #define STPQ_CORE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cursor.h"
@@ -26,9 +27,13 @@
 #include "index/srt_index.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "text/vocabulary.h"
 #include "util/result.h"
 
 namespace stpq {
+
+struct LoadedIndex;  // io/index_file.h
 
 /// Query processing algorithms (Sections 5 and 6).
 enum class Algorithm {
@@ -60,16 +65,30 @@ struct ExecuteOptions {
   SlowQueryLog* slow_log = nullptr;
 };
 
+/// Where index pages live and how the buffer pools are sized.  One struct
+/// so storage decisions travel together instead of as loose engine knobs.
+struct StorageOptions {
+  /// Page source behind the buffer pools.  kSimulated counts page accesses
+  /// without any bytes behind them (the paper's cost model); kFile serves
+  /// misses from a .stpqx index file and is only valid with Engine::Open.
+  StorageBackend backend = StorageBackend::kSimulated;
+  /// Index file path.  Set by Engine::Open; must be empty for kSimulated.
+  std::string path;
+  /// Buffer pool capacity in pages per pool (object pool + shared feature
+  /// pool); 0 = unbounded.
+  uint64_t pool_capacity = 0;
+  /// Simulated disk page size; drives R-tree fan-out.
+  uint32_t page_size = kDefaultPageSizeBytes;
+};
+
 /// Engine construction knobs.
 struct EngineOptions {
   /// Which feature index to build (the benchmark axis SRT vs IR2).
   FeatureIndexKind index_kind = FeatureIndexKind::kSrt;
   /// Bulk-load ordering for the feature indexes.
   BulkLoadKind bulk_load = BulkLoadKind::kHilbert;
-  uint32_t page_size_bytes = kDefaultPageSizeBytes;
-  /// Buffer pool capacity in pages per pool (object pool + shared feature
-  /// pool); 0 = unbounded.
-  uint64_t buffer_pool_pages = 0;
+  /// Backend, page size and pool capacity (see StorageOptions).
+  StorageOptions storage;
   /// Charge each query against its own cold session pool, so reported I/O
   /// is the number of distinct pages the query touches (deterministic,
   /// machine-independent, and independent of concurrent queries).  When
@@ -97,18 +116,39 @@ struct EngineOptions {
 /// A fully indexed dataset ready to answer STPQ queries.
 class Engine {
  public:
-  /// Validated construction: checks `options` (page size, fill factor,
-  /// signature parameters) and returns InvalidArgument instead of building
-  /// a broken engine.  Prefer this over the constructor.
+  /// Builds all indexes in memory over `objects` and `feature_tables`.
+  /// Checks `options` (page size, fill factor, signature and storage
+  /// parameters) and returns InvalidArgument instead of building a broken
+  /// engine.  The storage backend must be kSimulated — a file-backed
+  /// engine comes from Engine::Open on a file written by Save.
+  [[nodiscard]] static Result<Engine> Build(std::vector<DataObject> objects,
+                                            std::vector<FeatureTable> feature_tables,
+                                            EngineOptions options = {});
+
+  /// Opens a prebuilt .stpqx index file (WriteIndexFile / Engine::Save):
+  /// restores every index verbatim and serves buffer-pool misses from the
+  /// file through a FilePageStore.  Build parameters (index kind, page
+  /// size, fill, signatures) come from the file's superblock and override
+  /// whatever `options` says; runtime knobs (pool capacity, cold-cache,
+  /// pulling, batching, ...) are taken from `options`.  A reopened engine
+  /// answers every query with results and per-query page-read counters
+  /// identical to the engine that built the file.  Typed errors:
+  /// IoError (unreadable/truncated), InvalidArgument (not an index file /
+  /// unsupported version), Corruption (checksum or structural damage).
+  [[nodiscard]] static Result<Engine> Open(const std::string& path,
+                                           EngineOptions options = {});
+
+  /// Deprecated alias of Build, kept while callers migrate.
   [[nodiscard]] static Result<Engine> Create(std::vector<DataObject> objects,
                                std::vector<FeatureTable> feature_tables,
                                EngineOptions options = {});
 
-  /// Legacy unchecked construction, kept for source compatibility: runs the
-  /// same validation as Create but aborts on invalid options.  Slated for
-  /// removal once callers migrate (DESIGN.md §11).
-  Engine(std::vector<DataObject> objects,
-         std::vector<FeatureTable> feature_tables, EngineOptions options = {});
+  /// Persists the whole index set to `path` for Engine::Open.
+  /// `vocabularies` (one per feature table, table order) ride along so a
+  /// reopened CLI can still parse query keywords; pass empty to persist
+  /// blank vocabularies.
+  [[nodiscard]] Status Save(const std::string& path,
+                            const std::vector<Vocabulary>& vocabularies = {}) const;
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
@@ -158,6 +198,9 @@ class Engine {
   }
   const ObjectIndex& object_index() const { return *object_index_; }
   const EngineOptions& options() const { return options_; }
+  /// The page source behind both buffer pools (SimulatedPageStore for
+  /// built engines, FilePageStore for opened ones).
+  const PageStore& page_store() const { return *page_store_; }
 
   /// Name of the feature index in use ("SRT" or "IR2").
   const char* IndexName() const {
@@ -166,10 +209,14 @@ class Engine {
 
  private:
   /// Builds the object index and one feature index per table; `options`
-  /// must already be validated (parameter order disambiguates this from
-  /// the public legacy constructor).
+  /// must already be validated.
   Engine(EngineOptions options, std::vector<DataObject> objects,
          std::vector<FeatureTable> feature_tables);
+
+  /// Restores indexes from a loaded .stpqx image; `store` (the file's
+  /// FilePageStore) backs both buffer pools.
+  Engine(EngineOptions options, LoadedIndex loaded,
+         std::unique_ptr<PageStore> store);
 
   static Status ValidateOptions(const EngineOptions& options);
 
@@ -179,6 +226,8 @@ class Engine {
   // engine (Result<Engine>, factory returns) keeps their addresses stable.
   std::unique_ptr<std::vector<DataObject>> objects_;
   std::unique_ptr<std::vector<FeatureTable>> feature_tables_;
+  // Declared before the pools, which hold a raw pointer into it.
+  std::unique_ptr<PageStore> page_store_;
   std::unique_ptr<BufferPool> object_pool_;
   std::unique_ptr<BufferPool> feature_pool_;
   std::unique_ptr<ObjectIndex> object_index_;

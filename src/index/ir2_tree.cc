@@ -62,6 +62,19 @@ Ir2Tree::Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options)
   STPQ_VALIDATE(ValidateIr2Tree(*this));
 }
 
+Ir2Tree::Ir2Tree(const FeatureTable* table,
+                 const FeatureIndexOptions& options,
+                 RestoredTreeData<2, Ir2Aug> restored)
+    : FeatureIndex(options.set_ordinal),
+      table_(table),
+      scheme_(EffectiveSignatureBits(options, table->universe_size()),
+              options.signature_hashes),
+      tree_(MakeTreeOptions(options, scheme_.signature_bits())) {
+  tree_.Restore(std::move(restored.nodes), std::move(restored.free_nodes),
+                restored.root, restored.height, restored.size);
+  STPQ_VALIDATE(ValidateIr2Tree(*this));
+}
+
 NodeId Ir2Tree::RootId() const { return tree_.root_id(); }
 
 BufferPool* Ir2Tree::buffer_pool() const {

@@ -36,6 +36,12 @@ class Ir2Tree : public FeatureIndex {
   /// Builds the index over `table` (not owned; must outlive the index).
   Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options);
 
+  /// Restores a persisted index (storage/index_file.*); see the SrtIndex
+  /// counterpart.  The signature scheme is re-derived from `options` and
+  /// the table's universe, which the file format records.
+  Ir2Tree(const FeatureTable* table, const FeatureIndexOptions& options,
+          RestoredTreeData<2, Ir2Aug> restored);
+
   NodeId RootId() const override;
   uint16_t NodeLevel(NodeId node_id) const override {
     return tree_.PeekNode(node_id).level;

@@ -32,6 +32,17 @@ ObjectIndex::ObjectIndex(const std::vector<DataObject>* objects,
   STPQ_VALIDATE(ValidateObjectIndex(*this));
 }
 
+ObjectIndex::ObjectIndex(const std::vector<DataObject>* objects,
+                         const ObjectIndexOptions& options,
+                         RestoredTreeData<2, NoAug> restored)
+    : objects_(objects), tree_(MakeTreeOptions(options)) {
+  tree_.Restore(std::move(restored.nodes), std::move(restored.free_nodes),
+                restored.root, restored.height, restored.size);
+  domain_ = Rect2::Empty();
+  for (const DataObject& o : *objects_) domain_.Enlarge(PointRect(o.pos));
+  STPQ_VALIDATE(ValidateObjectIndex(*this));
+}
+
 std::vector<ObjectId> ObjectIndex::RangeQuery(const Point& center,
                                               double radius,
                                               QueryStats* stats) const {

@@ -27,6 +27,13 @@ class ObjectIndex {
   ObjectIndex(const std::vector<DataObject>* objects,
               const ObjectIndexOptions& options);
 
+  /// Restores a persisted index (storage/index_file.*): adopts the
+  /// deserialized tree instead of bulk loading and recomputes the spatial
+  /// domain from `objects` (deterministic, so it matches the builder).
+  ObjectIndex(const std::vector<DataObject>* objects,
+              const ObjectIndexOptions& options,
+              RestoredTreeData<2, NoAug> restored);
+
   const DataObject& Get(ObjectId id) const { return (*objects_)[id]; }
   size_t size() const { return objects_->size(); }
 

@@ -57,6 +57,18 @@ SrtIndex::SrtIndex(const FeatureTable* table,
   STPQ_VALIDATE(ValidateSrtIndex(*this));
 }
 
+SrtIndex::SrtIndex(const FeatureTable* table,
+                   const FeatureIndexOptions& options,
+                   RestoredTreeData<4, SrtAug> restored)
+    : FeatureIndex(options.set_ordinal),
+      table_(table),
+      build_kind_(options.bulk_load),
+      tree_(MakeTreeOptions(options, table->universe_size())) {
+  tree_.Restore(std::move(restored.nodes), std::move(restored.free_nodes),
+                restored.root, restored.height, restored.size);
+  STPQ_VALIDATE(ValidateSrtIndex(*this));
+}
+
 NodeId SrtIndex::RootId() const { return tree_.root_id(); }
 
 BufferPool* SrtIndex::buffer_pool() const {

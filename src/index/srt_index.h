@@ -70,6 +70,13 @@ class SrtIndex : public FeatureIndex {
   /// Builds the index over `table` (not owned; must outlive the index).
   SrtIndex(const FeatureTable* table, const FeatureIndexOptions& options);
 
+  /// Restores a persisted index (storage/index_file.*): adopts the
+  /// deserialized tree instead of bulk loading, so node ids — and the
+  /// golden I/O counts derived from them — match the builder exactly.
+  /// `options` must carry the build-time parameters recorded in the file.
+  SrtIndex(const FeatureTable* table, const FeatureIndexOptions& options,
+           RestoredTreeData<4, SrtAug> restored);
+
   NodeId RootId() const override;
   uint16_t NodeLevel(NodeId node_id) const override {
     return tree_.PeekNode(node_id).level;

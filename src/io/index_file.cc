@@ -1,0 +1,865 @@
+#include "io/index_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "hilbert/keyword_hilbert.h"
+
+namespace stpq {
+
+namespace {
+
+constexpr uint32_t kIndexMagic = 0x58515453;  // "STQX" little-endian
+constexpr uint32_t kIndexVersion = 1;
+
+/// Fixed superblock / catalog-entry widths; the catalog starts right after
+/// the superblock, segments after the catalog (node segments page-aligned).
+constexpr size_t kSuperblockBytes = 52;
+constexpr size_t kCatalogEntryBytes = 56;
+
+/// Sanity caps against absurd counts in damaged headers (checksums cover
+/// the segments, these cover the header itself).
+constexpr uint32_t kMaxTables = 4096;
+constexpr uint32_t kMaxNodeCount = 1u << 28;
+constexpr uint64_t kMaxRecordCount = uint64_t{1} << 33;
+
+enum SegmentType : uint32_t {
+  kSegObjects = 0,
+  kSegVocabulary = 1,
+  kSegFeatureTable = 2,
+  kSegObjectTreeMeta = 3,
+  kSegObjectTreeNodes = 4,
+  kSegFeatureTreeMeta = 5,
+  kSegFeatureTreeNodes = 6,
+};
+
+const char* SegmentName(uint32_t type) {
+  switch (type) {
+    case kSegObjects:
+      return "objects";
+    case kSegVocabulary:
+      return "vocabulary";
+    case kSegFeatureTable:
+      return "feature_table";
+    case kSegObjectTreeMeta:
+      return "object_tree_meta";
+    case kSegObjectTreeNodes:
+      return "object_tree_nodes";
+    case kSegFeatureTreeMeta:
+      return "feature_tree_meta";
+    case kSegFeatureTreeNodes:
+      return "feature_tree_nodes";
+  }
+  return "unknown";
+}
+
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+// Byte-buffer writers, mirroring dataset_io's stream helpers.
+template <typename T>
+void PutPod(std::string* out, const T& v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over one segment's bytes.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Pod(T* v) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool Str(std::string* s) {
+    uint32_t n = 0;
+    if (!Pod(&n)) return false;
+    if (n > (1u << 24) || size_ - pos_ < n) return false;  // sanity cap
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------- augmentation codecs
+//
+// Fixed-width per-entry payloads; the word counts are derivable from the
+// superblock parameters and double-checked against the tree metadata.
+
+struct NoAugCodec {
+  uint32_t aug_bits() const { return 0; }
+  uint32_t aug_words() const { return 0; }
+  uint32_t payload_bytes() const { return 0; }
+  void Write(std::string*, const NoAug&) const {}
+  bool Read(ByteReader&, NoAug*) const { return true; }
+};
+
+/// SrtAug persists {max score, aggregated Hilbert words}; the decoded
+/// keyword cache is re-derived on read (DecodeKeywords is the exact
+/// inverse of the encoding, so the rebuilt aug is identical).
+struct SrtAugCodec {
+  uint32_t universe = 0;
+
+  uint32_t aug_bits() const { return universe; }
+  uint32_t aug_words() const { return (universe + 63) / 64; }
+  uint32_t payload_bytes() const { return 8 + 8 * aug_words(); }
+
+  void Write(std::string* out, const SrtAug& aug) const {
+    PutPod(out, aug.max_score);
+    const std::vector<uint64_t>& words = aug.keyword_hilbert.words();
+    for (uint32_t w = 0; w < aug_words(); ++w) {
+      PutPod<uint64_t>(out, w < words.size() ? words[w] : 0);
+    }
+  }
+
+  bool Read(ByteReader& in, SrtAug* aug) const {
+    if (!in.Pod(&aug->max_score)) return false;
+    HilbertValue hv(universe);
+    for (uint32_t w = 0; w < aug_words(); ++w) {
+      uint64_t word = 0;
+      if (!in.Pod(&word)) return false;
+      if (w < hv.words().size()) hv.words()[w] = word;
+    }
+    aug->keywords = DecodeKeywords(hv, universe);
+    aug->keyword_hilbert = std::move(hv);
+    return true;
+  }
+};
+
+/// Ir2Aug persists {max score, signature words}.
+struct Ir2AugCodec {
+  uint32_t signature_bits = 0;
+
+  uint32_t aug_bits() const { return signature_bits; }
+  uint32_t aug_words() const { return (signature_bits + 63) / 64; }
+  uint32_t payload_bytes() const { return 8 + 8 * aug_words(); }
+
+  void Write(std::string* out, const Ir2Aug& aug) const {
+    PutPod(out, aug.max_score);
+    const std::vector<uint64_t>& words = aug.signature.words();
+    for (uint32_t w = 0; w < aug_words(); ++w) {
+      PutPod<uint64_t>(out, w < words.size() ? words[w] : 0);
+    }
+  }
+
+  bool Read(ByteReader& in, Ir2Aug* aug) const {
+    if (!in.Pod(&aug->max_score)) return false;
+    std::vector<uint64_t> words(aug_words(), 0);
+    for (uint32_t w = 0; w < aug_words(); ++w) {
+      if (!in.Pod(&words[w])) return false;
+    }
+    aug->signature = Signature::FromWords(signature_bits, std::move(words));
+    return true;
+  }
+};
+
+/// The IR2 signature width rule, mirrored from the index builder: explicit
+/// when configured, else scaled to the vocabulary.
+uint32_t EffectiveIr2SignatureBits(const IndexBuildParams& params,
+                                   uint32_t universe_size) {
+  return params.signature_bits != 0 ? params.signature_bits
+                                    : std::max(64u, 2 * universe_size);
+}
+
+// ------------------------------------------------------ tree serializer
+
+/// Serializes tree metadata + the node array.  Node records are laid out
+/// in fixed-width slots (slot index == NodeId) whose width is the
+/// page-aligned worst-case node size, so the reader and the FilePageStore
+/// address node i at offset i * slot_bytes.
+template <int D, typename Aug, typename Codec>
+Status SerializeTree(const RTree<D, Aug>& tree, const Codec& codec,
+                     uint32_t page_size, std::string* meta, std::string* nodes,
+                     uint64_t* slot_count, uint32_t* slot_bytes_out) {
+  const uint32_t entry_bytes =
+      16u * static_cast<uint32_t>(D) + 4u + codec.payload_bytes();
+  const uint64_t max_node_bytes =
+      8ull + uint64_t{tree.options().max_entries} * entry_bytes;
+  const uint32_t slot_bytes =
+      static_cast<uint32_t>(AlignUp(max_node_bytes, page_size));
+
+  PutPod<uint32_t>(meta, tree.root_id());
+  PutPod<uint32_t>(meta, tree.height());
+  PutPod<uint64_t>(meta, tree.size());
+  PutPod<uint32_t>(meta, tree.node_count());
+  PutPod<uint32_t>(meta, tree.options().max_entries);
+  PutPod<uint32_t>(meta, codec.aug_bits());
+  PutPod<uint32_t>(meta, codec.aug_words());
+  PutPod<uint32_t>(meta, static_cast<uint32_t>(tree.free_nodes().size()));
+  for (NodeId id : tree.free_nodes()) PutPod<uint32_t>(meta, id);
+
+  nodes->reserve(uint64_t{tree.node_count()} * slot_bytes);
+  for (const auto& node : tree.nodes()) {
+    const size_t start = nodes->size();
+    PutPod<uint16_t>(nodes, node.level);
+    PutPod<uint16_t>(nodes, 0);
+    PutPod<uint32_t>(nodes, static_cast<uint32_t>(node.entries.size()));
+    for (const auto& e : node.entries) {
+      for (int d = 0; d < D; ++d) PutPod(nodes, e.rect.lo[d]);
+      for (int d = 0; d < D; ++d) PutPod(nodes, e.rect.hi[d]);
+      PutPod<uint32_t>(nodes, e.id);
+      codec.Write(nodes, e.aug);
+    }
+    if (nodes->size() - start > slot_bytes) {
+      return Status::Internal("index node overflows its slot: " +
+                              std::to_string(nodes->size() - start) + " > " +
+                              std::to_string(slot_bytes) + " bytes");
+    }
+    nodes->resize(start + slot_bytes);  // zero-pad to the slot boundary
+  }
+  *slot_count = tree.node_count();
+  *slot_bytes_out = slot_bytes;
+  return Status::OK();
+}
+
+template <int D, typename Aug, typename Codec>
+Status ParseTree(std::string_view meta, std::string_view nodes,
+                 uint64_t slot_count, uint32_t slot_bytes, const Codec& codec,
+                 uint32_t expected_max_entries, RestoredTreeData<D, Aug>* out) {
+  ByteReader m(meta.data(), meta.size());
+  uint32_t root = 0, height = 0, node_count = 0, max_entries = 0;
+  uint32_t aug_bits = 0, aug_words = 0, free_count = 0;
+  uint64_t size = 0;
+  if (!m.Pod(&root) || !m.Pod(&height) || !m.Pod(&size) ||
+      !m.Pod(&node_count) || !m.Pod(&max_entries) || !m.Pod(&aug_bits) ||
+      !m.Pod(&aug_words) || !m.Pod(&free_count)) {
+    return Status::Corruption("tree metadata segment too short");
+  }
+  if (aug_bits != codec.aug_bits() || aug_words != codec.aug_words()) {
+    return Status::Corruption(
+        "augmentation layout mismatch: file says " + std::to_string(aug_bits) +
+        " bits / " + std::to_string(aug_words) + " words, parameters derive " +
+        std::to_string(codec.aug_bits()) + " / " +
+        std::to_string(codec.aug_words()));
+  }
+  if (max_entries != expected_max_entries) {
+    return Status::Corruption(
+        "node fan-out mismatch: file says " + std::to_string(max_entries) +
+        ", page-size parameters derive " +
+        std::to_string(expected_max_entries));
+  }
+  if (node_count > kMaxNodeCount || free_count > node_count) {
+    return Status::Corruption("implausible tree node counts");
+  }
+  if (node_count != slot_count) {
+    return Status::Corruption("tree metadata and catalog disagree on the "
+                              "node count");
+  }
+  if (nodes.size() != slot_count * uint64_t{slot_bytes}) {
+    return Status::Corruption("node segment size does not match its slots");
+  }
+  if (root != kInvalidNodeId && root >= node_count) {
+    return Status::Corruption("tree root id out of range");
+  }
+  out->free_nodes.reserve(free_count);
+  for (uint32_t i = 0; i < free_count; ++i) {
+    uint32_t id = 0;
+    if (!m.Pod(&id)) return Status::Corruption("tree free list truncated");
+    if (id >= node_count) {
+      return Status::Corruption("free-list node id out of range");
+    }
+    out->free_nodes.push_back(id);
+  }
+
+  out->nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    ByteReader r(nodes.data() + i * slot_bytes, slot_bytes);
+    uint16_t level = 0, reserved = 0;
+    uint32_t count = 0;
+    if (!r.Pod(&level) || !r.Pod(&reserved) || !r.Pod(&count)) {
+      return Status::Corruption("node record header truncated");
+    }
+    if (count > max_entries) {
+      return Status::Corruption("node " + std::to_string(i) + " claims " +
+                                std::to_string(count) +
+                                " entries, above the fan-out of " +
+                                std::to_string(max_entries));
+    }
+    typename RTree<D, Aug>::Node node;
+    node.level = level;
+    node.entries.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      typename RTree<D, Aug>::Entry e;
+      bool ok = true;
+      for (int d = 0; d < D && ok; ++d) ok = r.Pod(&e.rect.lo[d]);
+      for (int d = 0; d < D && ok; ++d) ok = r.Pod(&e.rect.hi[d]);
+      ok = ok && r.Pod(&e.id) && codec.Read(r, &e.aug);
+      if (!ok) {
+        return Status::Corruption("node " + std::to_string(i) +
+                                  " entry record truncated");
+      }
+      node.entries.push_back(std::move(e));
+    }
+    out->nodes.push_back(std::move(node));
+  }
+  out->root = root;
+  out->height = height;
+  out->size = size;
+  return Status::OK();
+}
+
+// -------------------------------------------------------- file plumbing
+
+struct SegmentBlob {
+  uint32_t type = 0;
+  uint32_t ordinal = 0;
+  std::string payload;
+  uint64_t first_page = 0;
+  uint64_t slot_count = 0;
+  uint32_t slot_bytes = 0;
+  bool page_aligned = false;
+  uint64_t offset = 0;  // assigned during layout
+};
+
+struct CatalogEntry {
+  uint32_t type = 0;
+  uint32_t ordinal = 0;
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint64_t first_page = 0;
+  uint64_t slot_count = 0;
+  uint32_t slot_bytes = 0;
+  uint64_t checksum = 0;
+};
+
+struct Superblock {
+  uint32_t version = 0;
+  IndexBuildParams params;
+  uint64_t object_count = 0;
+  uint32_t table_count = 0;
+  uint32_t segment_count = 0;
+};
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return data;
+}
+
+/// Parses superblock + catalog with bounds checks against `file_bytes`.
+Status ParseHeader(const std::string& file, const std::string& path,
+                   Superblock* sb, std::vector<CatalogEntry>* catalog) {
+  if (file.size() < kSuperblockBytes) {
+    return Status::IoError("truncated index file (no superblock): " + path);
+  }
+  ByteReader r(file.data(), file.size());
+  uint32_t magic = 0, index_kind = 0, bulk_load = 0;
+  r.Pod(&magic);
+  if (magic != kIndexMagic) {
+    return Status::InvalidArgument("not a stpq index file: " + path);
+  }
+  r.Pod(&sb->version);
+  if (sb->version != kIndexVersion) {
+    return Status::InvalidArgument("unsupported stpq index version " +
+                                   std::to_string(sb->version));
+  }
+  r.Pod(&sb->params.page_size_bytes);
+  r.Pod(&index_kind);
+  r.Pod(&bulk_load);
+  r.Pod(&sb->params.signature_bits);
+  r.Pod(&sb->params.signature_hashes);
+  r.Pod(&sb->params.fill);
+  r.Pod(&sb->object_count);
+  r.Pod(&sb->table_count);
+  if (!r.Pod(&sb->segment_count)) {
+    return Status::IoError("truncated index superblock: " + path);
+  }
+  if (index_kind > static_cast<uint32_t>(FeatureIndexKind::kIr2)) {
+    return Status::Corruption("unknown feature index kind " +
+                              std::to_string(index_kind));
+  }
+  if (bulk_load > static_cast<uint32_t>(BulkLoadKind::kInsert)) {
+    return Status::Corruption("unknown bulk-load kind " +
+                              std::to_string(bulk_load));
+  }
+  sb->params.index_kind = static_cast<FeatureIndexKind>(index_kind);
+  sb->params.bulk_load = static_cast<BulkLoadKind>(bulk_load);
+  if (sb->params.page_size_bytes == 0 || sb->table_count > kMaxTables ||
+      sb->object_count > kMaxRecordCount) {
+    return Status::Corruption("implausible index superblock counts");
+  }
+  const uint32_t expected_segments = 3 + 4 * sb->table_count;
+  if (sb->segment_count != expected_segments) {
+    return Status::Corruption(
+        "superblock names " + std::to_string(sb->segment_count) +
+        " segments; " + std::to_string(sb->table_count) + " tables need " +
+        std::to_string(expected_segments));
+  }
+  const uint64_t header_bytes =
+      kSuperblockBytes + uint64_t{sb->segment_count} * kCatalogEntryBytes;
+  if (file.size() < header_bytes) {
+    return Status::IoError("truncated index catalog: " + path);
+  }
+  catalog->reserve(sb->segment_count);
+  for (uint32_t i = 0; i < sb->segment_count; ++i) {
+    CatalogEntry e;
+    uint32_t reserved = 0;
+    r.Pod(&e.type);
+    r.Pod(&e.ordinal);
+    r.Pod(&e.offset);
+    r.Pod(&e.bytes);
+    r.Pod(&e.first_page);
+    r.Pod(&e.slot_count);
+    r.Pod(&e.slot_bytes);
+    r.Pod(&reserved);
+    if (!r.Pod(&e.checksum)) {
+      return Status::IoError("truncated index catalog: " + path);
+    }
+    if (e.offset > file.size() || e.bytes > file.size() - e.offset) {
+      return Status::IoError("truncated index file: segment '" +
+                             std::string(SegmentName(e.type)) +
+                             "' reaches past the end of " + path);
+    }
+    catalog->push_back(e);
+  }
+  return Status::OK();
+}
+
+/// Locates a segment and verifies its checksum.
+Result<std::string_view> VerifiedSegment(const std::string& file,
+                                         const std::vector<CatalogEntry>& cat,
+                                         uint32_t type, uint32_t ordinal) {
+  for (const CatalogEntry& e : cat) {
+    if (e.type != type || e.ordinal != ordinal) continue;
+    std::string_view sv(file.data() + e.offset, e.bytes);
+    if (Fnv1a64(sv.data(), sv.size()) != e.checksum) {
+      return Status::Corruption("checksum mismatch in segment '" +
+                                std::string(SegmentName(type)) + "' #" +
+                                std::to_string(ordinal));
+    }
+    return sv;
+  }
+  return Status::Corruption("missing segment '" +
+                            std::string(SegmentName(type)) + "' #" +
+                            std::to_string(ordinal));
+}
+
+const CatalogEntry* FindEntry(const std::vector<CatalogEntry>& cat,
+                              uint32_t type, uint32_t ordinal) {
+  for (const CatalogEntry& e : cat) {
+    if (e.type == type && e.ordinal == ordinal) return &e;
+  }
+  return nullptr;
+}
+
+Status ParseObjects(std::string_view sv, uint64_t expected_count,
+                    std::vector<DataObject>* out) {
+  ByteReader r(sv.data(), sv.size());
+  uint64_t count = 0;
+  if (!r.Pod(&count) || count != expected_count ||
+      count > kMaxRecordCount) {
+    return Status::Corruption("objects segment header mismatch");
+  }
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DataObject o;
+    if (!r.Pod(&o.id) || !r.Pod(&o.pos.x) || !r.Pod(&o.pos.y) ||
+        !r.Str(&o.name)) {
+      return Status::Corruption("object record truncated");
+    }
+    out->push_back(std::move(o));
+  }
+  return Status::OK();
+}
+
+Status ParseVocabulary(std::string_view sv, Vocabulary* out) {
+  ByteReader r(sv.data(), sv.size());
+  uint32_t n = 0;
+  if (!r.Pod(&n)) return Status::Corruption("vocabulary segment truncated");
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string term;
+    if (!r.Str(&term)) return Status::Corruption("vocabulary term truncated");
+    out->Intern(term);
+  }
+  return Status::OK();
+}
+
+Status ParseFeatureTable(std::string_view sv, FeatureTable* out) {
+  ByteReader r(sv.data(), sv.size());
+  uint32_t universe = 0;
+  uint64_t count = 0;
+  if (!r.Pod(&universe) || !r.Pod(&count) || count > kMaxRecordCount) {
+    return Status::Corruption("feature-table segment header truncated");
+  }
+  const uint32_t expected_blocks = (universe + 63) / 64;
+  std::vector<FeatureObject> features;
+  features.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FeatureObject f;
+    uint32_t block_count = 0;
+    if (!r.Pod(&f.id) || !r.Pod(&f.pos.x) || !r.Pod(&f.pos.y) ||
+        !r.Pod(&f.score) || !r.Pod(&block_count)) {
+      return Status::Corruption("feature record truncated");
+    }
+    if (block_count != expected_blocks) {
+      return Status::Corruption("feature keyword blocks do not match the "
+                                "universe size");
+    }
+    std::vector<uint64_t> blocks(block_count, 0);
+    for (uint32_t b = 0; b < block_count; ++b) {
+      if (!r.Pod(&blocks[b])) {
+        return Status::Corruption("feature keyword blocks truncated");
+      }
+    }
+    f.keywords = KeywordSet::FromBlocks(universe, std::move(blocks));
+    if (!r.Str(&f.name)) {
+      return Status::Corruption("feature name truncated");
+    }
+    features.push_back(std::move(f));
+  }
+  *out = FeatureTable(std::move(features), universe);
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+Status WriteIndexFile(const std::string& path,
+                      const IndexFileWriteRequest& request) {
+  if (request.objects == nullptr || request.feature_tables == nullptr ||
+      request.vocabularies == nullptr || request.object_index == nullptr) {
+    return Status::InvalidArgument("index write request is missing a part");
+  }
+  const size_t num_tables = request.feature_tables->size();
+  if (request.vocabularies->size() != num_tables ||
+      request.feature_indexes.size() != num_tables) {
+    return Status::InvalidArgument(
+        "index write request needs one vocabulary and one feature index per "
+        "table");
+  }
+  if (num_tables > kMaxTables) {
+    return Status::InvalidArgument("too many feature tables to persist");
+  }
+  const uint32_t page_size = request.params.page_size_bytes;
+  if (page_size == 0) {
+    return Status::InvalidArgument("page_size_bytes must be nonzero");
+  }
+
+  std::vector<SegmentBlob> segments;
+  segments.reserve(3 + 4 * num_tables);
+
+  {
+    SegmentBlob s;
+    s.type = kSegObjects;
+    PutPod<uint64_t>(&s.payload, request.objects->size());
+    for (const DataObject& o : *request.objects) {
+      PutPod(&s.payload, o.id);
+      PutPod(&s.payload, o.pos.x);
+      PutPod(&s.payload, o.pos.y);
+      PutString(&s.payload, o.name);
+    }
+    segments.push_back(std::move(s));
+  }
+
+  for (size_t i = 0; i < num_tables; ++i) {
+    const Vocabulary& vocab = (*request.vocabularies)[i];
+    SegmentBlob v;
+    v.type = kSegVocabulary;
+    v.ordinal = static_cast<uint32_t>(i);
+    PutPod<uint32_t>(&v.payload, vocab.size());
+    for (uint32_t t = 0; t < vocab.size(); ++t) {
+      PutString(&v.payload, vocab.Term(t));
+    }
+    segments.push_back(std::move(v));
+
+    const FeatureTable& table = (*request.feature_tables)[i];
+    SegmentBlob s;
+    s.type = kSegFeatureTable;
+    s.ordinal = static_cast<uint32_t>(i);
+    PutPod<uint32_t>(&s.payload, table.universe_size());
+    PutPod<uint64_t>(&s.payload, table.size());
+    for (const FeatureObject& f : table.All()) {
+      PutPod(&s.payload, f.id);
+      PutPod(&s.payload, f.pos.x);
+      PutPod(&s.payload, f.pos.y);
+      PutPod(&s.payload, f.score);
+      const std::vector<uint64_t>& blocks = f.keywords.blocks();
+      PutPod<uint32_t>(&s.payload, static_cast<uint32_t>(blocks.size()));
+      for (uint64_t b : blocks) PutPod(&s.payload, b);
+      PutString(&s.payload, f.name);
+    }
+    segments.push_back(std::move(s));
+  }
+
+  {
+    SegmentBlob meta, nodes;
+    meta.type = kSegObjectTreeMeta;
+    nodes.type = kSegObjectTreeNodes;
+    nodes.page_aligned = true;
+    nodes.first_page = 0;
+    STPQ_RETURN_NOT_OK((SerializeTree<2, NoAug>(
+        request.object_index->tree(), NoAugCodec{}, page_size, &meta.payload,
+        &nodes.payload, &nodes.slot_count, &nodes.slot_bytes)));
+    segments.push_back(std::move(meta));
+    segments.push_back(std::move(nodes));
+  }
+
+  for (size_t i = 0; i < num_tables; ++i) {
+    SegmentBlob meta, nodes;
+    meta.type = kSegFeatureTreeMeta;
+    meta.ordinal = static_cast<uint32_t>(i);
+    nodes.type = kSegFeatureTreeNodes;
+    nodes.ordinal = static_cast<uint32_t>(i);
+    nodes.page_aligned = true;
+    nodes.first_page = kIndexPageStride * (i + 1);
+    switch (request.params.index_kind) {
+      case FeatureIndexKind::kSrt: {
+        const auto* srt =
+            dynamic_cast<const SrtIndex*>(request.feature_indexes[i]);
+        if (srt == nullptr) {
+          return Status::InvalidArgument(
+              "feature index " + std::to_string(i) +
+              " is not an SrtIndex but params say kind=srt");
+        }
+        SrtAugCodec codec{(*request.feature_tables)[i].universe_size()};
+        STPQ_RETURN_NOT_OK((SerializeTree<4, SrtAug>(
+            srt->tree(), codec, page_size, &meta.payload, &nodes.payload,
+            &nodes.slot_count, &nodes.slot_bytes)));
+        break;
+      }
+      case FeatureIndexKind::kIr2: {
+        const auto* ir2 =
+            dynamic_cast<const Ir2Tree*>(request.feature_indexes[i]);
+        if (ir2 == nullptr) {
+          return Status::InvalidArgument(
+              "feature index " + std::to_string(i) +
+              " is not an Ir2Tree but params say kind=ir2");
+        }
+        Ir2AugCodec codec{ir2->scheme().signature_bits()};
+        STPQ_RETURN_NOT_OK((SerializeTree<2, Ir2Aug>(
+            ir2->tree(), codec, page_size, &meta.payload, &nodes.payload,
+            &nodes.slot_count, &nodes.slot_bytes)));
+        break;
+      }
+    }
+    segments.push_back(std::move(meta));
+    segments.push_back(std::move(nodes));
+  }
+
+  // Layout: header, then segments in catalog order; node segments aligned
+  // to the page size so slot offsets are page offsets.
+  const uint64_t header_bytes =
+      kSuperblockBytes + segments.size() * kCatalogEntryBytes;
+  uint64_t cursor = header_bytes;
+  for (SegmentBlob& s : segments) {
+    if (s.page_aligned) cursor = AlignUp(cursor, page_size);
+    s.offset = cursor;
+    cursor += s.payload.size();
+  }
+
+  std::string header;
+  header.reserve(header_bytes);
+  PutPod<uint32_t>(&header, kIndexMagic);
+  PutPod<uint32_t>(&header, kIndexVersion);
+  PutPod<uint32_t>(&header, page_size);
+  PutPod<uint32_t>(&header,
+                   static_cast<uint32_t>(request.params.index_kind));
+  PutPod<uint32_t>(&header, static_cast<uint32_t>(request.params.bulk_load));
+  PutPod<uint32_t>(&header, request.params.signature_bits);
+  PutPod<uint32_t>(&header, request.params.signature_hashes);
+  PutPod<double>(&header, request.params.fill);
+  PutPod<uint64_t>(&header, request.objects->size());
+  PutPod<uint32_t>(&header, static_cast<uint32_t>(num_tables));
+  PutPod<uint32_t>(&header, static_cast<uint32_t>(segments.size()));
+  for (const SegmentBlob& s : segments) {
+    PutPod<uint32_t>(&header, s.type);
+    PutPod<uint32_t>(&header, s.ordinal);
+    PutPod<uint64_t>(&header, s.offset);
+    PutPod<uint64_t>(&header, static_cast<uint64_t>(s.payload.size()));
+    PutPod<uint64_t>(&header, s.first_page);
+    PutPod<uint64_t>(&header, s.slot_count);
+    PutPod<uint32_t>(&header, s.slot_bytes);
+    PutPod<uint32_t>(&header, 0u);  // reserved
+    PutPod<uint64_t>(&header, Fnv1a64(s.payload.data(), s.payload.size()));
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const SegmentBlob& s : segments) {
+    out.seekp(static_cast<std::streamoff>(s.offset));  // zero-fills the gap
+    out.write(s.payload.data(),
+              static_cast<std::streamsize>(s.payload.size()));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- reader
+
+Result<LoadedIndex> LoadIndexFile(const std::string& path) {
+  Result<std::string> file_r = ReadWholeFile(path);
+  if (!file_r.ok()) return file_r.status();
+  const std::string file = file_r.TakeValue();
+
+  Superblock sb;
+  std::vector<CatalogEntry> catalog;
+  STPQ_RETURN_NOT_OK(ParseHeader(file, path, &sb, &catalog));
+
+  LoadedIndex out;
+  out.params = sb.params;
+
+  {
+    Result<std::string_view> sv = VerifiedSegment(file, catalog, kSegObjects, 0);
+    if (!sv.ok()) return sv.status();
+    STPQ_RETURN_NOT_OK(ParseObjects(sv.value(), sb.object_count, &out.objects));
+  }
+  out.vocabularies.resize(sb.table_count);
+  out.feature_tables.resize(sb.table_count);
+  for (uint32_t i = 0; i < sb.table_count; ++i) {
+    Result<std::string_view> vv =
+        VerifiedSegment(file, catalog, kSegVocabulary, i);
+    if (!vv.ok()) return vv.status();
+    STPQ_RETURN_NOT_OK(ParseVocabulary(vv.value(), &out.vocabularies[i]));
+    Result<std::string_view> tv =
+        VerifiedSegment(file, catalog, kSegFeatureTable, i);
+    if (!tv.ok()) return tv.status();
+    STPQ_RETURN_NOT_OK(ParseFeatureTable(tv.value(), &out.feature_tables[i]));
+  }
+
+  // Object tree.
+  {
+    Result<std::string_view> mv =
+        VerifiedSegment(file, catalog, kSegObjectTreeMeta, 0);
+    if (!mv.ok()) return mv.status();
+    Result<std::string_view> nv =
+        VerifiedSegment(file, catalog, kSegObjectTreeNodes, 0);
+    if (!nv.ok()) return nv.status();
+    const CatalogEntry* entry = FindEntry(catalog, kSegObjectTreeNodes, 0);
+    STPQ_RETURN_NOT_OK((ParseTree<2, NoAug>(
+        mv.value(), nv.value(), entry->slot_count, entry->slot_bytes,
+        NoAugCodec{}, FanOutForPage(sb.params.page_size_bytes, 2, 0),
+        &out.object_tree)));
+    if (entry->slot_count > 0) {
+      out.extents.push_back(FilePageStore::Extent{
+          entry->first_page, entry->slot_count, entry->offset,
+          entry->slot_bytes});
+    }
+  }
+
+  // Feature trees, one per table, matching the persisted index kind.
+  for (uint32_t i = 0; i < sb.table_count; ++i) {
+    Result<std::string_view> mv =
+        VerifiedSegment(file, catalog, kSegFeatureTreeMeta, i);
+    if (!mv.ok()) return mv.status();
+    Result<std::string_view> nv =
+        VerifiedSegment(file, catalog, kSegFeatureTreeNodes, i);
+    if (!nv.ok()) return nv.status();
+    const CatalogEntry* entry = FindEntry(catalog, kSegFeatureTreeNodes, i);
+    const uint32_t universe = out.feature_tables[i].universe_size();
+    if (entry->first_page != kIndexPageStride * (uint64_t{i} + 1)) {
+      return Status::Corruption("feature node segment " + std::to_string(i) +
+                                " has the wrong page-id base");
+    }
+    switch (sb.params.index_kind) {
+      case FeatureIndexKind::kSrt: {
+        SrtAugCodec codec{universe};
+        RestoredTreeData<4, SrtAug> tree;
+        const uint32_t aug_bytes = 8 + 8 * ((universe + 63) / 64);
+        STPQ_RETURN_NOT_OK((ParseTree<4, SrtAug>(
+            mv.value(), nv.value(), entry->slot_count, entry->slot_bytes,
+            codec, FanOutForPage(sb.params.page_size_bytes, 4, aug_bytes),
+            &tree)));
+        out.srt_trees.push_back(std::move(tree));
+        break;
+      }
+      case FeatureIndexKind::kIr2: {
+        const uint32_t sig_bits =
+            EffectiveIr2SignatureBits(sb.params, universe);
+        Ir2AugCodec codec{sig_bits};
+        RestoredTreeData<2, Ir2Aug> tree;
+        const uint32_t aug_bytes = 8 + sig_bits / 8;
+        STPQ_RETURN_NOT_OK((ParseTree<2, Ir2Aug>(
+            mv.value(), nv.value(), entry->slot_count, entry->slot_bytes,
+            codec, FanOutForPage(sb.params.page_size_bytes, 2, aug_bytes),
+            &tree)));
+        out.ir2_trees.push_back(std::move(tree));
+        break;
+      }
+    }
+    if (entry->slot_count > 0) {
+      out.extents.push_back(FilePageStore::Extent{
+          entry->first_page, entry->slot_count, entry->offset,
+          entry->slot_bytes});
+    }
+  }
+  return out;
+}
+
+Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path) {
+  Result<std::string> file_r = ReadWholeFile(path);
+  if (!file_r.ok()) return file_r.status();
+  const std::string file = file_r.TakeValue();
+  Superblock sb;
+  std::vector<CatalogEntry> catalog;
+  STPQ_RETURN_NOT_OK(ParseHeader(file, path, &sb, &catalog));
+  IndexFileInfo info;
+  info.version = sb.version;
+  info.params = sb.params;
+  info.object_count = sb.object_count;
+  info.table_count = sb.table_count;
+  info.file_bytes = file.size();
+  info.segments.reserve(catalog.size());
+  for (const CatalogEntry& e : catalog) {
+    IndexSegmentInfo s;
+    s.name = SegmentName(e.type);
+    s.ordinal = e.ordinal;
+    s.bytes = e.bytes;
+    s.slots = e.slot_count;
+    s.slot_bytes = e.slot_bytes;
+    info.segments.push_back(std::move(s));
+  }
+  return info;
+}
+
+Result<std::vector<Vocabulary>> ReadIndexVocabularies(
+    const std::string& path) {
+  Result<std::string> file_r = ReadWholeFile(path);
+  if (!file_r.ok()) return file_r.status();
+  const std::string file = file_r.TakeValue();
+  Superblock sb;
+  std::vector<CatalogEntry> catalog;
+  STPQ_RETURN_NOT_OK(ParseHeader(file, path, &sb, &catalog));
+  std::vector<Vocabulary> vocabs(sb.table_count);
+  for (uint32_t i = 0; i < sb.table_count; ++i) {
+    Result<std::string_view> sv =
+        VerifiedSegment(file, catalog, kSegVocabulary, i);
+    if (!sv.ok()) return sv.status();
+    STPQ_RETURN_NOT_OK(ParseVocabulary(sv.value(), &vocabs[i]));
+  }
+  return vocabs;
+}
+
+}  // namespace stpq

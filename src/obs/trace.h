@@ -76,7 +76,9 @@ inline constexpr uint8_t kTraceObjectTree = 0xff;
 ///                    arg_b = node level (0 = leaf),
 ///                    arg_c = (pruned << 16) | descended (each capped),
 ///                    arg_d = node id
-///   kPool*:          arg_d = page id
+///   kPool*:          arg_d = page id;
+///                    kPoolMiss: arg_a = storage backend tag
+///                    (static_cast<uint8_t>(StorageBackend), 0 = simulated)
 ///   kHeapHighWater:  arg_d = max heap size observed by the span
 struct TraceEvent {
   uint64_t ts_ns = 0;    ///< steady-clock nanos since the tracer epoch

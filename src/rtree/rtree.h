@@ -122,6 +122,28 @@ class RTree {
     return nodes_[id];
   }
 
+  /// Serialization hooks (storage/index_file.*): the raw node array and
+  /// free list.  Persisting both keeps NodeIds — and therefore page ids and
+  /// golden I/O counts — identical across a save/load round trip.
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<NodeId>& free_nodes() const {
+    return free_nodes_;
+  }
+
+  /// Replaces the tree structure wholesale with deserialized state
+  /// (storage/index_file.*).  The caller is responsible for consistency
+  /// (checksums at read time, deep validators after the engine is open);
+  /// node ids are adopted exactly as given.
+  void Restore(std::vector<Node> nodes, std::vector<NodeId> free_nodes,
+               NodeId root, uint32_t height, uint64_t size) {
+    nodes_ = std::move(nodes);
+    free_nodes_ = std::move(free_nodes);
+    root_ = root;
+    height_ = height;
+    size_ = size;
+    path_.clear();
+  }
+
   /// Inserts one record.
   void Insert(const Rect<D>& rect, uint32_t record_id, const Aug& aug = {}) {
     if (root_ == kInvalidNodeId) {
@@ -584,6 +606,17 @@ class RTree {
   uint64_t size_ = 0;
   // Descent path scratch (node id, entry slot in that node's parent role).
   std::vector<std::pair<NodeId, size_t>> path_;
+};
+
+/// Deserialized tree payload adopted by the index restore constructors
+/// (storage/index_file.*): exactly the state RTree::Restore swallows.
+template <int D, typename Aug = NoAug>
+struct RestoredTreeData {
+  std::vector<typename RTree<D, Aug>::Node> nodes;
+  std::vector<NodeId> free_nodes;
+  NodeId root = kInvalidNodeId;
+  uint32_t height = 0;
+  uint64_t size = 0;
 };
 
 }  // namespace stpq

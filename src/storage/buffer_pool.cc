@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "storage/page_store.h"
 #include "util/logging.h"
 
 namespace stpq {
@@ -141,6 +142,13 @@ void BufferPool::ReleaseFrame(uint32_t f) {
 
 // ------------------------------------------------------------ public API
 
+BufferPool::BufferPool(uint64_t capacity_pages, PageStore* store)
+    : capacity_(capacity_pages),
+      store_(store),
+      backend_tag_(store == nullptr ? 0
+                                    : static_cast<uint8_t>(store->backend())) {
+}
+
 BufferPool::Session* BufferPool::CurrentSession() const {
   for (auto it = tls_bindings.rbegin(); it != tls_bindings.rend(); ++it) {
     if (it->first == this) return it->second;
@@ -183,8 +191,12 @@ bool BufferPool::AccessInternal(PageId page) {
   }
   reads_.store(reads_.load(std::memory_order_relaxed) + 1,
                std::memory_order_relaxed);
-  STPQ_TRACE_INSTANT(TraceEventType::kPoolMiss, 0, 0,
+  STPQ_TRACE_INSTANT(TraceEventType::kPoolMiss, backend_tag_, 0,
                      static_cast<uint32_t>(page & 0xffffffffu), page);
+  // The miss has been counted; now it costs whatever the backend charges
+  // (nothing when simulated, a physical slot read from the index file
+  // otherwise).  Fetch before admission, like a disk read into the frame.
+  if (store_ != nullptr) store_->FetchPage(page);
   f = AcquireFrame();
   frames_[f].page = page;
   frames_[f].pins = 0;

@@ -53,10 +53,18 @@
 
 namespace stpq {
 
+class PageStore;
+
 using PageId = uint64_t;
 
 /// Default simulated page size; node fan-out is derived from it.
 inline constexpr uint32_t kDefaultPageSizeBytes = 4096;
+
+/// Page-id namespace stride between indexes sharing one pool (and one
+/// PageStore): the object index owns pages [0, stride), feature index i
+/// owns [stride * (i + 1), stride * (i + 2)).  Node id == offset within
+/// the index's range, which the persisted file format relies on.
+inline constexpr PageId kIndexPageStride = PageId{1} << 32;
 
 /// Counters exposed by a BufferPool.
 struct BufferPoolStats {
@@ -79,8 +87,12 @@ class BufferPool {
   class Session;
   class ScopedBind;
 
-  explicit BufferPool(uint64_t capacity_pages = 0)
-      : capacity_(capacity_pages) {}
+  /// `store`, when non-null, is the physical backend: every miss triggers
+  /// one PageStore::FetchPage after it has been counted, so hit/miss/evict
+  /// accounting is identical across backends.  A null store is the
+  /// simulated default (a miss is only a counter tick).  The store must
+  /// outlive the pool and may be shared between pools.
+  explicit BufferPool(uint64_t capacity_pages = 0, PageStore* store = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -119,6 +131,8 @@ class BufferPool {
   BufferPoolStats stats() const;
 
   [[nodiscard]] uint64_t capacity_pages() const { return capacity_; }
+  /// The physical backend serving misses, or nullptr (simulated).
+  [[nodiscard]] PageStore* page_store() const { return store_; }
   [[nodiscard]] uint64_t resident_pages() const STPQ_EXCLUDES(mu_);
   [[nodiscard]] uint64_t pinned_pages() const STPQ_EXCLUDES(mu_);
 
@@ -207,6 +221,12 @@ class BufferPool {
 
   mutable Mutex mu_;
   uint64_t capacity_;
+  /// Physical backend (null = simulated).  Immutable after construction,
+  /// so the miss path reads it without the lock's protection mattering.
+  PageStore* store_;
+  /// static_cast<uint8_t>(store_->backend()), or 0 when store_ is null;
+  /// stamped into kPoolMiss trace events as arg_a.
+  uint8_t backend_tag_;
   /// Counters are atomics so stats() is lock-free; every writer runs under
   /// mu_ (or single-threaded, for isolated-session private pools), so
   /// relaxed ordering suffices.
@@ -248,7 +268,8 @@ class BufferPool::Session {
       : shared_(shared),
         isolated_(isolated),
         private_pool_(isolated ? std::make_unique<BufferPool>(
-                                     shared->capacity_pages())
+                                     shared->capacity_pages(),
+                                     shared->page_store())
                                : nullptr) {}
 
   Session(const Session&) = delete;

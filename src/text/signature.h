@@ -10,6 +10,7 @@
 #define STPQ_TEXT_SIGNATURE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "text/keyword_set.h"
@@ -36,6 +37,20 @@ class Signature {
   bool Covers(const Signature& needle) const;
 
   bool operator==(const Signature& other) const = default;
+
+  /// Raw backing words, bit i at words()[i / 64] bit (i % 64)
+  /// (serialization; storage/index_file.*).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Rebuilds a signature from serialized words.  `words` must hold
+  /// exactly (bits + 63) / 64 entries; extra or missing words are adopted
+  /// as-is and caught by the deep validators, not here.
+  static Signature FromWords(uint32_t bits, std::vector<uint64_t> words) {
+    Signature s;
+    s.bits_ = bits;
+    s.words_ = std::move(words);
+    return s;
+  }
 
  private:
   uint32_t bits_ = 0;

@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kCorruption,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -52,6 +53,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  [[nodiscard]] static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

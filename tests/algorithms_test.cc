@@ -121,7 +121,7 @@ TEST_P(PaperExampleAlgorithms, Top3AreTheThreeHotels) {
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
   EngineOptions opts;
   opts.index_kind = GetParam();
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   for (Algorithm alg : {Algorithm::kStds, Algorithm::kStps}) {
     QueryResult r = engine.Execute(q, alg).TakeValue();
     ASSERT_EQ(r.entries.size(), 3u);
@@ -142,7 +142,7 @@ TEST_P(PaperExampleAlgorithms, FullRankingMatchesBruteForce) {
   std::vector<ResultEntry> expected = brute.TopK(q);
   EngineOptions opts;
   opts.index_kind = GetParam();
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS");
   ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS");
 }
@@ -191,7 +191,7 @@ TEST_P(RangeAgreementTest, StdsStpsBruteForceAgree) {
 
   EngineOptions opts;
   opts.index_kind = p.kind;
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   for (const Query& q : queries) {
     std::vector<ResultEntry> expected = brute.TopK(q);
     ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS");
@@ -225,7 +225,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(RangeEdgeCases, KLargerThanDataset) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 100);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   QueryResult stds = engine.Execute(q, Algorithm::kStds).TakeValue();
   QueryResult stps = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_EQ(stds.entries.size(), 10u);  // all hotels
@@ -245,7 +245,7 @@ TEST(RangeEdgeCases, NoRelevantFeaturesScoresZero) {
   q.keywords.push_back(KeywordSet(ds.feature_tables[0].universe_size()));
   q.keywords.push_back(KeywordSet(ds.feature_tables[1].universe_size()));
   // Empty keyword sets: sim = 0 everywhere, every tau_i = 0.
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   QueryResult stds = engine.Execute(q, Algorithm::kStds).TakeValue();
   QueryResult stps = engine.Execute(q, Algorithm::kStps).TakeValue();
   ASSERT_EQ(stds.entries.size(), 5u);
@@ -260,14 +260,14 @@ TEST(RangeEdgeCases, TinyRadiusIsolatesColocated) {
   q.radius = 0.1;  // no hotel within 0.1 of any restaurant
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "tiny radius");
 }
 
 TEST(RangeEdgeCases, KZeroIsRejected) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 0);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   EXPECT_EQ(engine.Execute(q, Algorithm::kStds).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Execute(q, Algorithm::kStps).status().code(),
@@ -277,7 +277,7 @@ TEST(RangeEdgeCases, KZeroIsRejected) {
 TEST(RangeEdgeCases, EmptyObjectSet) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 5);
-  Engine engine({}, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build({}, std::move(ds.feature_tables), {}).TakeValue();
   EXPECT_TRUE(engine.Execute(q, Algorithm::kStds).TakeValue().entries.empty());
   EXPECT_TRUE(engine.Execute(q, Algorithm::kStps).TakeValue().entries.empty());
 }
@@ -298,9 +298,9 @@ TEST(RangeEdgeCases, StdsBatchingToggleAgrees) {
   batched.stds_batching = true;
   EngineOptions single;
   single.stds_batching = false;
-  Engine e1(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-            batched);
-  Engine e2(ds.objects, std::move(ds.feature_tables), single);
+  Engine e1 = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+            batched).TakeValue();
+  Engine e2 = Engine::Build(ds.objects, std::move(ds.feature_tables), single).TakeValue();
   for (const Query& q : queries) {
     ExpectSameScores(e1.Execute(q, Algorithm::kStds).TakeValue().entries, e2.Execute(q, Algorithm::kStds).TakeValue().entries,
                      "batch toggle");
@@ -323,7 +323,7 @@ TEST(StatsTest, StpsReadsFewerPagesThanStds) {
   qcfg.count = 5;
   qcfg.radius = 0.03;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   uint64_t stds_reads = 0, stps_reads = 0;
   for (const Query& q : queries) {
     stds_reads += engine.Execute(q, Algorithm::kStds).TakeValue().stats.TotalReads();
@@ -336,7 +336,7 @@ TEST(StatsTest, StpsReadsFewerPagesThanStds) {
 TEST(StatsTest, ColdCachePerQueryIsDeterministic) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   QueryResult a = engine.Execute(q, Algorithm::kStps).TakeValue();
   QueryResult b = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_EQ(a.stats.TotalReads(), b.stats.TotalReads());
@@ -356,7 +356,7 @@ TEST(StatsTest, WarmCacheReducesReads) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   EngineOptions warm;
   warm.cold_cache_per_query = false;
-  Engine engine(ds.objects, std::move(ds.feature_tables), warm);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), warm).TakeValue();
   QueryResult first = engine.Execute(queries[0], Algorithm::kStps).TakeValue();
   QueryResult again = engine.Execute(queries[0], Algorithm::kStps).TakeValue();
   EXPECT_LT(again.stats.TotalReads(), first.stats.TotalReads());

@@ -44,7 +44,7 @@ TEST(CursorTest, StreamsWholeDatasetInScoreOrder) {
   qcfg.count = 1;
   qcfg.radius = 0.05;
   Query q = GenerateQueries(ds, qcfg)[0];
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
 
   std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q).TakeValue();
   std::set<ObjectId> seen;
@@ -65,7 +65,7 @@ TEST(CursorTest, StreamsWholeDatasetInScoreOrder) {
 TEST(CursorTest, PrefixMatchesTopK) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 5);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   QueryResult topk = engine.Execute(q, Algorithm::kStps).TakeValue();
   std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q).TakeValue();
   for (size_t i = 0; i < topk.entries.size(); ++i) {
@@ -78,7 +78,7 @@ TEST(CursorTest, PrefixMatchesTopK) {
 TEST(CursorTest, AccumulatesStats) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 1);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   std::unique_ptr<StpsCursor> cursor = engine.OpenCursor(q).TakeValue();
   ASSERT_TRUE(cursor->Next().has_value());
   EXPECT_GT(cursor->stats().features_retrieved, 0u);
@@ -90,8 +90,8 @@ TEST(CursorTest, AccumulatesStats) {
 TEST(ExplainTest, PaperExampleContributions) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
-  Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                {});
+  Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                {}).TakeValue();
   // Hotel p6 (id 5): tau = s(Ontario's Pizza) + s(Royal Coffe Shop).
   Explanation e = ExplainScore(&engine, q, 5);
   EXPECT_NEAR(e.total, ex::kTopHotelScore, 1e-9);
@@ -111,7 +111,7 @@ TEST(ExplainTest, NoFeatureContribution) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
   q.radius = 0.5;  // nothing near hotel p7 at (10, 10)
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   Explanation e = ExplainScore(&engine, q, 6);
   EXPECT_EQ(e.total, 0.0);
   for (const Contribution& c : e.contributions) {
@@ -137,7 +137,7 @@ TEST(ExplainTest, MatchesQueryScoresForAllVariants) {
     qcfg.variant = v;
     queries.push_back(GenerateQueries(ds, qcfg)[0]);
   }
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     ScoreVariant v = q.variant;
     QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
@@ -184,7 +184,7 @@ TEST(VoronoiCacheTest, EngineReusesCellsAcrossQueries) {
   Query q = GenerateQueries(ds, qcfg)[0];
   EngineOptions opts;
   opts.reuse_voronoi_cells = true;
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
 
   QueryResult first = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_EQ(first.stats.voronoi_cache_hits, 0u);
@@ -210,7 +210,7 @@ TEST(VoronoiCacheTest, DifferentKeywordsDontReuse) {
   Dataset ds = GenerateSynthetic(cfg);
   EngineOptions opts;
   opts.reuse_voronoi_cells = true;
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   Query q1;
   q1.k = 3;
   q1.variant = ScoreVariant::kNearestNeighbor;
@@ -228,7 +228,7 @@ TEST(VoronoiCacheTest, DifferentKeywordsDontReuse) {
 TEST(ValidationTest, ExecuteRejectsMalformedQueries) {
   Dataset ds = ex::ExampleDataset();
   Query good = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   EXPECT_TRUE(engine.Execute(good, Algorithm::kStps).ok());
 
   Query bad = good;
@@ -261,7 +261,7 @@ TEST(ValidationTest, ExecuteRejectsMalformedQueries) {
 TEST(ValidationTest, OpenCursorRejectsMalformedAndNonRangeQueries) {
   Dataset ds = ex::ExampleDataset();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   EXPECT_TRUE(engine.OpenCursor(q).ok());
 
   Query bad = q;
@@ -278,8 +278,8 @@ TEST(ValidationTest, CreateRejectsBadOptionsAndBuildsGoodEngines) {
   Dataset ds = ex::ExampleDataset();
 
   EngineOptions bad;
-  bad.page_size_bytes = 16;  // below the 64-byte minimum
-  EXPECT_EQ(Engine::Create(ds.objects,
+  bad.storage.page_size = 16;  // below the 64-byte minimum
+  EXPECT_EQ(Engine::Build(ds.objects,
                            std::vector<FeatureTable>(ds.feature_tables), bad)
                 .status()
                 .code(),
@@ -287,27 +287,62 @@ TEST(ValidationTest, CreateRejectsBadOptionsAndBuildsGoodEngines) {
 
   bad = EngineOptions{};
   bad.fill = 0.0;
-  EXPECT_FALSE(Engine::Create(ds.objects,
+  EXPECT_FALSE(Engine::Build(ds.objects,
                               std::vector<FeatureTable>(ds.feature_tables),
                               bad)
                    .ok());
 
   bad = EngineOptions{};
   bad.signature_hashes = 0;
-  EXPECT_FALSE(Engine::Create(ds.objects,
+  EXPECT_FALSE(Engine::Build(ds.objects,
                               std::vector<FeatureTable>(ds.feature_tables),
                               bad)
                    .ok());
 
   // A valid configuration builds a working engine that survives the move
   // out of the Result.
-  Result<Engine> built = Engine::Create(
+  Result<Engine> built = Engine::Build(
       ds.objects, std::vector<FeatureTable>(ds.feature_tables), {});
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   Engine engine = built.TakeValue();
   Query q = ex::TouristQuery(ds.vocabularies[0], ds.vocabularies[1], 3);
   QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
   EXPECT_FALSE(r.entries.empty());
+}
+
+TEST(ValidationTest, BuildRejectsBadStorageOptions) {
+  Dataset ds = ex::ExampleDataset();
+
+  // Build is in-memory only: the file backend comes from Engine::Open.
+  EngineOptions bad;
+  bad.storage.backend = StorageBackend::kFile;
+  bad.storage.path = "/tmp/whatever.stpqx";
+  Result<Engine> r = Engine::Build(
+      ds.objects, std::vector<FeatureTable>(ds.feature_tables), bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // A file backend without a path is malformed no matter the entry point.
+  bad = EngineOptions{};
+  bad.storage.backend = StorageBackend::kFile;
+  r = Engine::Build(ds.objects,
+                    std::vector<FeatureTable>(ds.feature_tables), bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // And a path with the simulated backend is a contradiction.
+  bad = EngineOptions{};
+  bad.storage.path = "/tmp/whatever.stpqx";
+  r = Engine::Build(ds.objects,
+                    std::vector<FeatureTable>(ds.feature_tables), bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // A built engine reports the simulated store behind its pools.
+  Engine engine = Engine::Build(
+      ds.objects, std::vector<FeatureTable>(ds.feature_tables), {})
+      .TakeValue();
+  EXPECT_EQ(engine.page_store().backend(), StorageBackend::kSimulated);
 }
 
 // ------------------------------------------------------------ index stats

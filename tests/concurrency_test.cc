@@ -71,7 +71,7 @@ TEST(ConcurrencyTest, ParallelRunMatchesSequentialExactly) {
   Dataset ds = MakeDataset();
   std::vector<Query> queries = MixedWorkload(ds, 200);
   ASSERT_GE(queries.size(), 200u);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
 
   std::vector<QueryResult> sequential;
   sequential.reserve(queries.size());
@@ -102,7 +102,7 @@ TEST(ConcurrencyTest, ParallelRunMatchesSequentialExactly) {
 TEST(ConcurrencyTest, MixedAlgorithmsOnRawThreads) {
   Dataset ds = MakeDataset(1'000, 800);
   std::vector<Query> queries = MixedWorkload(ds, 48);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
 
   std::vector<QueryResult> seq_stds, seq_stps;
   for (const Query& q : queries) {
@@ -139,7 +139,7 @@ TEST(ConcurrencyTest, CursorOutlivesQueryAndMovesThreads) {
   qcfg.count = 4;
   qcfg.radius = 0.05;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
 
   // Sequential reference stream per query.
   std::vector<std::vector<ResultEntry>> expected(queries.size());
@@ -190,8 +190,8 @@ TEST(ConcurrencyTest, WarmSharedPoolKeepsResultsCorrect) {
   std::vector<Query> queries = MixedWorkload(ds, 60);
   EngineOptions opts;
   opts.cold_cache_per_query = false;
-  opts.buffer_pool_pages = 64;  // force eviction churn under contention
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  opts.storage.pool_capacity = 64;  // force eviction churn under contention
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
 
   std::vector<std::vector<ResultEntry>> expected;
   for (const Query& q : queries) {
@@ -226,11 +226,11 @@ TEST(ConcurrencyTest, SharedVoronoiCacheUnderConcurrentNnQueries) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   EngineOptions opts;
   opts.reuse_voronoi_cells = true;
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
 
   // Reference from an identically-built engine with a private cold cache.
   Dataset ds2 = MakeDataset(1'000, 800);
-  Engine reference(ds2.objects, std::move(ds2.feature_tables), {});
+  Engine reference = Engine::Build(ds2.objects, std::move(ds2.feature_tables), {}).TakeValue();
   std::vector<std::vector<ResultEntry>> expected;
   for (const Query& q : queries) {
     expected.push_back(
@@ -265,7 +265,7 @@ TEST(ConcurrencyTest, SharedVoronoiCacheUnderConcurrentNnQueries) {
 TEST(ConcurrencyTest, CountersIndependentOfThreadCount) {
   Dataset ds = MakeDataset(1'000, 800);
   std::vector<Query> queries = MixedWorkload(ds, 30);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   ParallelWorkloadRunner runner(&engine);
 
   ParallelWorkloadOptions opts;
@@ -286,7 +286,7 @@ TEST(ConcurrencyTest, RunnerRejectsMalformedBatch) {
   Dataset ds = MakeDataset(500, 400);
   std::vector<Query> queries = MixedWorkload(ds, 10);
   queries[3].k = 0;
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   ParallelWorkloadRunner runner(&engine);
   Result<ParallelWorkloadReport> r = runner.Run(queries, {});
   ASSERT_FALSE(r.ok());

@@ -4,6 +4,9 @@
 // the unit tests tends to surface here as a score mismatch.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -88,7 +91,7 @@ TEST(FuzzDifferentialTest, AlgorithmsAgreeWithBruteForce) {
     opts.index_kind = fc.index_kind;
     opts.bulk_load = fc.bulk_load;
     // Copy the dataset into the engine; `ds` stays alive for brute force.
-    Engine engine(ds.objects, ds.feature_tables, opts);
+    Engine engine = Engine::Build(ds.objects, ds.feature_tables, opts).TakeValue();
 
     for (ScoreVariant variant : variants) {
       for (int trial = 0; trial < 8; ++trial) {
@@ -113,7 +116,7 @@ TEST(FuzzDifferentialTest, PullingStrategiesAgree) {
 
   EngineOptions round_robin;
   round_robin.pulling = PullingStrategy::kRoundRobin;
-  Engine engine(ds.objects, ds.feature_tables, round_robin);
+  Engine engine = Engine::Build(ds.objects, ds.feature_tables, round_robin).TakeValue();
 
   Rng rng(99);
   for (int trial = 0; trial < 10; ++trial) {
@@ -132,7 +135,7 @@ TEST(FuzzDifferentialTest, BatchedAndUnbatchedStdsAgree) {
 
   EngineOptions unbatched;
   unbatched.stds_batching = false;
-  Engine engine(ds.objects, ds.feature_tables, unbatched);
+  Engine engine = Engine::Build(ds.objects, ds.feature_tables, unbatched).TakeValue();
 
   Rng rng(7);
   for (int trial = 0; trial < 10; ++trial) {
@@ -140,6 +143,75 @@ TEST(FuzzDifferentialTest, BatchedAndUnbatchedStdsAgree) {
     ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries,
                      brute.TopK(q), "unbatched/trial" + std::to_string(trial));
   }
+}
+
+// Deserializer fuzz: single-byte mutations of a valid .stpqx image must
+// either load successfully (a flip in slack/padding the checksums do not
+// cover does not exist — every payload byte is checksummed, so in practice
+// only flips in the zero-fill between segments survive) or fail with a
+// typed error.  Crashing, hanging, or returning a half-restored index is
+// the bug this guards against.
+TEST(FuzzDifferentialTest, IndexDeserializerSurvivesByteFlips) {
+  SyntheticConfig cfg;
+  cfg.seed = 5150;
+  cfg.num_objects = 120;
+  cfg.num_features_per_set = 120;
+  cfg.num_feature_sets = 1;
+  cfg.vocabulary_size = 16;
+  cfg.num_clusters = 8;
+  Dataset ds = GenerateSynthetic(cfg);
+  EngineOptions opts;
+  opts.storage.page_size = 256;
+  Engine engine =
+      Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), opts)
+          .TakeValue();
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("stpq_fuzz_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  std::string pristine = (dir / "pristine.stpqx").string();
+  ASSERT_TRUE(engine.Save(pristine).ok());
+  std::string bytes;
+  {
+    std::ifstream in(pristine, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 256u);
+
+  Rng rng(424242);
+  std::string mutated = (dir / "mutated.stpqx").string();
+  int loaded_ok = 0, rejected = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    size_t offset = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(bytes.size()) - 1));
+    char flip =
+        static_cast<char>(1 + rng.UniformInt(0, 254));  // never a no-op
+    std::string copy = bytes;
+    copy[offset] = static_cast<char>(copy[offset] ^ flip);
+    {
+      std::ofstream out(mutated, std::ios::binary | std::ios::trunc);
+      out.write(copy.data(), static_cast<std::streamsize>(copy.size()));
+    }
+    Result<Engine> r = Engine::Open(mutated);
+    if (r.ok()) {
+      ++loaded_ok;
+    } else {
+      ++rejected;
+      StatusCode code = r.status().code();
+      EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                  code == StatusCode::kIoError ||
+                  code == StatusCode::kCorruption)
+          << "offset " << offset << ": " << r.status().ToString();
+    }
+  }
+  // Every payload byte is covered by a segment checksum, so the vast
+  // majority of flips must be rejected (only inter-segment padding flips
+  // can load).
+  EXPECT_GT(rejected, loaded_ok);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

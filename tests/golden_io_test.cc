@@ -9,6 +9,8 @@
 // STPQ_GOLDEN_PRINT=1 and paste the printed tables over the constants.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -75,8 +77,8 @@ std::vector<GoldenRow> RunPaperMatrix() {
     Dataset ds = testing_example::ExampleDataset();
     EngineOptions opts;
     opts.index_kind = kind;
-    opts.page_size_bytes = 128;
-    Engine engine(std::move(ds.objects), std::move(ds.feature_tables), opts);
+    opts.storage.page_size = 128;
+    Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), opts).TakeValue();
     for (Algorithm algo : {Algorithm::kStds, Algorithm::kStps}) {
       for (ScoreVariant variant :
            {ScoreVariant::kRange, ScoreVariant::kInfluence,
@@ -115,10 +117,10 @@ std::vector<GoldenRow> RunSharedPoolWorkload() {
     Dataset ds = GenerateSynthetic(cfg);
     EngineOptions opts;
     opts.index_kind = kind;
-    opts.page_size_bytes = 256;
-    opts.buffer_pool_pages = 32;
+    opts.storage.page_size = 256;
+    opts.storage.pool_capacity = 32;
     opts.cold_cache_per_query = false;
-    Engine engine(std::move(ds.objects), std::move(ds.feature_tables), opts);
+    Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), opts).TakeValue();
     Rng rng(99);
     QueryStats total;
     for (int i = 0; i < 40; ++i) {
@@ -202,6 +204,72 @@ TEST(GoldenIoTest, PaperExampleMatrix) {
     GTEST_SKIP() << "golden print mode";
   }
   ExpectRowsMatch(ExpectedPaperMatrix(), actual, "PaperExampleMatrix");
+}
+
+/// The paper-example matrix re-run on file-backed engines: each engine is
+/// built, saved to a .stpqx file, reopened through Engine::Open (so every
+/// buffer-pool miss is a real FilePageStore fetch), and the same golden
+/// constants must hold byte-for-byte.  This is the cross-backend contract:
+/// switching the storage backend changes where pages come from, never how
+/// many are read.
+std::vector<GoldenRow> RunPaperMatrixFileBacked() {
+  std::vector<GoldenRow> rows;
+  Vocabulary rv = testing_example::RestaurantVocab();
+  Vocabulary cv = testing_example::CafeVocab();
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("stpq_golden_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  for (FeatureIndexKind kind :
+       {FeatureIndexKind::kSrt, FeatureIndexKind::kIr2}) {
+    Dataset ds = testing_example::ExampleDataset();
+    EngineOptions opts;
+    opts.index_kind = kind;
+    opts.storage.page_size = 128;
+    Engine built = Engine::Build(std::move(ds.objects),
+                                 std::move(ds.feature_tables), opts)
+                       .TakeValue();
+    std::string path = (dir / "golden.stpqx").string();
+    Status saved = built.Save(path);
+    EXPECT_TRUE(saved.ok()) << saved.ToString();
+    Result<Engine> reopened = Engine::Open(path);
+    EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+    if (!saved.ok() || !reopened.ok()) break;
+    const Engine& engine = reopened.value();
+    EXPECT_EQ(engine.page_store().backend(), StorageBackend::kFile);
+    for (Algorithm algo : {Algorithm::kStds, Algorithm::kStps}) {
+      for (ScoreVariant variant :
+           {ScoreVariant::kRange, ScoreVariant::kInfluence,
+            ScoreVariant::kNearestNeighbor}) {
+        Query q = testing_example::TouristQuery(rv, cv);
+        q.variant = variant;
+        Result<QueryResult> result = engine.Execute(q, algo);
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+        if (!result.ok()) return rows;
+        const QueryStats& stats = result.value().stats;
+        rows.push_back({kind == FeatureIndexKind::kSrt ? "SRT" : "IR2",
+                        algo == Algorithm::kStds ? "STDS" : "STPS",
+                        VariantName(variant), stats.object_index_reads,
+                        stats.feature_index_reads, stats.buffer_hits});
+      }
+    }
+    // A reopened engine really serves misses from the file.
+    EXPECT_GT(engine.page_store().stats().fetches, 0u);
+  }
+  std::filesystem::remove_all(dir);
+  return rows;
+}
+
+TEST(GoldenIoTest, PaperExampleMatrixFileBacked) {
+  std::vector<GoldenRow> actual = RunPaperMatrixFileBacked();
+  if (GoldenPrintMode()) {
+    PrintRows("PaperExampleMatrixFileBacked", actual);
+    GTEST_SKIP() << "golden print mode";
+  }
+  // Same constants as the simulated backend: the storage backend must not
+  // change a single page-read count.
+  ExpectRowsMatch(ExpectedPaperMatrix(), actual,
+                  "PaperExampleMatrixFileBacked");
 }
 
 TEST(GoldenIoTest, SharedPoolWorkload) {

@@ -47,9 +47,9 @@ TEST(IntegrationTest, SrtAndIr2ReturnIdenticalResults) {
   srt_opts.index_kind = FeatureIndexKind::kSrt;
   EngineOptions ir2_opts;
   ir2_opts.index_kind = FeatureIndexKind::kIr2;
-  Engine srt(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-             srt_opts);
-  Engine ir2(ds.objects, std::move(ds.feature_tables), ir2_opts);
+  Engine srt = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+             srt_opts).TakeValue();
+  Engine ir2 = Engine::Build(ds.objects, std::move(ds.feature_tables), ir2_opts).TakeValue();
   for (const Query& q : queries) {
     ExpectSameScores(srt.Execute(q, Algorithm::kStps).TakeValue().entries, ir2.Execute(q, Algorithm::kStps).TakeValue().entries,
                      "SRT vs IR2");
@@ -72,8 +72,8 @@ TEST(IntegrationTest, PullingStrategiesReturnIdenticalResults) {
   pri.pulling = PullingStrategy::kPrioritized;
   EngineOptions rr;
   rr.pulling = PullingStrategy::kRoundRobin;
-  Engine a(ds.objects, std::vector<FeatureTable>(ds.feature_tables), pri);
-  Engine b(ds.objects, std::move(ds.feature_tables), rr);
+  Engine a = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables), pri).TakeValue();
+  Engine b = Engine::Build(ds.objects, std::move(ds.feature_tables), rr).TakeValue();
   for (const Query& q : queries) {
     ExpectSameScores(a.Execute(q, Algorithm::kStps).TakeValue().entries, b.Execute(q, Algorithm::kStps).TakeValue().entries,
                      "pulling strategies");
@@ -85,8 +85,8 @@ TEST(IntegrationTest, RealLikeWorkloadAllVariantsAgreeWithBruteForce) {
   cfg.scale = 0.02;  // 500 hotels, 1580 restaurants, 600 cafes
   Dataset ds = GenerateRealLike(cfg);
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
-  Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                {});
+  Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                {}).TakeValue();
   for (ScoreVariant variant :
        {ScoreVariant::kRange, ScoreVariant::kInfluence,
         ScoreVariant::kNearestNeighbor}) {
@@ -120,7 +120,7 @@ TEST(IntegrationTest, FiveFeatureSets) {
   qcfg.count = 3;
   qcfg.radius = 0.06;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     std::vector<ResultEntry> expected = brute.TopK(q);
     ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS c=5");
@@ -141,7 +141,7 @@ TEST(IntegrationTest, RangeScoreDominatesInfluenceScore) {
   QueryWorkloadConfig qcfg;
   qcfg.count = 3;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   for (Query q : queries) {
     for (ScoreVariant v : {ScoreVariant::kRange, ScoreVariant::kInfluence,
                            ScoreVariant::kNearestNeighbor}) {
@@ -173,9 +173,9 @@ TEST(IntegrationTest, SmallBufferPoolStillCorrect) {
   qcfg.radius = 0.04;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   EngineOptions opts;
-  opts.buffer_pool_pages = 8;  // pathologically small LRU
+  opts.storage.pool_capacity = 8;  // pathologically small LRU
   opts.cold_cache_per_query = false;
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   for (const Query& q : queries) {
     ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, brute.TopK(q),
                      "tiny pool");
@@ -195,8 +195,8 @@ TEST(IntegrationTest, SmallPageSizeDeepTreesStillCorrect) {
   qcfg.radius = 0.05;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   EngineOptions opts;
-  opts.page_size_bytes = 256;  // fan-out floors at 4: deep trees
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  opts.storage.page_size = 256;  // fan-out floors at 4: deep trees
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   for (const Query& q : queries) {
     ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, brute.TopK(q),
                      "deep trees");
@@ -212,7 +212,7 @@ TEST(IntegrationTest, ResultEntriesCarryValidObjectIds) {
   QueryWorkloadConfig qcfg;
   qcfg.count = 2;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
     std::set<ObjectId> seen;

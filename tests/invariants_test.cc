@@ -7,6 +7,9 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
+#include "core/engine.h"
 #include "debug/validate.h"
 #include "gen/synthetic.h"
 #include "hilbert/keyword_hilbert.h"
@@ -330,6 +333,54 @@ TEST(BufferPoolValidatorTest, DetectsBrokenLruBackLink) {
   ASSERT_FALSE(st.ok());
   EXPECT_NE(st.message().find("back-link"), std::string::npos)
       << st.ToString();
+}
+
+// ------------------------------------------------- reopened-index validation
+
+// A .stpqx round trip must restore trees the deep validators accept: MBR
+// containment, augment bounds, leaf/record bijections — everything checked
+// on a built index holds verbatim on the reopened image.
+TEST(ReopenedIndexValidatorTest, DeepValidatorsAcceptReopenedIndexes) {
+  SyntheticConfig cfg;
+  cfg.seed = 21;
+  cfg.num_objects = 300;
+  cfg.num_features_per_set = 300;
+  cfg.num_feature_sets = 2;
+  cfg.vocabulary_size = 32;
+  cfg.num_clusters = 16;
+  for (FeatureIndexKind kind :
+       {FeatureIndexKind::kSrt, FeatureIndexKind::kIr2}) {
+    Dataset ds = GenerateSynthetic(cfg);
+    EngineOptions opts;
+    opts.index_kind = kind;
+    opts.storage.page_size = 256;
+    Engine built = Engine::Build(std::move(ds.objects),
+                                 std::move(ds.feature_tables), opts)
+                       .TakeValue();
+    std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("stpq_invariants_" + std::to_string(::getpid()) + ".stpqx");
+    ASSERT_TRUE(built.Save(path.string()).ok());
+    Result<Engine> reopened = Engine::Open(path.string());
+    std::filesystem::remove(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+    Status st = ValidateObjectIndex(reopened.value().object_index());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (size_t i = 0; i < reopened.value().num_feature_sets(); ++i) {
+      const FeatureIndex& fi = reopened.value().feature_index(i);
+      if (kind == FeatureIndexKind::kSrt) {
+        const auto* srt = dynamic_cast<const SrtIndex*>(&fi);
+        ASSERT_NE(srt, nullptr);
+        st = ValidateSrtIndex(*srt);
+      } else {
+        const auto* ir2 = dynamic_cast<const Ir2Tree*>(&fi);
+        ASSERT_NE(ir2, nullptr);
+        st = ValidateIr2Tree(*ir2);
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
 }
 
 TEST(BufferPoolValidatorTest, DetectsAdmissionCounterRollback) {

@@ -5,9 +5,12 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/engine.h"
 #include "gen/real_like.h"
 #include "gen/synthetic.h"
 #include "io/dataset_io.h"
+#include "io/index_file.h"
+#include "util/rng.h"
 
 namespace stpq {
 namespace {
@@ -188,6 +191,204 @@ TEST_F(IoTest, BinaryRejectsMissingVocabulary) {
   // No vocabulary for the table.
   Status s = WriteDatasetBinary(Path("x.stpq"), ds);
   EXPECT_FALSE(s.ok());
+}
+
+// ---------------------------------------------------------------------------
+// .stpqx index files: build -> Save -> Open round trips and typed corruption
+// errors (DESIGN.md §16).  The round-trip contract is strict: a reopened
+// engine must return identical result entries AND identical per-query
+// page-read counters, because the restored trees are verbatim images of the
+// built ones.
+// ---------------------------------------------------------------------------
+
+class IndexFileTest : public IoTest {
+ protected:
+  static Dataset SmallDataset() {
+    SyntheticConfig cfg;
+    cfg.seed = 7;
+    cfg.num_objects = 400;
+    cfg.num_features_per_set = 400;
+    cfg.num_feature_sets = 2;
+    cfg.vocabulary_size = 48;
+    cfg.num_clusters = 32;
+    return GenerateSynthetic(cfg);
+  }
+
+  static Engine BuildEngine(const Dataset& ds, FeatureIndexKind kind) {
+    EngineOptions opts;
+    opts.index_kind = kind;
+    opts.storage.page_size = 256;  // small pages -> trees with real depth
+    return Engine::Build(ds.objects,
+                         std::vector<FeatureTable>(ds.feature_tables), opts)
+        .TakeValue();
+  }
+
+  static std::vector<Query> SomeQueries(uint32_t vocab, uint32_t sets) {
+    Rng rng(123);
+    std::vector<Query> queries;
+    for (int i = 0; i < 12; ++i) {
+      Query q;
+      q.k = 5;
+      q.radius = 0.05;
+      q.lambda = 0.5;
+      for (uint32_t s = 0; s < sets; ++s) {
+        KeywordSet kw(vocab);
+        kw.Insert(static_cast<TermId>(rng.UniformInt(0, vocab - 1)));
+        kw.Insert(static_cast<TermId>(rng.UniformInt(0, vocab - 1)));
+        q.keywords.push_back(std::move(kw));
+      }
+      q.variant = (i % 4 == 1)   ? ScoreVariant::kInfluence
+                  : (i % 4 == 3) ? ScoreVariant::kNearestNeighbor
+                                 : ScoreVariant::kRange;
+      queries.push_back(std::move(q));
+    }
+    return queries;
+  }
+
+  /// Saves a small valid SRT index to `name` and returns its path.
+  std::string SaveSmallIndex(const char* name) {
+    Dataset ds = SmallDataset();
+    Engine engine = BuildEngine(ds, FeatureIndexKind::kSrt);
+    std::string path = Path(name);
+    EXPECT_TRUE(engine.Save(path).ok());
+    return path;
+  }
+
+  void RoundTrip(FeatureIndexKind kind) {
+    Dataset ds = SmallDataset();
+    Engine built = BuildEngine(ds, kind);
+    std::string path = Path("rt.stpqx");
+    ASSERT_TRUE(built.Save(path).ok());
+
+    Result<Engine> reopened = Engine::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened.value().page_store().backend(),
+              StorageBackend::kFile);
+    EXPECT_EQ(reopened.value().options().index_kind, kind);
+
+    for (Algorithm algo : {Algorithm::kStds, Algorithm::kStps}) {
+      for (const Query& q : SomeQueries(48, 2)) {
+        Result<QueryResult> a = built.Execute(q, algo);
+        Result<QueryResult> b = reopened.value().Execute(q, algo);
+        ASSERT_TRUE(a.ok() && b.ok());
+        EXPECT_EQ(a.value().entries, b.value().entries);
+        // Golden I/O contract: identical page-read accounting per query.
+        EXPECT_EQ(a.value().stats.object_index_reads,
+                  b.value().stats.object_index_reads);
+        EXPECT_EQ(a.value().stats.feature_index_reads,
+                  b.value().stats.feature_index_reads);
+        EXPECT_EQ(a.value().stats.buffer_hits, b.value().stats.buffer_hits);
+      }
+    }
+    // The reopened engine really read pages from the file.
+    EXPECT_GT(reopened.value().page_store().stats().fetches, 0u);
+  }
+};
+
+TEST_F(IndexFileTest, RoundTripSrt) { RoundTrip(FeatureIndexKind::kSrt); }
+
+TEST_F(IndexFileTest, RoundTripIr2) { RoundTrip(FeatureIndexKind::kIr2); }
+
+TEST_F(IndexFileTest, VocabulariesRoundTrip) {
+  Dataset ds = SmallDataset();
+  Engine engine = BuildEngine(ds, FeatureIndexKind::kSrt);
+  std::string path = Path("vocab.stpqx");
+  ASSERT_TRUE(engine.Save(path, ds.vocabularies).ok());
+  Result<std::vector<Vocabulary>> back = ReadIndexVocabularies(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), ds.vocabularies.size());
+  for (size_t i = 0; i < back.value().size(); ++i) {
+    ASSERT_EQ(back.value()[i].size(), ds.vocabularies[i].size());
+    for (TermId t = 0; t < ds.vocabularies[i].size(); ++t) {
+      EXPECT_EQ(back.value()[i].Term(t), ds.vocabularies[i].Term(t));
+    }
+  }
+}
+
+TEST_F(IndexFileTest, InfoReportsSuperblockAndCatalog) {
+  std::string path = SaveSmallIndex("info.stpqx");
+  Result<IndexFileInfo> info = ReadIndexFileInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().params.index_kind, FeatureIndexKind::kSrt);
+  EXPECT_EQ(info.value().table_count, 2u);
+  // 3 fixed segments + 4 per table (vocab, table, tree meta, tree nodes).
+  EXPECT_EQ(info.value().segments.size(), 3u + 4u * 2u);
+}
+
+TEST_F(IndexFileTest, RejectsBadMagic) {
+  std::string path = Path("junk.stpqx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is definitely not a stpq index file, padded well past the "
+           "superblock size so only the magic check can reject it";
+  }
+  Result<LoadedIndex> r = LoadIndexFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  Result<Engine> e = Engine::Open(path);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexFileTest, RejectsVersionMismatch) {
+  std::string path = SaveSmallIndex("ver.stpqx");
+  {
+    // The version is the u32 at byte offset 4, right after the magic.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    char future = 99;
+    f.write(&future, 1);
+  }
+  Result<LoadedIndex> r = LoadIndexFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(IndexFileTest, RejectsTruncatedSuperblock) {
+  std::string path = SaveSmallIndex("shortsb.stpqx");
+  std::filesystem::resize_file(path, 20);
+  Result<LoadedIndex> r = LoadIndexFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IndexFileTest, RejectsTruncatedSegments) {
+  std::string path = SaveSmallIndex("shortseg.stpqx");
+  uint64_t size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size * 2 / 3);
+  Result<LoadedIndex> r = LoadIndexFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IndexFileTest, RejectsChecksumDamage) {
+  std::string path = SaveSmallIndex("flip.stpqx");
+  uint64_t size = std::filesystem::file_size(path);
+  {
+    // Flip one byte near the end of the file: inside the last node
+    // segment's payload, far from the header, so only the segment
+    // checksum can catch it.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size - 100));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5c);
+    f.seekp(static_cast<std::streamoff>(size - 100));
+    f.write(&b, 1);
+  }
+  Result<LoadedIndex> r = LoadIndexFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  Result<Engine> e = Engine::Open(path);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IndexFileTest, RejectsMissingFile) {
+  Result<LoadedIndex> r = LoadIndexFile(Path("nope.stpqx"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
 }  // namespace

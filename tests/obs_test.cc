@@ -450,7 +450,7 @@ TEST(EngineObservabilityTest, ExecuteFillsPhaseBreakdown) {
   qcfg.k = 5;
   qcfg.radius = 0.05;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     Result<QueryResult> r = engine.Execute(q, Algorithm::kStps);
     ASSERT_TRUE(r.ok());
@@ -474,7 +474,7 @@ TEST(EngineObservabilityTest, GlobalRegistryAdvancesPerQuery) {
   qcfg.k = 5;
   qcfg.radius = 0.05;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
   const uint64_t before = QueryMetrics::Global().queries_total.value();
   const uint64_t rejected_before =
       QueryMetrics::Global().rejected_total.value();
@@ -500,7 +500,7 @@ TEST(ParallelWorkloadTest, MergedStatsEqualSumOfPerQueryStats) {
   qcfg.k = 5;
   qcfg.radius = 0.05;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
   ParallelWorkloadRunner runner(&engine);
   ParallelWorkloadOptions opts;
   opts.threads = 4;

@@ -173,9 +173,9 @@ TEST(StdsBatchingTest, BatchingReadsAtMostMarginallyMorePages) {
   batched.stds_batching = true;
   EngineOptions single;
   single.stds_batching = false;
-  Engine eb(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-            batched);
-  Engine es(ds.objects, std::move(ds.feature_tables), single);
+  Engine eb = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+            batched).TakeValue();
+  Engine es = Engine::Build(ds.objects, std::move(ds.feature_tables), single).TakeValue();
   uint64_t batched_reads = 0, single_reads = 0;
   for (const Query& q : queries) {
     batched_reads += eb.Execute(q, Algorithm::kStds).TakeValue().stats.TotalReads();
@@ -203,8 +203,8 @@ TEST(CombinationSymmetryTest, FeatureSetOrderDoesNotChangeScores) {
   swapped.objects = ds.objects;
   swapped.feature_tables.push_back(ds.feature_tables[1]);
   swapped.feature_tables.push_back(ds.feature_tables[0]);
-  Engine a(ds.objects, std::move(ds.feature_tables), {});
-  Engine b(swapped.objects, std::move(swapped.feature_tables), {});
+  Engine a = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
+  Engine b = Engine::Build(swapped.objects, std::move(swapped.feature_tables), {}).TakeValue();
   for (Query q : queries) {
     QueryResult ra = a.Execute(q, Algorithm::kStps).TakeValue();
     std::swap(q.keywords[0], q.keywords[1]);

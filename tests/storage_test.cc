@@ -1,7 +1,14 @@
-// Tests for storage/: the LRU buffer pool and I/O accounting.
+// Tests for storage/: the LRU buffer pool, I/O accounting, and the
+// PageStore backends behind the pools.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 #include "storage/buffer_pool.h"
+#include "storage/page_store.h"
 
 namespace stpq {
 namespace {
@@ -172,6 +179,126 @@ TEST(BufferPoolPinTest, EvictionSkipsPinnedAndTakesNextLru) {
   EXPECT_TRUE(pool.Access(1));
   EXPECT_FALSE(pool.Access(2));
   ASSERT_TRUE(pool.Unpin(1).ok());
+}
+
+TEST(PageStoreTest, ParseStorageBackend) {
+  EXPECT_EQ(ParseStorageBackend("simulated").value(),
+            StorageBackend::kSimulated);
+  EXPECT_EQ(ParseStorageBackend("file").value(), StorageBackend::kFile);
+  Result<StorageBackend> bad = ParseStorageBackend("bogus");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PageStoreTest, SimulatedStoreCountsMissesOnly) {
+  SimulatedPageStore store;
+  BufferPool pool(4, &store);
+  pool.Access(1);  // miss -> fetch
+  pool.Access(1);  // hit -> no fetch
+  pool.Access(2);  // miss -> fetch
+  EXPECT_EQ(store.stats().fetches, 2u);
+  EXPECT_EQ(store.stats().bytes_read, 0u);
+  EXPECT_EQ(store.backend(), StorageBackend::kSimulated);
+  // Counting is independent of the store: same reads/hits as a bare pool.
+  EXPECT_EQ(pool.stats().reads, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(PageStoreTest, PoolWithoutStoreStillCounts) {
+  BufferPool pool(4);
+  pool.Access(7);
+  pool.Access(7);
+  EXPECT_EQ(pool.stats().reads, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.page_store(), nullptr);
+}
+
+class FilePageStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("stpq_storage_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes `bytes` of a repeating pattern and returns the path.
+  std::string MakeFile(const char* name, size_t bytes) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    for (size_t i = 0; i < bytes; ++i) {
+      out.put(static_cast<char>(i & 0xff));
+    }
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FilePageStoreTest, OpenRejectsMissingFile) {
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      (dir_ / "nope.bin").string(),
+      {FilePageStore::Extent{0, 1, 0, 4096}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FilePageStoreTest, OpenRejectsExtentPastEof) {
+  std::string path = MakeFile("short.bin", 4096);
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, 2, 0, 4096}});  // needs 8192 bytes
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FilePageStoreTest, OpenRejectsOverlappingExtents) {
+  std::string path = MakeFile("two.bin", 16384);
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, 2, 0, 4096},
+             FilePageStore::Extent{1, 2, 8192, 4096}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FilePageStoreTest, FetchCountsBytesAndErrors) {
+  for (FilePageStore::IoMode mode :
+       {FilePageStore::IoMode::kMmap, FilePageStore::IoMode::kPread}) {
+    std::string path = MakeFile("data.bin", 3 * 4096);
+    Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+        path, {FilePageStore::Extent{10, 3, 0, 4096}}, mode);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    FilePageStore& store = *r.value();
+    EXPECT_EQ(store.backend(), StorageBackend::kFile);
+    EXPECT_EQ(store.using_mmap(), mode == FilePageStore::IoMode::kMmap);
+    store.FetchPage(10);
+    store.FetchPage(12);
+    EXPECT_EQ(store.stats().fetches, 2u);
+    EXPECT_EQ(store.stats().bytes_read, 2u * 4096);
+    EXPECT_EQ(store.stats().io_errors, 0u);
+    store.FetchPage(13);  // past the extent
+    store.FetchPage(9);   // before the extent
+    EXPECT_EQ(store.stats().io_errors, 2u);
+    EXPECT_EQ(store.stats().fetches, 2u);
+  }
+}
+
+TEST_F(FilePageStoreTest, PoolMissTriggersFetch) {
+  std::string path = MakeFile("pool.bin", 2 * 4096);
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, 2, 0, 4096}});
+  ASSERT_TRUE(r.ok());
+  BufferPool pool(4, r.value().get());
+  pool.Access(0);  // miss -> file fetch
+  pool.Access(0);  // hit -> no fetch
+  pool.Access(1);  // miss -> file fetch
+  EXPECT_EQ(r.value()->stats().fetches, 2u);
+  EXPECT_EQ(r.value()->stats().bytes_read, 2u * 4096);
+  // Session pools inherit the shared pool's store.
+  {
+    BufferPool::Session session(&pool, /*isolated=*/true);
+    session.Access(0);  // isolated pool is cold -> fetch
+  }
+  EXPECT_EQ(r.value()->stats().fetches, 3u);
 }
 
 }  // namespace

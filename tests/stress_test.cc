@@ -30,7 +30,7 @@ TEST(WorkloadTest, SummarizesCosts) {
   QueryWorkloadConfig qcfg;
   qcfg.count = 10;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   WorkloadSummary s = RunWorkload(engine, queries, Algorithm::kStps, 0.1).TakeValue();
   EXPECT_EQ(s.queries, 10u);
   EXPECT_GT(s.total_ms.mean, 0.0);
@@ -48,7 +48,7 @@ TEST(WorkloadTest, EmptyWorkload) {
   cfg.num_features_per_set = 10;
   cfg.num_feature_sets = 1;
   Dataset ds = GenerateSynthetic(cfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   WorkloadSummary s = RunWorkload(engine, {}, Algorithm::kStps, 0.1).TakeValue();
   EXPECT_EQ(s.queries, 0u);
   EXPECT_EQ(s.total_ms.mean, 0.0);
@@ -63,7 +63,7 @@ TEST(WorkloadTest, IoCostScalesLinearly) {
   QueryWorkloadConfig qcfg;
   qcfg.count = 3;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   WorkloadSummary cheap = RunWorkload(engine, queries, Algorithm::kStps, 0.1).TakeValue();
   WorkloadSummary costly = RunWorkload(engine, queries, Algorithm::kStps, 1.0).TakeValue();
   EXPECT_NEAR(costly.io_ms.mean, 10.0 * cheap.io_ms.mean, 1e-6);
@@ -81,8 +81,8 @@ TEST(StressTest, EngineIsReentrantAcrossVariantsAndAlgorithms) {
   cfg.cluster_stddev = 0.02;
   Dataset ds = GenerateSynthetic(cfg);
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
-  Engine engine(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-                {});
+  Engine engine = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+                {}).TakeValue();
   Rng rng(91);
   for (int step = 0; step < 30; ++step) {
     QueryWorkloadConfig qcfg;
@@ -123,7 +123,7 @@ TEST(StressTest, DegenerateAllObjectsOnePoint) {
   }
   std::vector<FeatureTable> tables;
   tables.emplace_back(std::move(features), 8);
-  Engine engine(std::move(objects), std::move(tables), {});
+  Engine engine = Engine::Build(std::move(objects), std::move(tables), {}).TakeValue();
   Query q;
   q.k = 10;
   q.radius = 0.3;
@@ -157,7 +157,7 @@ TEST(StressTest, DegenerateAllFeaturesIdentical) {
   std::vector<FeatureTable> tables;
   tables.emplace_back(std::move(features), 4);
   std::vector<DataObject> objects_copy = objects;
-  Engine engine(std::move(objects), std::move(tables), {});
+  Engine engine = Engine::Build(std::move(objects), std::move(tables), {}).TakeValue();
   Query q;
   q.k = 5;
   q.radius = 0.1;
@@ -191,7 +191,7 @@ TEST(StressTest, ManySmallQueriesStaysConsistent) {
   qcfg.count = 200;
   qcfg.k = 5;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     QueryResult a = engine.Execute(q, Algorithm::kStps).TakeValue();
     QueryResult b = engine.Execute(q, Algorithm::kStps).TakeValue();

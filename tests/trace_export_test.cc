@@ -330,7 +330,7 @@ TEST(CollectionFromSlowQueriesTest, GroupsRecordsByThreadOrdinal) {
 TEST(EngineTracingTest, WorkloadProducesBalancedChromeTrace) {
   Dataset ds = SmallDataset();
   std::vector<Query> queries = SmallWorkload(ds, 6);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
 
   Tracer& tracer = Tracer::Global();
   tracer.Discard();
@@ -380,7 +380,7 @@ TEST(EngineTracingTest, WorkloadProducesBalancedChromeTrace) {
 TEST(EngineTracingTest, SlowQueryLogCapturesPerQueryEvents) {
   Dataset ds = SmallDataset();
   std::vector<Query> queries = SmallWorkload(ds, 4);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
 
   Tracer& tracer = Tracer::Global();
   tracer.Discard();
@@ -423,7 +423,7 @@ TEST(EngineTracingTest, SlowQueryLogCapturesPerQueryEvents) {
 TEST(TraversalProfileInvariantTest, VisitedTotalsMatchPageAccesses) {
   Dataset ds = SmallDataset();
   std::vector<Query> queries = SmallWorkload(ds, 8);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     Result<QueryResult> r = engine.Execute(q, Algorithm::kStps);
     ASSERT_TRUE(r.ok());
@@ -442,7 +442,7 @@ TEST(TraversalProfileInvariantTest, VisitedTotalsMatchPageAccesses) {
 TEST(TraversalProfileInvariantTest, HoldsForBothAlgorithms) {
   Dataset ds = SmallDataset();
   std::vector<Query> queries = SmallWorkload(ds, 4);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(std::move(ds.objects), std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     for (Algorithm algo : {Algorithm::kStds, Algorithm::kStps}) {
       Result<QueryResult> r = engine.Execute(q, algo);
@@ -466,8 +466,8 @@ TEST(TraversalProfileInvariantTest, HoldsForAllVariants) {
     Dataset copy = SmallDataset();
     qcfg.variant = variant;
     std::vector<Query> queries = GenerateQueries(copy, qcfg);
-    Engine engine(std::move(copy.objects), std::move(copy.feature_tables),
-                  {});
+    Engine engine = Engine::Build(std::move(copy.objects), std::move(copy.feature_tables),
+                  {}).TakeValue();
     for (const Query& q : queries) {
       Result<QueryResult> r = engine.Execute(q, Algorithm::kStps);
       ASSERT_TRUE(r.ok());

@@ -263,7 +263,7 @@ TEST_P(VariantAgreementTest, StdsStpsBruteForceAgree) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   EngineOptions opts;
   opts.index_kind = p.kind;
-  Engine engine(ds.objects, std::move(ds.feature_tables), opts);
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), opts).TakeValue();
   for (const Query& q : queries) {
     std::vector<ResultEntry> expected = brute.TopK(q);
     ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS");
@@ -310,7 +310,7 @@ TEST(VariantPaperExample, InfluenceRanksSameTopHotelsHigh) {
   q.variant = ScoreVariant::kInfluence;
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "influence");
   // Influence scores are below the range scores (distance decay).
   for (const ResultEntry& e : expected) {
@@ -325,7 +325,7 @@ TEST(VariantPaperExample, NearestNeighborAgreesWithBruteForce) {
   q.variant = ScoreVariant::kNearestNeighbor;
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   ExpectSameScores(engine.Execute(q, Algorithm::kStds).TakeValue().entries, expected, "STDS nn");
   ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "STPS nn");
 }
@@ -351,9 +351,9 @@ TEST(InfluenceModesTest, AnchoredAndCombinationModesAgree) {
   anchored.influence_mode = InfluenceMode::kAnchored;
   EngineOptions combos;
   combos.influence_mode = InfluenceMode::kCombinations;
-  Engine a(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
-           anchored);
-  Engine b(ds.objects, std::move(ds.feature_tables), combos);
+  Engine a = Engine::Build(ds.objects, std::vector<FeatureTable>(ds.feature_tables),
+           anchored).TakeValue();
+  Engine b = Engine::Build(ds.objects, std::move(ds.feature_tables), combos).TakeValue();
   for (const Query& q : queries) {
     ExpectSameScores(a.Execute(q, Algorithm::kStps).TakeValue().entries, b.Execute(q, Algorithm::kStps).TakeValue().entries,
                      "influence modes");
@@ -372,7 +372,7 @@ TEST(InfluenceModesTest, AnchoredAvoidsCombinationEnumeration) {
   qcfg.count = 2;
   qcfg.variant = ScoreVariant::kInfluence;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   for (const Query& q : queries) {
     QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
     EXPECT_EQ(r.stats.combinations_emitted, 0u);
@@ -388,7 +388,7 @@ TEST(VariantEdgeCases, InfluenceWithNoRelevantFeatures) {
   q.variant = ScoreVariant::kInfluence;
   q.keywords.push_back(KeywordSet(ds.feature_tables[0].universe_size()));
   q.keywords.push_back(KeywordSet(ds.feature_tables[1].universe_size()));
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   QueryResult r = engine.Execute(q, Algorithm::kStps).TakeValue();
   ASSERT_EQ(r.entries.size(), 3u);
   for (const auto& e : r.entries) EXPECT_EQ(e.score, 0.0);
@@ -403,7 +403,7 @@ TEST(VariantEdgeCases, NnWithOneEmptyFeatureSet) {
   q.keywords[1] = KeywordSet(ds.feature_tables[1].universe_size());
   BruteForceEvaluator brute(&ds.objects, TablePtrs(ds));
   std::vector<ResultEntry> expected = brute.TopK(q);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   ExpectSameScores(engine.Execute(q, Algorithm::kStps).TakeValue().entries, expected, "nn empty set");
 }
 
@@ -419,7 +419,7 @@ TEST(VariantEdgeCases, NnVoronoiStatsPopulated) {
   qcfg.count = 1;
   qcfg.variant = ScoreVariant::kNearestNeighbor;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(ds.objects, std::move(ds.feature_tables), {});
+  Engine engine = Engine::Build(ds.objects, std::move(ds.feature_tables), {}).TakeValue();
   QueryResult r = engine.Execute(queries[0], Algorithm::kStps).TakeValue();
   EXPECT_GT(r.stats.voronoi_cells, 0u);
   EXPECT_GT(r.stats.voronoi_cpu_ms, 0.0);

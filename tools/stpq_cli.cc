@@ -1,26 +1,24 @@
 // stpq_cli: command-line front end for the stpq library.
 //
-//   stpq_cli generate --out data.stpq [--kind synthetic|real]
-//                     [--scale 0.1] [--seed 42]
-//   stpq_cli info     --data data.stpq
-//   stpq_cli query    --data data.stpq --keywords "pizza,italian;espresso"
-//                     [--k 10] [--r 0.01] [--lambda 0.5]
-//                     [--variant range|influence|nn] [--algo stps|stds]
-//                     [--index srt|ir2] [--explain]
-//   stpq_cli bench    --data data.stpq [--queries 50] [--io-ms 0.1]
-//                     [--algo stps|stds] [--index srt|ir2]
-//   stpq_cli workload --data data.stpq --threads N[,N...] [--queries 200]
-//                     [--io-ms 0.1] [--algo stps|stds] [--index srt|ir2]
-//                     [--metrics out.prom] [--trace-out trace.json]
-//   stpq_cli profile  --data data.stpq [--queries 100] [--io-ms 0.1]
-//                     [--algo stps|stds] [--index srt|ir2]
-//                     [--variant range|influence|nn] [--metrics out.prom]
-//                     [--trace-out trace.json]
-//   stpq_cli trace    --data data.stpq [--trace-out trace.json]
-//                     [--slow-ms T] [--queries 100] [--threads N]
-//                     [--algo stps|stds] [--index srt|ir2]
-//                     [--variant range|influence|nn]
-//   stpq_cli validate --data data.stpq [--index srt|ir2]
+// Subcommands (run `stpq_cli <command> --help` for per-command flags):
+//
+//   generate   synthesize a dataset and write it as a .stpq file
+//   info       summarize a .stpq dataset
+//   build      build all indexes over a dataset and persist them as a
+//              versioned .stpqx index file (Engine::Save)
+//   load       print the superblock + segment catalog of a .stpqx file
+//   query      run one query and print the top-k
+//   bench      run a generated query batch sequentially
+//   workload   parallel throughput sweep over thread counts
+//   profile    sequential run with phase breakdown + latency histogram
+//   trace      run with the tracer armed and export Chrome trace JSON
+//   validate   run the deep structural validators over every index
+//
+// Every query-running command accepts either --data FILE (build indexes
+// in memory, simulated storage) or --index FILE (reopen a prebuilt
+// .stpqx file, file-backed storage); --backend simulated|file makes the
+// choice explicit.  --kind srt|ir2 picks the feature index when
+// building; a reopened file always uses the kind it was built with.
 //
 // Flags accept both "--flag value" and "--flag=value".
 // Keyword syntax: per-feature-set lists separated by ';', terms by ','.
@@ -41,10 +39,12 @@
 #include "gen/real_like.h"
 #include "gen/synthetic.h"
 #include "io/dataset_io.h"
+#include "io/index_file.h"
 #include "obs/histogram.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "storage/page_store.h"
 
 using namespace stpq;
 
@@ -93,31 +93,37 @@ Args Parse(int argc, char** argv) {
   return a;
 }
 
+/// One subcommand: name, one-line summary for the top-level usage, flag
+/// details for `stpq_cli <name> --help`, and the handler.
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  const char* help;
+  int (*run)(const Args&);
+};
+
+const std::vector<CommandSpec>& Commands();  // defined after the handlers
+
 int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: stpq_cli "
-      "<generate|info|query|bench|workload|profile|trace|validate> [flags]\n"
-      "  generate --out FILE [--kind synthetic|real] [--scale S] [--seed N]\n"
-      "  info     --data FILE\n"
-      "  query    --data FILE --keywords \"a,b;c\" [--k N] [--r R]\n"
-      "           [--lambda L] [--variant range|influence|nn]\n"
-      "           [--algo stps|stds] [--index srt|ir2] [--explain]\n"
-      "  bench    --data FILE [--queries N] [--io-ms MS]\n"
-      "           [--algo stps|stds] [--index srt|ir2]\n"
-      "  workload --data FILE --threads N[,N...] [--queries N] [--io-ms MS]\n"
-      "           [--algo stps|stds] [--index srt|ir2] [--metrics FILE]\n"
-      "           [--trace-out FILE]\n"
-      "  profile  --data FILE [--queries N] [--io-ms MS]\n"
-      "           [--algo stps|stds] [--index srt|ir2]\n"
-      "           [--variant range|influence|nn] [--metrics FILE]\n"
-      "           [--trace-out FILE]\n"
-      "  trace    --data FILE [--trace-out FILE] [--slow-ms T]\n"
-      "           [--queries N] [--threads N] [--algo stps|stds]\n"
-      "           [--index srt|ir2] [--variant range|influence|nn]\n"
-      "  validate --data FILE [--index srt|ir2]\n");
+  std::fprintf(stderr, "usage: stpq_cli <command> [flags]\n\ncommands:\n");
+  for (const CommandSpec& c : Commands()) {
+    std::fprintf(stderr, "  %-9s %s\n", c.name, c.summary);
+  }
+  std::fprintf(stderr,
+               "\nrun 'stpq_cli <command> --help' for the command's flags\n");
   return 2;
 }
+
+/// Flags shared by every command that answers queries; individual help
+/// strings append their command-specific flags to this.
+#define STPQ_CLI_ENGINE_FLAGS                                               \
+  "  --data FILE       dataset to index in memory (simulated storage)\n"    \
+  "  --index FILE      prebuilt .stpqx index file to reopen instead\n"      \
+  "  --backend NAME    simulated|file (default: file iff --index given)\n"  \
+  "  --kind srt|ir2    feature index to build (default srt; ignored when\n" \
+  "                    reopening: the file records its kind)\n"             \
+  "  --page-size N     simulated page size in bytes when building\n"        \
+  "  --pool N          buffer-pool capacity in pages (0 = unbounded)\n"
 
 Result<Dataset> LoadData(const Args& args) {
   std::string path = args.Get("data");
@@ -129,10 +135,61 @@ Result<Dataset> LoadData(const Args& args) {
 
 EngineOptions MakeEngineOptions(const Args& args) {
   EngineOptions opts;
-  if (args.Get("index", "srt") == "ir2") {
+  if (args.Get("kind", "srt") == "ir2") {
     opts.index_kind = FeatureIndexKind::kIr2;
   }
+  opts.storage.page_size = args.GetUint("page-size", kDefaultPageSizeBytes);
+  opts.storage.pool_capacity = args.GetUint("pool", 0);
+  opts.fill = args.GetDouble("fill", 1.0);
+  if (args.Has("signature-bits")) {
+    opts.signature_bits = args.GetUint("signature-bits", 0);
+  }
+  if (args.Has("signature-hashes")) {
+    opts.signature_hashes = args.GetUint("signature-hashes", 3);
+  }
   return opts;
+}
+
+/// The shared engine source behind every query-running command: builds
+/// in memory from --data (simulated backend) or reopens --index (file
+/// backend), and fills `ds` with the objects, tables and vocabularies the
+/// command needs for keyword parsing and query generation.
+Result<Engine> MakeEngine(const Args& args, Dataset* ds) {
+  const std::string index_path = args.Get("index");
+  Result<StorageBackend> backend = ParseStorageBackend(
+      args.Get("backend", index_path.empty() ? "simulated" : "file"));
+  if (!backend.ok()) return backend.status();
+
+  if (backend.value() == StorageBackend::kFile) {
+    if (index_path.empty()) {
+      return Status::InvalidArgument("--backend=file requires --index FILE");
+    }
+    Result<Engine> engine = Engine::Open(index_path, MakeEngineOptions(args));
+    if (!engine.ok()) return engine;
+    // Rebuild the dataset view from the engine + the persisted
+    // vocabularies so query generation matches the --data path.
+    ds->objects = engine.value().objects();
+    for (size_t i = 0; i < engine.value().num_feature_sets(); ++i) {
+      ds->feature_tables.push_back(engine.value().feature_table(i));
+    }
+    Result<std::vector<Vocabulary>> vocabs = ReadIndexVocabularies(index_path);
+    if (!vocabs.ok()) return vocabs.status();
+    ds->vocabularies = vocabs.TakeValue();
+    return engine;
+  }
+
+  if (!index_path.empty()) {
+    return Status::InvalidArgument(
+        "--index is only meaningful with --backend=file");
+  }
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) return data.status();
+  *ds = data.TakeValue();
+  // The dataset stays alive in the caller (names, vocabularies, query
+  // generation), so the engine gets copies.
+  return Engine::Build(ds->objects,
+                       std::vector<FeatureTable>(ds->feature_tables),
+                       MakeEngineOptions(args));
 }
 
 int Generate(const Args& args) {
@@ -233,12 +290,13 @@ bool ParseKeywords(const std::string& spec, const Dataset& ds, Query* query) {
 }
 
 int RunQuery(const Args& args) {
-  Result<Dataset> data = LoadData(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+  Dataset ds;
+  Result<Engine> engine_r = MakeEngine(args, &ds);
+  if (!engine_r.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine_r.status().ToString().c_str());
     return 1;
   }
-  Dataset ds = data.TakeValue();
+  Engine engine = engine_r.TakeValue();
   Query query;
   query.k = args.GetUint("k", 10);
   query.radius = args.GetDouble("r", 0.01);
@@ -248,9 +306,7 @@ int RunQuery(const Args& args) {
   if (variant == "nn") query.variant = ScoreVariant::kNearestNeighbor;
   if (!ParseKeywords(args.Get("keywords"), ds, &query)) return 1;
 
-  std::vector<DataObject> objects = ds.objects;  // keep names for printing
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables),
-                MakeEngineOptions(args));
+  const std::vector<DataObject>& objects = ds.objects;  // names for printing
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
   Result<QueryResult> executed = engine.Execute(query, algo);
@@ -291,12 +347,13 @@ int RunQuery(const Args& args) {
 }
 
 int Bench(const Args& args) {
-  Result<Dataset> data = LoadData(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+  Dataset ds;
+  Result<Engine> engine_r = MakeEngine(args, &ds);
+  if (!engine_r.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine_r.status().ToString().c_str());
     return 1;
   }
-  Dataset ds = data.TakeValue();
+  Engine engine = engine_r.TakeValue();
   QueryWorkloadConfig qcfg;
   qcfg.count = args.GetUint("queries", 50);
   qcfg.k = args.GetUint("k", 10);
@@ -306,8 +363,6 @@ int Bench(const Args& args) {
   if (variant == "influence") qcfg.variant = ScoreVariant::kInfluence;
   if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables),
-                MakeEngineOptions(args));
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
   Result<WorkloadSummary> s =
@@ -374,12 +429,12 @@ std::vector<size_t> ParseThreadList(const std::string& spec) {
 /// Runs one generated query batch through ParallelWorkloadRunner for each
 /// requested thread count and prints a throughput row per count.
 int Workload(const Args& args) {
-  Result<Dataset> data = LoadData(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+  Dataset ds;
+  Result<Engine> engine = MakeEngine(args, &ds);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  Dataset ds = data.TakeValue();
   QueryWorkloadConfig qcfg;
   qcfg.count = args.GetUint("queries", 200);
   qcfg.k = args.GetUint("k", 10);
@@ -397,13 +452,6 @@ int Workload(const Args& args) {
     return 1;
   }
 
-  Result<Engine> engine = Engine::Create(
-      std::move(ds.objects), std::move(ds.feature_tables),
-      MakeEngineOptions(args));
-  if (!engine.ok()) {
-    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
   ParallelWorkloadRunner runner(&engine.value());
 
   ParallelWorkloadOptions opts;
@@ -445,12 +493,12 @@ int Workload(const Args& args) {
 /// Executes a generated workload sequentially and prints the per-phase
 /// wall-time breakdown plus the latency distribution (DESIGN.md §12).
 int Profile(const Args& args) {
-  Result<Dataset> data = LoadData(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+  Dataset ds;
+  Result<Engine> engine = MakeEngine(args, &ds);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  Dataset ds = data.TakeValue();
   QueryWorkloadConfig qcfg;
   qcfg.count = args.GetUint("queries", 100);
   qcfg.k = args.GetUint("k", 10);
@@ -461,14 +509,6 @@ int Profile(const Args& args) {
   if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   const double io_ms = args.GetDouble("io-ms", 0.1);
-
-  Result<Engine> engine = Engine::Create(
-      std::move(ds.objects), std::move(ds.feature_tables),
-      MakeEngineOptions(args));
-  if (!engine.ok()) {
-    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
 
@@ -526,12 +566,12 @@ int Profile(const Args& args) {
 /// threshold are captured (slow-query mode); without it the full event
 /// stream of the run is exported.
 int Trace(const Args& args) {
-  Result<Dataset> data = LoadData(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+  Dataset ds;
+  Result<Engine> engine = MakeEngine(args, &ds);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  Dataset ds = data.TakeValue();
   QueryWorkloadConfig qcfg;
   qcfg.count = args.GetUint("queries", 100);
   qcfg.k = args.GetUint("k", 10);
@@ -541,14 +581,6 @@ int Trace(const Args& args) {
   if (variant == "influence") qcfg.variant = ScoreVariant::kInfluence;
   if (variant == "nn") qcfg.variant = ScoreVariant::kNearestNeighbor;
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
-
-  Result<Engine> engine = Engine::Create(
-      std::move(ds.objects), std::move(ds.feature_tables),
-      MakeEngineOptions(args));
-  if (!engine.ok()) {
-    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
 
   const std::string out_path = args.Get("trace-out", "trace.json");
   const bool slow_mode = args.Has("slow-ms");
@@ -594,20 +626,19 @@ int Trace(const Args& args) {
 /// validators from debug/validate.h, reporting the first violation per
 /// structure.  Exit code 0 = all structures sound.
 int Validate(const Args& args) {
-  Result<Dataset> data = LoadData(args);
-  if (!data.ok()) {
-    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+  Dataset ds;
+  Result<Engine> engine_r = MakeEngine(args, &ds);
+  if (!engine_r.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine_r.status().ToString().c_str());
     return 1;
   }
-  Dataset ds = data.TakeValue();
+  Engine engine = engine_r.TakeValue();
   std::vector<std::vector<KeywordSet>> corpora(ds.feature_tables.size());
   for (size_t i = 0; i < ds.feature_tables.size(); ++i) {
     for (const FeatureObject& f : ds.feature_tables[i].All()) {
       corpora[i].push_back(f.keywords);
     }
   }
-  Engine engine(std::move(ds.objects), std::move(ds.feature_tables),
-                MakeEngineOptions(args));
 
   int failures = 0;
   auto report = [&failures](const char* what, const Status& st) {
@@ -641,17 +672,173 @@ int Validate(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Builds every index over a dataset and persists the set as a .stpqx
+/// file that `--index`-accepting commands (and Engine::Open) reopen.
+int BuildIndex(const Args& args) {
+  const std::string out = args.Get("index");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --index FILE (output path) is required\n");
+    return 1;
+  }
+  Result<Dataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset ds = data.TakeValue();
+  std::vector<Vocabulary> vocabularies = ds.vocabularies;  // ride along
+  Result<Engine> engine =
+      Engine::Build(std::move(ds.objects), std::move(ds.feature_tables),
+                    MakeEngineOptions(args));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  Status st = engine.value().Save(out, vocabularies);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<IndexFileInfo> info = ReadIndexFileInfo(out);
+  if (!info.ok()) {
+    std::fprintf(stderr, "error: reopening just-written index: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s index, %llu objects, %u feature sets, "
+              "%llu bytes\n",
+              out.c_str(), engine.value().IndexName(),
+              static_cast<unsigned long long>(info.value().object_count),
+              info.value().table_count,
+              static_cast<unsigned long long>(info.value().file_bytes));
+  return 0;
+}
+
+/// Prints the superblock + segment catalog of a .stpqx file; --verify
+/// additionally restores every index (checksums + deep decode).
+int LoadInfo(const Args& args) {
+  const std::string path = args.Get("index");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --index FILE is required\n");
+    return 1;
+  }
+  Result<IndexFileInfo> info_r = ReadIndexFileInfo(path);
+  if (!info_r.ok()) {
+    std::fprintf(stderr, "error: %s\n", info_r.status().ToString().c_str());
+    return 1;
+  }
+  const IndexFileInfo& info = info_r.value();
+  std::printf("%s: version %u, %s index, page size %u, fill %.2f\n",
+              path.c_str(), info.version,
+              info.params.index_kind == FeatureIndexKind::kIr2 ? "IR2" : "SRT",
+              info.params.page_size_bytes, info.params.fill);
+  std::printf("objects: %llu, feature sets: %u, file bytes: %llu\n",
+              static_cast<unsigned long long>(info.object_count),
+              info.table_count,
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("%-20s %8s %12s %10s %10s\n", "segment", "ordinal", "bytes",
+              "slots", "slot_b");
+  for (const IndexSegmentInfo& s : info.segments) {
+    std::printf("%-20s %8u %12llu %10llu %10u\n", s.name.c_str(), s.ordinal,
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.slots), s.slot_bytes);
+  }
+  if (args.Has("verify")) {
+    Result<Engine> engine = Engine::Open(path);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "verify FAILED: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("verify OK: all segments restored\n");
+  }
+  return 0;
+}
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"generate", "synthesize a dataset and write it as a .stpq file",
+       "  --out FILE        output dataset path (required)\n"
+       "  --kind NAME       synthetic|real (default synthetic)\n"
+       "  --scale S         dataset scale factor (default 0.1)\n"
+       "  --seed N          RNG seed (default 42)\n",
+       &Generate},
+      {"info", "summarize a .stpq dataset",
+       "  --data FILE       dataset path (required)\n", &Info},
+      {"build",
+       "build all indexes over a dataset and persist them as a .stpqx file",
+       "  --data FILE       dataset to index (required)\n"
+       "  --index FILE      output index file path (required)\n"
+       "  --kind srt|ir2    feature index to build (default srt)\n"
+       "  --page-size N     page size in bytes (default 4096)\n"
+       "  --fill F          bulk-load fill factor in (0, 1]\n"
+       "  --signature-bits N / --signature-hashes N  IR2 signatures\n",
+       &BuildIndex},
+      {"load", "print the superblock + segment catalog of a .stpqx file",
+       "  --index FILE      index file path (required)\n"
+       "  --verify          additionally restore every index (checksums +\n"
+       "                    full decode) via Engine::Open\n",
+       &LoadInfo},
+      {"query", "run one query and print the top-k",
+       STPQ_CLI_ENGINE_FLAGS
+       "  --keywords \"a,b;c\"  per-set keyword lists (required)\n"
+       "  --k N / --r R / --lambda L\n"
+       "  --variant range|influence|nn\n"
+       "  --algo stps|stds\n"
+       "  --explain         print per-set contributions for each result\n",
+       &RunQuery},
+      {"bench", "run a generated query batch sequentially",
+       STPQ_CLI_ENGINE_FLAGS
+       "  --queries N / --k N / --r R / --lambda L\n"
+       "  --variant range|influence|nn\n"
+       "  --algo stps|stds\n"
+       "  --io-ms MS        simulated cost per page read\n",
+       &Bench},
+      {"workload", "parallel throughput sweep over thread counts",
+       STPQ_CLI_ENGINE_FLAGS
+       "  --threads N[,N...]  thread counts to sweep (default 1)\n"
+       "  --queries N / --k N / --r R / --lambda L\n"
+       "  --variant range|influence|nn\n"
+       "  --algo stps|stds\n"
+       "  --io-ms MS        simulated cost per page read\n"
+       "  --metrics FILE    write Prometheus text exposition\n"
+       "  --trace-out FILE  write Chrome trace JSON\n",
+       &Workload},
+      {"profile", "sequential run with phase breakdown + latency histogram",
+       STPQ_CLI_ENGINE_FLAGS
+       "  --queries N / --k N / --r R / --lambda L\n"
+       "  --variant range|influence|nn\n"
+       "  --algo stps|stds\n"
+       "  --io-ms MS        simulated cost per page read\n"
+       "  --metrics FILE    write Prometheus text exposition\n"
+       "  --trace-out FILE  write Chrome trace JSON\n",
+       &Profile},
+      {"trace", "run with the tracer armed and export Chrome trace JSON",
+       STPQ_CLI_ENGINE_FLAGS
+       "  --trace-out FILE  output path (default trace.json)\n"
+       "  --slow-ms T       capture only queries at or above T ms\n"
+       "  --queries N / --threads N\n"
+       "  --variant range|influence|nn\n"
+       "  --algo stps|stds\n",
+       &Trace},
+      {"validate", "run the deep structural validators over every index",
+       STPQ_CLI_ENGINE_FLAGS, &Validate},
+  };
+  return kCommands;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args = Parse(argc, argv);
-  if (args.command == "generate") return Generate(args);
-  if (args.command == "info") return Info(args);
-  if (args.command == "query") return RunQuery(args);
-  if (args.command == "bench") return Bench(args);
-  if (args.command == "workload") return Workload(args);
-  if (args.command == "profile") return Profile(args);
-  if (args.command == "trace") return Trace(args);
-  if (args.command == "validate") return Validate(args);
+  for (const CommandSpec& c : Commands()) {
+    if (args.command != c.name) continue;
+    if (args.Has("help")) {
+      std::printf("usage: stpq_cli %s [flags]\n%s\n%s", c.name, c.summary,
+                  c.help);
+      return 0;
+    }
+    return c.run(args);
+  }
   return Usage();
 }
