@@ -70,8 +70,7 @@ Ir2Tree::Ir2Tree(const FeatureTable* table,
       scheme_(EffectiveSignatureBits(options, table->universe_size()),
               options.signature_hashes),
       tree_(MakeTreeOptions(options, scheme_.signature_bits())) {
-  tree_.Restore(std::move(restored.nodes), std::move(restored.free_nodes),
-                restored.root, restored.height, restored.size);
+  AdoptRestoredTree(&tree_, std::move(restored));
   STPQ_VALIDATE(ValidateIr2Tree(*this));
 }
 

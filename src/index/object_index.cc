@@ -36,8 +36,7 @@ ObjectIndex::ObjectIndex(const std::vector<DataObject>* objects,
                          const ObjectIndexOptions& options,
                          RestoredTreeData<2, NoAug> restored)
     : objects_(objects), tree_(MakeTreeOptions(options)) {
-  tree_.Restore(std::move(restored.nodes), std::move(restored.free_nodes),
-                restored.root, restored.height, restored.size);
+  AdoptRestoredTree(&tree_, std::move(restored));
   domain_ = Rect2::Empty();
   for (const DataObject& o : *objects_) domain_.Enlarge(PointRect(o.pos));
   STPQ_VALIDATE(ValidateObjectIndex(*this));

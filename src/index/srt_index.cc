@@ -64,8 +64,7 @@ SrtIndex::SrtIndex(const FeatureTable* table,
       table_(table),
       build_kind_(options.bulk_load),
       tree_(MakeTreeOptions(options, table->universe_size())) {
-  tree_.Restore(std::move(restored.nodes), std::move(restored.free_nodes),
-                restored.root, restored.height, restored.size);
+  AdoptRestoredTree(&tree_, std::move(restored));
   STPQ_VALIDATE(ValidateSrtIndex(*this));
 }
 

@@ -1,0 +1,174 @@
+#include "io/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace stpq {
+
+namespace {
+
+std::atomic<AtomicFile::FailurePoint> g_failure_point{
+    AtomicFile::FailurePoint::kNone};
+
+bool Injected(AtomicFile::FailurePoint point) {
+  return g_failure_point.load(std::memory_order_relaxed) == point;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + ": " + path + ": " + std::strerror(errno));
+}
+
+/// Parent directory of `path` ("." when the path has no separator).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void AtomicFile::SetFailurePointForTest(FailurePoint point) {
+  g_failure_point.store(point, std::memory_order_relaxed);
+}
+
+Result<AtomicFile> AtomicFile::Create(const std::string& final_path) {
+  std::string tmp_path = final_path + ".tmp";
+  int fd = -1;
+  do {
+    fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IoError("cannot open for write: " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+  return AtomicFile(final_path, std::move(tmp_path), fd);
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : final_path_(std::move(other.final_path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    Abandon();
+    final_path_ = std::move(other.final_path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AtomicFile::~AtomicFile() { Abandon(); }
+
+Status AtomicFile::WriteAt(uint64_t offset, const void* data, uint64_t n) {
+  if (Injected(FailurePoint::kWrite)) {
+    return Status::IoError("write failed: " + tmp_path_ +
+                           ": injected failure");
+  }
+  const char* p = static_cast<const char*>(data);
+  uint64_t remaining = n;
+  uint64_t position = offset;
+  while (remaining > 0) {
+    const ssize_t wrote =
+        ::pwrite(fd_, p, remaining, static_cast<off_t>(position));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed", tmp_path_);
+    }
+    p += wrote;
+    position += static_cast<uint64_t>(wrote);
+    remaining -= static_cast<uint64_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status AtomicFile::ReadAt(uint64_t offset, void* data, uint64_t n) const {
+  char* p = static_cast<char*>(data);
+  uint64_t remaining = n;
+  uint64_t position = offset;
+  while (remaining > 0) {
+    const ssize_t got = ::pread(fd_, p, remaining, static_cast<off_t>(position));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read failed", tmp_path_);
+    }
+    if (got == 0) {
+      return Status::IoError("short read: " + tmp_path_);
+    }
+    p += got;
+    position += static_cast<uint64_t>(got);
+    remaining -= static_cast<uint64_t>(got);
+  }
+  return Status::OK();
+}
+
+Status AtomicFile::Truncate(uint64_t size) {
+  int rc = 0;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("truncate failed", tmp_path_);
+  return Status::OK();
+}
+
+Status AtomicFile::Commit() {
+  if (Injected(FailurePoint::kSyncFile) || ::fsync(fd_) != 0) {
+    Status st = Injected(FailurePoint::kSyncFile)
+                    ? Status::IoError("fsync failed: " + tmp_path_ +
+                                      ": injected failure")
+                    : Errno("fsync failed", tmp_path_);
+    Abandon();
+    return st;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (Injected(FailurePoint::kRename) ||
+      ::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    Status st = Injected(FailurePoint::kRename)
+                    ? Status::IoError("rename failed: " + final_path_ +
+                                      ": injected failure")
+                    : Errno("rename failed", final_path_);
+    ::unlink(tmp_path_.c_str());
+    return st;
+  }
+  // The rename is durable only once the directory entry is synced; a
+  // failure here leaves a complete, valid new file whose persistence is
+  // not yet guaranteed across power loss.
+  const std::string dir = ParentDir(final_path_);
+  int dir_fd = -1;
+  do {
+    dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (dir_fd < 0 && errno == EINTR);
+  if (Injected(FailurePoint::kSyncDir)) {
+    if (dir_fd >= 0) ::close(dir_fd);
+    return Status::IoError("fsync failed: " + dir + ": injected failure");
+  }
+  if (dir_fd < 0) return Errno("cannot open directory", dir);
+  if (::fsync(dir_fd) != 0) {
+    Status st = Errno("fsync failed", dir);
+    ::close(dir_fd);
+    return st;
+  }
+  ::close(dir_fd);
+  return Status::OK();
+}
+
+void AtomicFile::Abandon() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(tmp_path_.c_str());
+}
+
+}  // namespace stpq

@@ -1,0 +1,78 @@
+// Crash-safe file replacement: write to `<path>.tmp`, fsync the file,
+// atomically rename over the destination, then fsync the directory.
+//
+// The guarantee (DESIGN.md §17): after Commit returns OK the new contents
+// are durably visible under the final path; after any failure or crash
+// before the rename the previous file is untouched.  A crash between the
+// rename and the directory fsync can only expose either the complete old
+// file or the complete new file — never a torn mix.
+//
+// Writes go through pwrite at arbitrary offsets (the index writer lays
+// segments out non-sequentially); unwritten gaps read back as zeroes,
+// matching the zero-fill semantics of the seekp-based writer this
+// replaces.
+#ifndef STPQ_IO_ATOMIC_FILE_H_
+#define STPQ_IO_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace stpq {
+
+class AtomicFile {
+ public:
+  /// Failure-injection points for the crash-safety test suite.  When armed
+  /// (SetFailurePointForTest), the matching step fails with an IoError
+  /// exactly as if the syscall had failed; kRename fails *before* the
+  /// rename (old file intact), kSyncDir fails *after* it (new file in
+  /// place but its durability not yet guaranteed).
+  enum class FailurePoint { kNone, kWrite, kSyncFile, kRename, kSyncDir };
+  static void SetFailurePointForTest(FailurePoint point);
+
+  /// Opens `<final_path>.tmp` truncated for writing.
+  [[nodiscard]] static Result<AtomicFile> Create(const std::string& final_path);
+
+  AtomicFile(AtomicFile&& other) noexcept;
+  AtomicFile& operator=(AtomicFile&& other) noexcept;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  /// Uncommitted temp files are unlinked on destruction.
+  ~AtomicFile();
+
+  /// Full write of `n` bytes at `offset`, retrying EINTR.
+  [[nodiscard]] Status WriteAt(uint64_t offset, const void* data, uint64_t n);
+
+  /// Reads back `n` bytes at `offset` from the (still uncommitted) temp
+  /// file; used for the post-pass that checksums out-of-order writes.
+  [[nodiscard]] Status ReadAt(uint64_t offset, void* data, uint64_t n) const;
+
+  /// Sets the final file size (pwrite gaps already read as zero; this
+  /// pins the exact end-of-file).
+  [[nodiscard]] Status Truncate(uint64_t size);
+
+  /// fsync + rename over the final path + directory fsync.  The object is
+  /// finished afterwards whether or not this succeeds.
+  [[nodiscard]] Status Commit();
+
+  /// Drops the temp file without touching the destination.
+  void Abandon();
+
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  AtomicFile(std::string final_path, std::string tmp_path, int fd)
+      : final_path_(std::move(final_path)),
+        tmp_path_(std::move(tmp_path)),
+        fd_(fd) {}
+
+  std::string final_path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_IO_ATOMIC_FILE_H_

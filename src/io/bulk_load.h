@@ -1,0 +1,75 @@
+// External-memory bulk loader: builds a .stpqx index file directly from a
+// .stpq dataset in bounded memory.
+//
+// The in-memory path (Engine::Build + Engine::Save) materializes every
+// record and every tree node before serializing; this loader never does.
+// It streams the dataset twice:
+//
+//   survey pass    counts, name/term byte totals and the spatial domains —
+//                  enough to derive every tree's geometry (fan-out, nodes
+//                  per level, node ids) and the complete segment layout
+//                  up front.
+//   content pass   streams the record segments into place, feeding each
+//                  tree's leaf entries through an external merge sort
+//                  keyed by the same Hilbert order the in-memory builder
+//                  uses, then packs leaf and internal node levels
+//                  bottom-up, writing each fixed-width slot as soon as it
+//                  closes.  Propagated augmentations (max score, OR-folded
+//                  Hilbert keyword summaries, IR2 signatures) are computed
+//                  on the fly as each level closes.
+//
+// Contract: the output is byte-identical to WriteIndexFile over the same
+// dataset and parameters — same superblock, catalog, segment bytes, node
+// ids and checksums — so golden I/O counts and query results match the
+// in-memory build exactly (tests/bulk_load_test.cc pins this).
+#ifndef STPQ_IO_BULK_LOAD_H_
+#define STPQ_IO_BULK_LOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/index_file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace stpq {
+
+/// Knobs for BuildIndexFileExternal.
+struct ExternalBuildOptions {
+  /// Same parameters the in-memory writer records in the superblock.
+  /// Only bulk_load == kHilbert is supported (the sort order must be a
+  /// key the merge sort can reproduce).
+  IndexBuildParams params;
+  /// Approximate ceiling on working memory: bounds the sort buffer and
+  /// the merge fan-in read buffers.  Must be at least 4096 bytes; small
+  /// values force runs to spill, which the tests use to exercise the
+  /// multi-pass merge.
+  uint64_t memory_budget_bytes = uint64_t{256} << 20;
+  /// Where sorted runs spill; empty = next to the output index.
+  std::string temp_dir;
+};
+
+/// What the build did; surfaced by `stpq_cli build --external` and
+/// mirrored into the stpq_bulk_* metrics.
+struct ExternalBuildStats {
+  uint64_t objects = 0;
+  uint64_t features = 0;  ///< across all tables
+  uint32_t tables = 0;
+  uint64_t runs_written = 0;   ///< sorted run files (spills + merges)
+  uint64_t merge_passes = 0;   ///< merge rounds, including the final one
+  uint64_t spilled_bytes = 0;  ///< bytes written to run files
+  uint64_t output_bytes = 0;   ///< final .stpqx size
+};
+
+/// Builds `index_path` from the .stpq dataset at `dataset_path` without
+/// materializing the dataset or any tree in memory.  The write is
+/// crash-safe (AtomicFile: tmp + fsync + rename).  Typed errors:
+/// InvalidArgument for unsupported parameters or a malformed dataset,
+/// IoError for read/write failures.
+[[nodiscard]] Result<ExternalBuildStats> BuildIndexFileExternal(
+    const std::string& dataset_path, const std::string& index_path,
+    const ExternalBuildOptions& options);
+
+}  // namespace stpq
+
+#endif  // STPQ_IO_BULK_LOAD_H_

@@ -312,4 +312,93 @@ Result<Dataset> ReadDatasetBinary(const std::string& path) {
   return ds;
 }
 
+// ------------------------------------------------------------- scanner
+
+Result<DatasetBinaryScanner> DatasetBinaryScanner::Open(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  uint32_t magic = 0, version = 0;
+  if (!GetPod(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("not a .stpq file: " + path);
+  }
+  if (!GetPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported .stpq version");
+  }
+  DatasetBinaryScanner scanner(std::move(in));
+  if (!GetPod(scanner.in_, &scanner.object_count_)) {
+    return Status::IoError("truncated header");
+  }
+  return scanner;
+}
+
+Status DatasetBinaryScanner::ForEachObject(
+    const std::function<void(const DataObject&)>& fn) {
+  DataObject o;
+  for (uint64_t i = 0; i < object_count_; ++i) {
+    if (!GetPod(in_, &o.id) || !GetPod(in_, &o.pos.x) ||
+        !GetPod(in_, &o.pos.y) || !GetString(in_, &o.name)) {
+      return Status::IoError("truncated object record");
+    }
+    fn(o);
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> DatasetBinaryScanner::ReadTableCount() {
+  uint32_t num_tables = 0;
+  if (!GetPod(in_, &num_tables)) return Status::IoError("truncated");
+  return num_tables;
+}
+
+Status DatasetBinaryScanner::ForEachVocabTerm(
+    const std::function<void(const std::string&)>& fn) {
+  uint32_t vocab_size = 0;
+  if (!GetPod(in_, &vocab_size)) return Status::IoError("truncated");
+  std::string term;
+  for (uint32_t t = 0; t < vocab_size; ++t) {
+    if (!GetString(in_, &term)) return Status::IoError("truncated term");
+    fn(term);
+  }
+  return Status::OK();
+}
+
+Result<DatasetBinaryScanner::TableHeader>
+DatasetBinaryScanner::ReadTableHeader() {
+  TableHeader h;
+  if (!GetPod(in_, &h.universe) || !GetPod(in_, &h.feature_count)) {
+    return Status::IoError("truncated table header");
+  }
+  return h;
+}
+
+Status DatasetBinaryScanner::ForEachFeature(
+    uint32_t universe, uint64_t count,
+    const std::function<void(const FeatureObject&)>& fn) {
+  for (uint64_t i = 0; i < count; ++i) {
+    FeatureObject t;
+    uint32_t nterms = 0;
+    if (!GetPod(in_, &t.id) || !GetPod(in_, &t.pos.x) ||
+        !GetPod(in_, &t.pos.y) || !GetPod(in_, &t.score) ||
+        !GetPod(in_, &nterms)) {
+      return Status::IoError("truncated feature record");
+    }
+    if (nterms > universe) {
+      return Status::InvalidArgument("feature has more terms than universe");
+    }
+    t.keywords = KeywordSet(universe);
+    for (uint32_t j = 0; j < nterms; ++j) {
+      TermId id = 0;
+      if (!GetPod(in_, &id)) return Status::IoError("truncated term id");
+      if (id >= universe) {
+        return Status::OutOfRange("term id beyond universe");
+      }
+      t.keywords.Insert(id);
+    }
+    if (!GetString(in_, &t.name)) return Status::IoError("truncated name");
+    fn(t);
+  }
+  return Status::OK();
+}
+
 }  // namespace stpq

@@ -13,6 +13,8 @@
 #ifndef STPQ_IO_DATASET_IO_H_
 #define STPQ_IO_DATASET_IO_H_
 
+#include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,61 @@ namespace stpq {
 /// Loads a dataset written by WriteDatasetBinary; rejects bad magic,
 /// unsupported versions, and truncated files.
 [[nodiscard]] Result<Dataset> ReadDatasetBinary(const std::string& path);
+
+/// Streaming cursor over a .stpq binary file: one sequential pass, record
+/// by record, without ever materializing the Dataset.  The external bulk
+/// loader opens two of these (a survey pass for counts/domains, then a
+/// content pass), so its resident set stays bounded by its sort buffers.
+///
+/// Methods must be called in file order:
+///
+///   Open -> ForEachObject -> ReadTableCount ->
+///   per table: ForEachVocabTerm -> ReadTableHeader -> ForEachFeature
+///
+/// Error codes and messages match ReadDatasetBinary exactly (it is the
+/// same grammar, just pull- instead of load-driven).
+class DatasetBinaryScanner {
+ public:
+  struct TableHeader {
+    uint32_t universe = 0;
+    uint64_t feature_count = 0;
+  };
+
+  /// Opens `path` and consumes the magic/version/object-count header.
+  [[nodiscard]] static Result<DatasetBinaryScanner> Open(
+      const std::string& path);
+
+  DatasetBinaryScanner(DatasetBinaryScanner&&) = default;
+  DatasetBinaryScanner& operator=(DatasetBinaryScanner&&) = default;
+
+  [[nodiscard]] uint64_t object_count() const { return object_count_; }
+
+  /// Streams every object record through `fn` (the record is reused).
+  [[nodiscard]] Status ForEachObject(
+      const std::function<void(const DataObject&)>& fn);
+
+  /// Reads the table count that follows the object records.
+  [[nodiscard]] Result<uint32_t> ReadTableCount();
+
+  /// Streams the next table's vocabulary terms, in TermId order.
+  [[nodiscard]] Status ForEachVocabTerm(
+      const std::function<void(const std::string&)>& fn);
+
+  /// Reads the universe size + feature count of the next table.
+  [[nodiscard]] Result<TableHeader> ReadTableHeader();
+
+  /// Streams the table's feature records; call with the header values
+  /// ReadTableHeader just returned.
+  [[nodiscard]] Status ForEachFeature(
+      uint32_t universe, uint64_t count,
+      const std::function<void(const FeatureObject&)>& fn);
+
+ private:
+  explicit DatasetBinaryScanner(std::ifstream in) : in_(std::move(in)) {}
+
+  std::ifstream in_;
+  uint64_t object_count_ = 0;
+};
 
 }  // namespace stpq
 

@@ -1,354 +1,29 @@
 #include "io/index_file.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
-#include <fstream>
+#include <functional>
+#include <memory>
 #include <string_view>
 #include <utility>
 
 #include "hilbert/keyword_hilbert.h"
+#include "io/atomic_file.h"
+#include "io/index_format.h"
+#include "util/logging.h"
 
 namespace stpq {
 
+using namespace index_format;  // NOLINT(build/namespaces) format primitives
+
 namespace {
 
-constexpr uint32_t kIndexMagic = 0x58515453;  // "STQX" little-endian
-constexpr uint32_t kIndexVersion = 1;
-
-/// Fixed superblock / catalog-entry widths; the catalog starts right after
-/// the superblock, segments after the catalog (node segments page-aligned).
-constexpr size_t kSuperblockBytes = 52;
-constexpr size_t kCatalogEntryBytes = 56;
-
-/// Sanity caps against absurd counts in damaged headers (checksums cover
-/// the segments, these cover the header itself).
-constexpr uint32_t kMaxTables = 4096;
-constexpr uint32_t kMaxNodeCount = 1u << 28;
-constexpr uint64_t kMaxRecordCount = uint64_t{1} << 33;
-
-enum SegmentType : uint32_t {
-  kSegObjects = 0,
-  kSegVocabulary = 1,
-  kSegFeatureTable = 2,
-  kSegObjectTreeMeta = 3,
-  kSegObjectTreeNodes = 4,
-  kSegFeatureTreeMeta = 5,
-  kSegFeatureTreeNodes = 6,
-};
-
-const char* SegmentName(uint32_t type) {
-  switch (type) {
-    case kSegObjects:
-      return "objects";
-    case kSegVocabulary:
-      return "vocabulary";
-    case kSegFeatureTable:
-      return "feature_table";
-    case kSegObjectTreeMeta:
-      return "object_tree_meta";
-    case kSegObjectTreeNodes:
-      return "object_tree_nodes";
-    case kSegFeatureTreeMeta:
-      return "feature_tree_meta";
-    case kSegFeatureTreeNodes:
-      return "feature_tree_nodes";
-  }
-  return "unknown";
-}
-
-uint64_t Fnv1a64(const char* data, size_t n) {
-  uint64_t h = 1469598103934665603ULL;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-uint64_t AlignUp(uint64_t v, uint64_t align) {
-  return (v + align - 1) / align * align;
-}
-
-// Byte-buffer writers, mirroring dataset_io's stream helpers.
-template <typename T>
-void PutPod(std::string* out, const T& v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-/// Bounds-checked reader over one segment's bytes.
-class ByteReader {
- public:
-  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  template <typename T>
-  bool Pod(T* v) {
-    if (size_ - pos_ < sizeof(T)) return false;
-    std::memcpy(v, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-
-  bool Str(std::string* s) {
-    uint32_t n = 0;
-    if (!Pod(&n)) return false;
-    if (n > (1u << 24) || size_ - pos_ < n) return false;  // sanity cap
-    s->assign(data_ + pos_, n);
-    pos_ += n;
-    return true;
-  }
-
- private:
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
-
-// ------------------------------------------------- augmentation codecs
-//
-// Fixed-width per-entry payloads; the word counts are derivable from the
-// superblock parameters and double-checked against the tree metadata.
-
-struct NoAugCodec {
-  uint32_t aug_bits() const { return 0; }
-  uint32_t aug_words() const { return 0; }
-  uint32_t payload_bytes() const { return 0; }
-  void Write(std::string*, const NoAug&) const {}
-  bool Read(ByteReader&, NoAug*) const { return true; }
-};
-
-/// SrtAug persists {max score, aggregated Hilbert words}; the decoded
-/// keyword cache is re-derived on read (DecodeKeywords is the exact
-/// inverse of the encoding, so the rebuilt aug is identical).
-struct SrtAugCodec {
-  uint32_t universe = 0;
-
-  uint32_t aug_bits() const { return universe; }
-  uint32_t aug_words() const { return (universe + 63) / 64; }
-  uint32_t payload_bytes() const { return 8 + 8 * aug_words(); }
-
-  void Write(std::string* out, const SrtAug& aug) const {
-    PutPod(out, aug.max_score);
-    const std::vector<uint64_t>& words = aug.keyword_hilbert.words();
-    for (uint32_t w = 0; w < aug_words(); ++w) {
-      PutPod<uint64_t>(out, w < words.size() ? words[w] : 0);
-    }
-  }
-
-  bool Read(ByteReader& in, SrtAug* aug) const {
-    if (!in.Pod(&aug->max_score)) return false;
-    HilbertValue hv(universe);
-    for (uint32_t w = 0; w < aug_words(); ++w) {
-      uint64_t word = 0;
-      if (!in.Pod(&word)) return false;
-      if (w < hv.words().size()) hv.words()[w] = word;
-    }
-    aug->keywords = DecodeKeywords(hv, universe);
-    aug->keyword_hilbert = std::move(hv);
-    return true;
-  }
-};
-
-/// Ir2Aug persists {max score, signature words}.
-struct Ir2AugCodec {
-  uint32_t signature_bits = 0;
-
-  uint32_t aug_bits() const { return signature_bits; }
-  uint32_t aug_words() const { return (signature_bits + 63) / 64; }
-  uint32_t payload_bytes() const { return 8 + 8 * aug_words(); }
-
-  void Write(std::string* out, const Ir2Aug& aug) const {
-    PutPod(out, aug.max_score);
-    const std::vector<uint64_t>& words = aug.signature.words();
-    for (uint32_t w = 0; w < aug_words(); ++w) {
-      PutPod<uint64_t>(out, w < words.size() ? words[w] : 0);
-    }
-  }
-
-  bool Read(ByteReader& in, Ir2Aug* aug) const {
-    if (!in.Pod(&aug->max_score)) return false;
-    std::vector<uint64_t> words(aug_words(), 0);
-    for (uint32_t w = 0; w < aug_words(); ++w) {
-      if (!in.Pod(&words[w])) return false;
-    }
-    aug->signature = Signature::FromWords(signature_bits, std::move(words));
-    return true;
-  }
-};
-
-/// The IR2 signature width rule, mirrored from the index builder: explicit
-/// when configured, else scaled to the vocabulary.
-uint32_t EffectiveIr2SignatureBits(const IndexBuildParams& params,
-                                   uint32_t universe_size) {
-  return params.signature_bits != 0 ? params.signature_bits
-                                    : std::max(64u, 2 * universe_size);
-}
-
-// ------------------------------------------------------ tree serializer
-
-/// Serializes tree metadata + the node array.  Node records are laid out
-/// in fixed-width slots (slot index == NodeId) whose width is the
-/// page-aligned worst-case node size, so the reader and the FilePageStore
-/// address node i at offset i * slot_bytes.
-template <int D, typename Aug, typename Codec>
-Status SerializeTree(const RTree<D, Aug>& tree, const Codec& codec,
-                     uint32_t page_size, std::string* meta, std::string* nodes,
-                     uint64_t* slot_count, uint32_t* slot_bytes_out) {
-  const uint32_t entry_bytes =
-      16u * static_cast<uint32_t>(D) + 4u + codec.payload_bytes();
-  const uint64_t max_node_bytes =
-      8ull + uint64_t{tree.options().max_entries} * entry_bytes;
-  const uint32_t slot_bytes =
-      static_cast<uint32_t>(AlignUp(max_node_bytes, page_size));
-
-  PutPod<uint32_t>(meta, tree.root_id());
-  PutPod<uint32_t>(meta, tree.height());
-  PutPod<uint64_t>(meta, tree.size());
-  PutPod<uint32_t>(meta, tree.node_count());
-  PutPod<uint32_t>(meta, tree.options().max_entries);
-  PutPod<uint32_t>(meta, codec.aug_bits());
-  PutPod<uint32_t>(meta, codec.aug_words());
-  PutPod<uint32_t>(meta, static_cast<uint32_t>(tree.free_nodes().size()));
-  for (NodeId id : tree.free_nodes()) PutPod<uint32_t>(meta, id);
-
-  nodes->reserve(uint64_t{tree.node_count()} * slot_bytes);
-  for (const auto& node : tree.nodes()) {
-    const size_t start = nodes->size();
-    PutPod<uint16_t>(nodes, node.level);
-    PutPod<uint16_t>(nodes, 0);
-    PutPod<uint32_t>(nodes, static_cast<uint32_t>(node.entries.size()));
-    for (const auto& e : node.entries) {
-      for (int d = 0; d < D; ++d) PutPod(nodes, e.rect.lo[d]);
-      for (int d = 0; d < D; ++d) PutPod(nodes, e.rect.hi[d]);
-      PutPod<uint32_t>(nodes, e.id);
-      codec.Write(nodes, e.aug);
-    }
-    if (nodes->size() - start > slot_bytes) {
-      return Status::Internal("index node overflows its slot: " +
-                              std::to_string(nodes->size() - start) + " > " +
-                              std::to_string(slot_bytes) + " bytes");
-    }
-    nodes->resize(start + slot_bytes);  // zero-pad to the slot boundary
-  }
-  *slot_count = tree.node_count();
-  *slot_bytes_out = slot_bytes;
-  return Status::OK();
-}
-
-template <int D, typename Aug, typename Codec>
-Status ParseTree(std::string_view meta, std::string_view nodes,
-                 uint64_t slot_count, uint32_t slot_bytes, const Codec& codec,
-                 uint32_t expected_max_entries, RestoredTreeData<D, Aug>* out) {
-  ByteReader m(meta.data(), meta.size());
-  uint32_t root = 0, height = 0, node_count = 0, max_entries = 0;
-  uint32_t aug_bits = 0, aug_words = 0, free_count = 0;
-  uint64_t size = 0;
-  if (!m.Pod(&root) || !m.Pod(&height) || !m.Pod(&size) ||
-      !m.Pod(&node_count) || !m.Pod(&max_entries) || !m.Pod(&aug_bits) ||
-      !m.Pod(&aug_words) || !m.Pod(&free_count)) {
-    return Status::Corruption("tree metadata segment too short");
-  }
-  if (aug_bits != codec.aug_bits() || aug_words != codec.aug_words()) {
-    return Status::Corruption(
-        "augmentation layout mismatch: file says " + std::to_string(aug_bits) +
-        " bits / " + std::to_string(aug_words) + " words, parameters derive " +
-        std::to_string(codec.aug_bits()) + " / " +
-        std::to_string(codec.aug_words()));
-  }
-  if (max_entries != expected_max_entries) {
-    return Status::Corruption(
-        "node fan-out mismatch: file says " + std::to_string(max_entries) +
-        ", page-size parameters derive " +
-        std::to_string(expected_max_entries));
-  }
-  if (node_count > kMaxNodeCount || free_count > node_count) {
-    return Status::Corruption("implausible tree node counts");
-  }
-  if (node_count != slot_count) {
-    return Status::Corruption("tree metadata and catalog disagree on the "
-                              "node count");
-  }
-  if (nodes.size() != slot_count * uint64_t{slot_bytes}) {
-    return Status::Corruption("node segment size does not match its slots");
-  }
-  if (root != kInvalidNodeId && root >= node_count) {
-    return Status::Corruption("tree root id out of range");
-  }
-  out->free_nodes.reserve(free_count);
-  for (uint32_t i = 0; i < free_count; ++i) {
-    uint32_t id = 0;
-    if (!m.Pod(&id)) return Status::Corruption("tree free list truncated");
-    if (id >= node_count) {
-      return Status::Corruption("free-list node id out of range");
-    }
-    out->free_nodes.push_back(id);
-  }
-
-  out->nodes.reserve(node_count);
-  for (uint64_t i = 0; i < node_count; ++i) {
-    ByteReader r(nodes.data() + i * slot_bytes, slot_bytes);
-    uint16_t level = 0, reserved = 0;
-    uint32_t count = 0;
-    if (!r.Pod(&level) || !r.Pod(&reserved) || !r.Pod(&count)) {
-      return Status::Corruption("node record header truncated");
-    }
-    if (count > max_entries) {
-      return Status::Corruption("node " + std::to_string(i) + " claims " +
-                                std::to_string(count) +
-                                " entries, above the fan-out of " +
-                                std::to_string(max_entries));
-    }
-    typename RTree<D, Aug>::Node node;
-    node.level = level;
-    node.entries.reserve(count);
-    for (uint32_t j = 0; j < count; ++j) {
-      typename RTree<D, Aug>::Entry e;
-      bool ok = true;
-      for (int d = 0; d < D && ok; ++d) ok = r.Pod(&e.rect.lo[d]);
-      for (int d = 0; d < D && ok; ++d) ok = r.Pod(&e.rect.hi[d]);
-      ok = ok && r.Pod(&e.id) && codec.Read(r, &e.aug);
-      if (!ok) {
-        return Status::Corruption("node " + std::to_string(i) +
-                                  " entry record truncated");
-      }
-      node.entries.push_back(std::move(e));
-    }
-    out->nodes.push_back(std::move(node));
-  }
-  out->root = root;
-  out->height = height;
-  out->size = size;
-  return Status::OK();
-}
-
-// -------------------------------------------------------- file plumbing
-
-struct SegmentBlob {
-  uint32_t type = 0;
-  uint32_t ordinal = 0;
-  std::string payload;
-  uint64_t first_page = 0;
-  uint64_t slot_count = 0;
-  uint32_t slot_bytes = 0;
-  bool page_aligned = false;
-  uint64_t offset = 0;  // assigned during layout
-};
-
-struct CatalogEntry {
-  uint32_t type = 0;
-  uint32_t ordinal = 0;
-  uint64_t offset = 0;
-  uint64_t bytes = 0;
-  uint64_t first_page = 0;
-  uint64_t slot_count = 0;
-  uint32_t slot_bytes = 0;
-  uint64_t checksum = 0;
-};
-
+/// Decoded superblock, reader side.
 struct Superblock {
   uint32_t version = 0;
   IndexBuildParams params;
@@ -357,22 +32,79 @@ struct Superblock {
   uint32_t segment_count = 0;
 };
 
-Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open: " + path);
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) return Status::IoError("read failed: " + path);
-  return data;
-}
+// -------------------------------------------------------- file plumbing
+//
+// The reader never loads the whole file: it preads the superblock and
+// catalog, then each small segment, and leaves the node segments on disk
+// behind lazy per-node decoders.  The handle is shared (shared_ptr) with
+// every decoder closure so the fd outlives the LoadedIndex parts.
 
-/// Parses superblock + catalog with bounds checks against `file_bytes`.
-Status ParseHeader(const std::string& file, const std::string& path,
-                   Superblock* sb, std::vector<CatalogEntry>* catalog) {
+class IndexFileHandle {
+ public:
+  [[nodiscard]] static Result<std::shared_ptr<IndexFileHandle>> Open(
+      const std::string& path) {
+    int fd = -1;
+    do {
+      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return Status::IoError("cannot open: " + path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IoError("cannot open: " + path);
+    }
+    return std::shared_ptr<IndexFileHandle>(
+        new IndexFileHandle(path, fd, static_cast<uint64_t>(st.st_size)));
+  }
+
+  ~IndexFileHandle() { ::close(fd_); }
+
+  IndexFileHandle(const IndexFileHandle&) = delete;
+  IndexFileHandle& operator=(const IndexFileHandle&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] uint64_t size() const { return size_; }
+
+  /// Reads exactly [offset, offset + n), retrying EINTR; a persistent
+  /// short read (concurrent truncation) or hard error is an IoError.
+  [[nodiscard]] Status PreadExact(uint64_t offset, char* out,
+                                  uint64_t n) const {
+    uint64_t done = 0;
+    while (done < n) {
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(n - done, size_t{1} << 30));
+      const ssize_t got =
+          ::pread(fd_, out + done, want, static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("read failed: " + path_);
+      }
+      if (got == 0) return Status::IoError("read failed: " + path_);
+      done += static_cast<uint64_t>(got);
+    }
+    return Status::OK();
+  }
+
+ private:
+  IndexFileHandle(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  const std::string path_;
+  const int fd_;
+  const uint64_t size_;
+};
+
+/// Preads and parses superblock + catalog with bounds checks against the
+/// physical file size.
+Status ParseHeader(const IndexFileHandle& file, Superblock* sb,
+                   std::vector<CatalogEntry>* catalog) {
+  const std::string& path = file.path();
   if (file.size() < kSuperblockBytes) {
     return Status::IoError("truncated index file (no superblock): " + path);
   }
-  ByteReader r(file.data(), file.size());
+  char super[kSuperblockBytes];
+  STPQ_RETURN_NOT_OK(file.PreadExact(0, super, kSuperblockBytes));
+  ByteReader r(super, kSuperblockBytes);
   uint32_t magic = 0, index_kind = 0, bulk_load = 0;
   r.Pod(&magic);
   if (magic != kIndexMagic) {
@@ -415,24 +147,28 @@ Status ParseHeader(const std::string& file, const std::string& path,
         " segments; " + std::to_string(sb->table_count) + " tables need " +
         std::to_string(expected_segments));
   }
-  const uint64_t header_bytes =
-      kSuperblockBytes + uint64_t{sb->segment_count} * kCatalogEntryBytes;
-  if (file.size() < header_bytes) {
+  const uint64_t catalog_bytes =
+      uint64_t{sb->segment_count} * kCatalogEntryBytes;
+  if (file.size() - kSuperblockBytes < catalog_bytes) {
     return Status::IoError("truncated index catalog: " + path);
   }
+  std::string raw(catalog_bytes, '\0');
+  STPQ_RETURN_NOT_OK(
+      file.PreadExact(kSuperblockBytes, raw.data(), catalog_bytes));
+  ByteReader c(raw.data(), raw.size());
   catalog->reserve(sb->segment_count);
   for (uint32_t i = 0; i < sb->segment_count; ++i) {
     CatalogEntry e;
     uint32_t reserved = 0;
-    r.Pod(&e.type);
-    r.Pod(&e.ordinal);
-    r.Pod(&e.offset);
-    r.Pod(&e.bytes);
-    r.Pod(&e.first_page);
-    r.Pod(&e.slot_count);
-    r.Pod(&e.slot_bytes);
-    r.Pod(&reserved);
-    if (!r.Pod(&e.checksum)) {
+    c.Pod(&e.type);
+    c.Pod(&e.ordinal);
+    c.Pod(&e.offset);
+    c.Pod(&e.bytes);
+    c.Pod(&e.first_page);
+    c.Pod(&e.slot_count);
+    c.Pod(&e.slot_bytes);
+    c.Pod(&reserved);
+    if (!c.Pod(&e.checksum)) {
       return Status::IoError("truncated index catalog: " + path);
     }
     if (e.offset > file.size() || e.bytes > file.size() - e.offset) {
@@ -445,31 +181,38 @@ Status ParseHeader(const std::string& file, const std::string& path,
   return Status::OK();
 }
 
-/// Locates a segment and verifies its checksum.
-Result<std::string_view> VerifiedSegment(const std::string& file,
-                                         const std::vector<CatalogEntry>& cat,
-                                         uint32_t type, uint32_t ordinal) {
-  for (const CatalogEntry& e : cat) {
-    if (e.type != type || e.ordinal != ordinal) continue;
-    std::string_view sv(file.data() + e.offset, e.bytes);
-    if (Fnv1a64(sv.data(), sv.size()) != e.checksum) {
-      return Status::Corruption("checksum mismatch in segment '" +
-                                std::string(SegmentName(type)) + "' #" +
-                                std::to_string(ordinal));
-    }
-    return sv;
-  }
-  return Status::Corruption("missing segment '" +
-                            std::string(SegmentName(type)) + "' #" +
-                            std::to_string(ordinal));
-}
-
 const CatalogEntry* FindEntry(const std::vector<CatalogEntry>& cat,
                               uint32_t type, uint32_t ordinal) {
   for (const CatalogEntry& e : cat) {
     if (e.type == type && e.ordinal == ordinal) return &e;
   }
   return nullptr;
+}
+
+Status MissingSegment(uint32_t type, uint32_t ordinal) {
+  return Status::Corruption("missing segment '" +
+                            std::string(SegmentName(type)) + "' #" +
+                            std::to_string(ordinal));
+}
+
+Status ChecksumMismatch(uint32_t type, uint32_t ordinal) {
+  return Status::Corruption("checksum mismatch in segment '" +
+                            std::string(SegmentName(type)) + "' #" +
+                            std::to_string(ordinal));
+}
+
+/// Locates a small segment, preads its payload and verifies the checksum.
+Result<std::string> VerifiedSegment(const IndexFileHandle& file,
+                                    const std::vector<CatalogEntry>& cat,
+                                    uint32_t type, uint32_t ordinal) {
+  const CatalogEntry* e = FindEntry(cat, type, ordinal);
+  if (e == nullptr) return MissingSegment(type, ordinal);
+  std::string payload(e->bytes, '\0');
+  STPQ_RETURN_NOT_OK(file.PreadExact(e->offset, payload.data(), e->bytes));
+  if (Fnv1a64(payload.data(), payload.size()) != e->checksum) {
+    return ChecksumMismatch(type, ordinal);
+  }
+  return payload;
 }
 
 Status ParseObjects(std::string_view sv, uint64_t expected_count,
@@ -541,6 +284,224 @@ Status ParseFeatureTable(std::string_view sv, FeatureTable* out) {
   return Status::OK();
 }
 
+// ------------------------------------------------------ tree serializer
+
+/// Serializes tree metadata + the node array.  Node records are laid out
+/// in fixed-width slots (slot index == NodeId) whose width is the
+/// page-aligned worst-case node size, so the reader and the FilePageStore
+/// address node i at offset i * slot_bytes.
+template <int D, typename Aug, typename Codec>
+Status SerializeTree(const RTree<D, Aug>& tree, const Codec& codec,
+                     uint32_t page_size, std::string* meta, std::string* nodes,
+                     uint64_t* slot_count, uint32_t* slot_bytes_out) {
+  const uint32_t entry_bytes = EntryBytes(D, codec.payload_bytes());
+  const uint32_t slot_bytes =
+      SlotBytesFor(tree.options().max_entries, entry_bytes, page_size);
+
+  std::vector<uint32_t> free_nodes(tree.free_nodes().begin(),
+                                   tree.free_nodes().end());
+  AppendTreeMeta(meta, tree.root_id(), tree.height(), tree.size(),
+                 tree.node_count(), tree.options().max_entries,
+                 codec.aug_bits(), codec.aug_words(), free_nodes);
+
+  nodes->reserve(uint64_t{tree.node_count()} * slot_bytes);
+  for (const auto& node : tree.nodes()) {
+    const size_t start = nodes->size();
+    PutPod<uint16_t>(nodes, node.level);
+    PutPod<uint16_t>(nodes, 0);
+    PutPod<uint32_t>(nodes, static_cast<uint32_t>(node.entries.size()));
+    for (const auto& e : node.entries) {
+      for (int d = 0; d < D; ++d) PutPod(nodes, e.rect.lo[d]);
+      for (int d = 0; d < D; ++d) PutPod(nodes, e.rect.hi[d]);
+      PutPod<uint32_t>(nodes, e.id);
+      codec.Write(nodes, e.aug);
+    }
+    if (nodes->size() - start > slot_bytes) {
+      return Status::Internal("index node overflows its slot: " +
+                              std::to_string(nodes->size() - start) + " > " +
+                              std::to_string(slot_bytes) + " bytes");
+    }
+    nodes->resize(start + slot_bytes);  // zero-pad to the slot boundary
+  }
+  *slot_count = tree.node_count();
+  *slot_bytes_out = slot_bytes;
+  return Status::OK();
+}
+
+// --------------------------------------------------------- tree reader
+//
+// Split in two: the metadata parse + one streaming verification pass over
+// the node segment run eagerly at open (so a damaged file is rejected with
+// the same typed errors as the old whole-file loader), while the node
+// records themselves stay on disk behind a per-node decoder closure.
+
+/// Parses the tree-metadata payload and cross-checks it against the node
+/// segment's catalog entry.  Fills everything in `out` except `nodes`.
+template <int D, typename Aug, typename Codec>
+Status ParseTreeMeta(std::string_view meta, const CatalogEntry& nodes_entry,
+                     const Codec& codec, uint32_t expected_max_entries,
+                     uint32_t page_size, RestoredTreeData<D, Aug>* out) {
+  ByteReader m(meta.data(), meta.size());
+  uint32_t root = 0, height = 0, node_count = 0, max_entries = 0;
+  uint32_t aug_bits = 0, aug_words = 0, free_count = 0;
+  uint64_t size = 0;
+  if (!m.Pod(&root) || !m.Pod(&height) || !m.Pod(&size) ||
+      !m.Pod(&node_count) || !m.Pod(&max_entries) || !m.Pod(&aug_bits) ||
+      !m.Pod(&aug_words) || !m.Pod(&free_count)) {
+    return Status::Corruption("tree metadata segment too short");
+  }
+  if (aug_bits != codec.aug_bits() || aug_words != codec.aug_words()) {
+    return Status::Corruption(
+        "augmentation layout mismatch: file says " + std::to_string(aug_bits) +
+        " bits / " + std::to_string(aug_words) + " words, parameters derive " +
+        std::to_string(codec.aug_bits()) + " / " +
+        std::to_string(codec.aug_words()));
+  }
+  if (max_entries != expected_max_entries) {
+    return Status::Corruption(
+        "node fan-out mismatch: file says " + std::to_string(max_entries) +
+        ", page-size parameters derive " +
+        std::to_string(expected_max_entries));
+  }
+  if (node_count > kMaxNodeCount || free_count > node_count) {
+    return Status::Corruption("implausible tree node counts");
+  }
+  if (node_count != nodes_entry.slot_count) {
+    return Status::Corruption("tree metadata and catalog disagree on the "
+                              "node count");
+  }
+  if (nodes_entry.bytes !=
+      nodes_entry.slot_count * uint64_t{nodes_entry.slot_bytes}) {
+    return Status::Corruption("node segment size does not match its slots");
+  }
+  // The lazy decoder trusts the catalog's fixed slot width, so it must
+  // equal the width the page-size parameters derive (the catalog itself
+  // is not checksummed).
+  const uint32_t expected_slot_bytes = SlotBytesFor(
+      max_entries, EntryBytes(D, codec.payload_bytes()), page_size);
+  if (nodes_entry.slot_bytes != expected_slot_bytes) {
+    return Status::Corruption(
+        "node slot width mismatch: catalog says " +
+        std::to_string(nodes_entry.slot_bytes) +
+        " bytes, page-size parameters derive " +
+        std::to_string(expected_slot_bytes));
+  }
+  if (root != kInvalidNodeId && root >= node_count) {
+    return Status::Corruption("tree root id out of range");
+  }
+  out->free_nodes.reserve(free_count);
+  for (uint32_t i = 0; i < free_count; ++i) {
+    uint32_t id = 0;
+    if (!m.Pod(&id)) return Status::Corruption("tree free list truncated");
+    if (id >= node_count) {
+      return Status::Corruption("free-list node id out of range");
+    }
+    out->free_nodes.push_back(id);
+  }
+  out->root = root;
+  out->height = height;
+  out->size = size;
+  out->node_count = node_count;
+  return Status::OK();
+}
+
+/// One streaming pass over a node segment: checksums every byte and
+/// validates each slot header without retaining the payload.  A checksum
+/// mismatch outranks a slot-header violation (the old whole-file loader
+/// checksummed before parsing; damaged bytes usually trip both).
+Status VerifyNodeSegment(const IndexFileHandle& file, const CatalogEntry& e,
+                         uint32_t max_entries) {
+  Fnv1a64Stream fnv;
+  Status bad_slot = Status::OK();
+  if (e.slot_count > 0) {
+    const uint32_t slot_bytes = e.slot_bytes;
+    const uint64_t chunk_slots =
+        std::max<uint64_t>(1, (uint64_t{1} << 20) / slot_bytes);
+    std::vector<char> buf(static_cast<size_t>(chunk_slots) * slot_bytes);
+    for (uint64_t i = 0; i < e.slot_count;) {
+      const uint64_t n = std::min(chunk_slots, e.slot_count - i);
+      STPQ_RETURN_NOT_OK(file.PreadExact(e.offset + i * slot_bytes,
+                                         buf.data(), n * slot_bytes));
+      fnv.Update(buf.data(), static_cast<size_t>(n * slot_bytes));
+      for (uint64_t j = 0; bad_slot.ok() && j < n; ++j) {
+        uint32_t count = 0;
+        std::memcpy(&count, buf.data() + j * slot_bytes + 4, sizeof(count));
+        if (count > max_entries) {
+          bad_slot = Status::Corruption(
+              "node " + std::to_string(i + j) + " claims " +
+              std::to_string(count) + " entries, above the fan-out of " +
+              std::to_string(max_entries));
+        }
+      }
+      i += n;
+    }
+  }
+  if (fnv.Digest() != e.checksum) {
+    return ChecksumMismatch(e.type, e.ordinal);
+  }
+  return bad_slot;
+}
+
+/// Builds the per-node decoder closure for RTree::RestoreLazy.  Decoding
+/// cannot fail on a verified segment: slots are fixed-width, every slot
+/// header was validated (count <= max_entries implies every fixed-width
+/// entry fits the slot), and the codecs read exact widths — so a failure
+/// here means the file changed underneath us, which is a crash, not a
+/// Status.
+template <int D, typename Aug, typename Codec>
+std::function<void(NodeId, typename RTree<D, Aug>::Node*)> MakeNodeDecoder(
+    std::shared_ptr<IndexFileHandle> file, const CatalogEntry& entry,
+    Codec codec) {
+  const uint64_t offset = entry.offset;
+  const uint32_t slot_bytes = entry.slot_bytes;
+  return [file = std::move(file), offset, slot_bytes,
+          codec](NodeId id, typename RTree<D, Aug>::Node* node) {
+    std::vector<char> buf(slot_bytes);
+    const Status read =
+        file->PreadExact(offset + uint64_t{id} * slot_bytes, buf.data(),
+                         slot_bytes);
+    STPQ_CHECK(read.ok() && "index node slot read failed");
+    ByteReader r(buf.data(), slot_bytes);
+    uint16_t level = 0, reserved = 0;
+    uint32_t count = 0;
+    STPQ_CHECK(r.Pod(&level) && r.Pod(&reserved) && r.Pod(&count));
+    node->level = level;
+    node->entries.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      typename RTree<D, Aug>::Entry e;
+      bool ok = true;
+      for (int d = 0; d < D && ok; ++d) ok = r.Pod(&e.rect.lo[d]);
+      for (int d = 0; d < D && ok; ++d) ok = r.Pod(&e.rect.hi[d]);
+      ok = ok && r.Pod(&e.id) && codec.Read(r, &e.aug);
+      STPQ_CHECK(ok && "index node entry decode failed after verification");
+      node->entries.push_back(std::move(e));
+    }
+  };
+}
+
+/// Eagerly verifies one tree (meta + node segment) and wires up its lazy
+/// restore payload.
+template <int D, typename Aug, typename Codec>
+Status LoadTree(const std::shared_ptr<IndexFileHandle>& file,
+                const std::vector<CatalogEntry>& catalog, uint32_t meta_type,
+                uint32_t nodes_type, uint32_t ordinal, const Codec& codec,
+                uint32_t expected_max_entries, uint32_t page_size,
+                RestoredTreeData<D, Aug>* out,
+                const CatalogEntry** nodes_entry_out) {
+  Result<std::string> meta = VerifiedSegment(*file, catalog, meta_type,
+                                             ordinal);
+  if (!meta.ok()) return meta.status();
+  const CatalogEntry* entry = FindEntry(catalog, nodes_type, ordinal);
+  if (entry == nullptr) return MissingSegment(nodes_type, ordinal);
+  STPQ_RETURN_NOT_OK((ParseTreeMeta<D, Aug>(meta.value(), *entry, codec,
+                                            expected_max_entries, page_size,
+                                            out)));
+  STPQ_RETURN_NOT_OK(VerifyNodeSegment(*file, *entry, expected_max_entries));
+  out->decoder = MakeNodeDecoder<D, Aug>(file, *entry, codec);
+  *nodes_entry_out = entry;
+  return Status::OK();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- writer
@@ -566,6 +527,16 @@ Status WriteIndexFile(const std::string& path,
     return Status::InvalidArgument("page_size_bytes must be nonzero");
   }
 
+  struct SegmentBlob {
+    uint32_t type = 0;
+    uint32_t ordinal = 0;
+    std::string payload;
+    uint64_t first_page = 0;
+    uint64_t slot_count = 0;
+    uint32_t slot_bytes = 0;
+    bool page_aligned = false;
+    uint64_t offset = 0;  // assigned during layout
+  };
   std::vector<SegmentBlob> segments;
   segments.reserve(3 + 4 * num_tables);
 
@@ -680,88 +651,83 @@ Status WriteIndexFile(const std::string& path,
 
   std::string header;
   header.reserve(header_bytes);
-  PutPod<uint32_t>(&header, kIndexMagic);
-  PutPod<uint32_t>(&header, kIndexVersion);
-  PutPod<uint32_t>(&header, page_size);
-  PutPod<uint32_t>(&header,
-                   static_cast<uint32_t>(request.params.index_kind));
-  PutPod<uint32_t>(&header, static_cast<uint32_t>(request.params.bulk_load));
-  PutPod<uint32_t>(&header, request.params.signature_bits);
-  PutPod<uint32_t>(&header, request.params.signature_hashes);
-  PutPod<double>(&header, request.params.fill);
-  PutPod<uint64_t>(&header, request.objects->size());
-  PutPod<uint32_t>(&header, static_cast<uint32_t>(num_tables));
-  PutPod<uint32_t>(&header, static_cast<uint32_t>(segments.size()));
+  AppendSuperblock(&header, page_size,
+                   static_cast<uint32_t>(request.params.index_kind),
+                   static_cast<uint32_t>(request.params.bulk_load),
+                   request.params.signature_bits,
+                   request.params.signature_hashes, request.params.fill,
+                   request.objects->size(), static_cast<uint32_t>(num_tables),
+                   static_cast<uint32_t>(segments.size()));
   for (const SegmentBlob& s : segments) {
-    PutPod<uint32_t>(&header, s.type);
-    PutPod<uint32_t>(&header, s.ordinal);
-    PutPod<uint64_t>(&header, s.offset);
-    PutPod<uint64_t>(&header, static_cast<uint64_t>(s.payload.size()));
-    PutPod<uint64_t>(&header, s.first_page);
-    PutPod<uint64_t>(&header, s.slot_count);
-    PutPod<uint32_t>(&header, s.slot_bytes);
-    PutPod<uint32_t>(&header, 0u);  // reserved
-    PutPod<uint64_t>(&header, Fnv1a64(s.payload.data(), s.payload.size()));
+    CatalogEntry e;
+    e.type = s.type;
+    e.ordinal = s.ordinal;
+    e.offset = s.offset;
+    e.bytes = s.payload.size();
+    e.first_page = s.first_page;
+    e.slot_count = s.slot_count;
+    e.slot_bytes = s.slot_bytes;
+    e.checksum = Fnv1a64(s.payload.data(), s.payload.size());
+    AppendCatalogEntry(&header, e);
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  // Crash-safe publish: assemble the whole image in `<path>.tmp`, fsync
+  // it, then atomically rename over the destination.  A crash or failure
+  // at any point leaves the previous index untouched.
+  Result<AtomicFile> out_r = AtomicFile::Create(path);
+  if (!out_r.ok()) return out_r.status();
+  AtomicFile out = out_r.TakeValue();
+  STPQ_RETURN_NOT_OK(out.WriteAt(0, header.data(), header.size()));
+  uint64_t file_end = header.size();
   for (const SegmentBlob& s : segments) {
-    out.seekp(static_cast<std::streamoff>(s.offset));  // zero-fills the gap
-    out.write(s.payload.data(),
-              static_cast<std::streamsize>(s.payload.size()));
+    if (s.payload.empty()) continue;  // empty segments do not extend the file
+    STPQ_RETURN_NOT_OK(
+        out.WriteAt(s.offset, s.payload.data(), s.payload.size()));
+    file_end = std::max(file_end, s.offset + s.payload.size());
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  STPQ_RETURN_NOT_OK(out.Truncate(file_end));
+  return out.Commit();
 }
 
 // ---------------------------------------------------------------- reader
 
 Result<LoadedIndex> LoadIndexFile(const std::string& path) {
-  Result<std::string> file_r = ReadWholeFile(path);
+  Result<std::shared_ptr<IndexFileHandle>> file_r = IndexFileHandle::Open(path);
   if (!file_r.ok()) return file_r.status();
-  const std::string file = file_r.TakeValue();
+  std::shared_ptr<IndexFileHandle> file = file_r.TakeValue();
 
   Superblock sb;
   std::vector<CatalogEntry> catalog;
-  STPQ_RETURN_NOT_OK(ParseHeader(file, path, &sb, &catalog));
+  STPQ_RETURN_NOT_OK(ParseHeader(*file, &sb, &catalog));
 
   LoadedIndex out;
   out.params = sb.params;
 
   {
-    Result<std::string_view> sv = VerifiedSegment(file, catalog, kSegObjects, 0);
+    Result<std::string> sv = VerifiedSegment(*file, catalog, kSegObjects, 0);
     if (!sv.ok()) return sv.status();
     STPQ_RETURN_NOT_OK(ParseObjects(sv.value(), sb.object_count, &out.objects));
   }
   out.vocabularies.resize(sb.table_count);
   out.feature_tables.resize(sb.table_count);
   for (uint32_t i = 0; i < sb.table_count; ++i) {
-    Result<std::string_view> vv =
-        VerifiedSegment(file, catalog, kSegVocabulary, i);
+    Result<std::string> vv =
+        VerifiedSegment(*file, catalog, kSegVocabulary, i);
     if (!vv.ok()) return vv.status();
     STPQ_RETURN_NOT_OK(ParseVocabulary(vv.value(), &out.vocabularies[i]));
-    Result<std::string_view> tv =
-        VerifiedSegment(file, catalog, kSegFeatureTable, i);
+    Result<std::string> tv =
+        VerifiedSegment(*file, catalog, kSegFeatureTable, i);
     if (!tv.ok()) return tv.status();
     STPQ_RETURN_NOT_OK(ParseFeatureTable(tv.value(), &out.feature_tables[i]));
   }
 
   // Object tree.
   {
-    Result<std::string_view> mv =
-        VerifiedSegment(file, catalog, kSegObjectTreeMeta, 0);
-    if (!mv.ok()) return mv.status();
-    Result<std::string_view> nv =
-        VerifiedSegment(file, catalog, kSegObjectTreeNodes, 0);
-    if (!nv.ok()) return nv.status();
-    const CatalogEntry* entry = FindEntry(catalog, kSegObjectTreeNodes, 0);
-    STPQ_RETURN_NOT_OK((ParseTree<2, NoAug>(
-        mv.value(), nv.value(), entry->slot_count, entry->slot_bytes,
+    const CatalogEntry* entry = nullptr;
+    STPQ_RETURN_NOT_OK((LoadTree<2, NoAug>(
+        file, catalog, kSegObjectTreeMeta, kSegObjectTreeNodes, 0,
         NoAugCodec{}, FanOutForPage(sb.params.page_size_bytes, 2, 0),
-        &out.object_tree)));
+        sb.params.page_size_bytes, &out.object_tree, &entry)));
     if (entry->slot_count > 0) {
       out.extents.push_back(FilePageStore::Extent{
           entry->first_page, entry->slot_count, entry->offset,
@@ -771,43 +737,37 @@ Result<LoadedIndex> LoadIndexFile(const std::string& path) {
 
   // Feature trees, one per table, matching the persisted index kind.
   for (uint32_t i = 0; i < sb.table_count; ++i) {
-    Result<std::string_view> mv =
-        VerifiedSegment(file, catalog, kSegFeatureTreeMeta, i);
-    if (!mv.ok()) return mv.status();
-    Result<std::string_view> nv =
-        VerifiedSegment(file, catalog, kSegFeatureTreeNodes, i);
-    if (!nv.ok()) return nv.status();
-    const CatalogEntry* entry = FindEntry(catalog, kSegFeatureTreeNodes, i);
     const uint32_t universe = out.feature_tables[i].universe_size();
-    if (entry->first_page != kIndexPageStride * (uint64_t{i} + 1)) {
-      return Status::Corruption("feature node segment " + std::to_string(i) +
-                                " has the wrong page-id base");
-    }
+    const CatalogEntry* entry = nullptr;
     switch (sb.params.index_kind) {
       case FeatureIndexKind::kSrt: {
         SrtAugCodec codec{universe};
         RestoredTreeData<4, SrtAug> tree;
         const uint32_t aug_bytes = 8 + 8 * ((universe + 63) / 64);
-        STPQ_RETURN_NOT_OK((ParseTree<4, SrtAug>(
-            mv.value(), nv.value(), entry->slot_count, entry->slot_bytes,
+        STPQ_RETURN_NOT_OK((LoadTree<4, SrtAug>(
+            file, catalog, kSegFeatureTreeMeta, kSegFeatureTreeNodes, i,
             codec, FanOutForPage(sb.params.page_size_bytes, 4, aug_bytes),
-            &tree)));
+            sb.params.page_size_bytes, &tree, &entry)));
         out.srt_trees.push_back(std::move(tree));
         break;
       }
       case FeatureIndexKind::kIr2: {
         const uint32_t sig_bits =
-            EffectiveIr2SignatureBits(sb.params, universe);
+            EffectiveIr2SignatureBits(sb.params.signature_bits, universe);
         Ir2AugCodec codec{sig_bits};
         RestoredTreeData<2, Ir2Aug> tree;
         const uint32_t aug_bytes = 8 + sig_bits / 8;
-        STPQ_RETURN_NOT_OK((ParseTree<2, Ir2Aug>(
-            mv.value(), nv.value(), entry->slot_count, entry->slot_bytes,
+        STPQ_RETURN_NOT_OK((LoadTree<2, Ir2Aug>(
+            file, catalog, kSegFeatureTreeMeta, kSegFeatureTreeNodes, i,
             codec, FanOutForPage(sb.params.page_size_bytes, 2, aug_bytes),
-            &tree)));
+            sb.params.page_size_bytes, &tree, &entry)));
         out.ir2_trees.push_back(std::move(tree));
         break;
       }
+    }
+    if (entry->first_page != kIndexPageStride * (uint64_t{i} + 1)) {
+      return Status::Corruption("feature node segment " + std::to_string(i) +
+                                " has the wrong page-id base");
     }
     if (entry->slot_count > 0) {
       out.extents.push_back(FilePageStore::Extent{
@@ -819,23 +779,24 @@ Result<LoadedIndex> LoadIndexFile(const std::string& path) {
 }
 
 Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path) {
-  Result<std::string> file_r = ReadWholeFile(path);
+  Result<std::shared_ptr<IndexFileHandle>> file_r = IndexFileHandle::Open(path);
   if (!file_r.ok()) return file_r.status();
-  const std::string file = file_r.TakeValue();
+  const std::shared_ptr<IndexFileHandle> file = file_r.TakeValue();
   Superblock sb;
   std::vector<CatalogEntry> catalog;
-  STPQ_RETURN_NOT_OK(ParseHeader(file, path, &sb, &catalog));
+  STPQ_RETURN_NOT_OK(ParseHeader(*file, &sb, &catalog));
   IndexFileInfo info;
   info.version = sb.version;
   info.params = sb.params;
   info.object_count = sb.object_count;
   info.table_count = sb.table_count;
-  info.file_bytes = file.size();
+  info.file_bytes = file->size();
   info.segments.reserve(catalog.size());
   for (const CatalogEntry& e : catalog) {
     IndexSegmentInfo s;
     s.name = SegmentName(e.type);
     s.ordinal = e.ordinal;
+    s.offset = e.offset;
     s.bytes = e.bytes;
     s.slots = e.slot_count;
     s.slot_bytes = e.slot_bytes;
@@ -846,16 +807,16 @@ Result<IndexFileInfo> ReadIndexFileInfo(const std::string& path) {
 
 Result<std::vector<Vocabulary>> ReadIndexVocabularies(
     const std::string& path) {
-  Result<std::string> file_r = ReadWholeFile(path);
+  Result<std::shared_ptr<IndexFileHandle>> file_r = IndexFileHandle::Open(path);
   if (!file_r.ok()) return file_r.status();
-  const std::string file = file_r.TakeValue();
+  const std::shared_ptr<IndexFileHandle> file = file_r.TakeValue();
   Superblock sb;
   std::vector<CatalogEntry> catalog;
-  STPQ_RETURN_NOT_OK(ParseHeader(file, path, &sb, &catalog));
+  STPQ_RETURN_NOT_OK(ParseHeader(*file, &sb, &catalog));
   std::vector<Vocabulary> vocabs(sb.table_count);
   for (uint32_t i = 0; i < sb.table_count; ++i) {
-    Result<std::string_view> sv =
-        VerifiedSegment(file, catalog, kSegVocabulary, i);
+    Result<std::string> sv =
+        VerifiedSegment(*file, catalog, kSegVocabulary, i);
     if (!sv.ok()) return sv.status();
     STPQ_RETURN_NOT_OK(ParseVocabulary(sv.value(), &vocabs[i]));
   }

@@ -88,10 +88,12 @@ struct LoadedIndex {
 /// error taxonomy.
 [[nodiscard]] Result<LoadedIndex> LoadIndexFile(const std::string& path);
 
-/// One catalog row, decoded for display (`stpq_cli load`).
+/// One catalog row, decoded for display (`stpq_cli load`) and for the
+/// crash-safety tests' segment-boundary truncation sweeps.
 struct IndexSegmentInfo {
   std::string name;      ///< "objects", "feature_table", "srt_nodes", ...
   uint32_t ordinal = 0;  ///< table index for per-table segments
+  uint64_t offset = 0;   ///< byte offset of the segment payload
   uint64_t bytes = 0;
   uint64_t slots = 0;       ///< node segments: slot (node) count
   uint32_t slot_bytes = 0;  ///< node segments: page-aligned slot width

@@ -42,6 +42,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "pool_evict";
     case TraceEventType::kHeapHighWater:
       return "heap_high_water";
+    case TraceEventType::kBuildPhase:
+      return "build_phase";
   }
   return "unknown";
 }

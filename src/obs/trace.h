@@ -37,8 +37,8 @@
 
 namespace stpq {
 
-/// What a trace event describes.  The first five are span types (begin/end
-/// pairs); the rest are instants.
+/// What a trace event describes.  The first five and kBuildPhase are span
+/// types (begin/end pairs); the rest are instants.
 enum class TraceEventType : uint8_t {
   kQuery = 0,          ///< one Engine::Execute call
   kComponentScore,     ///< one tau_i(p) search / batch search
@@ -50,9 +50,10 @@ enum class TraceEventType : uint8_t {
   kPoolMiss,           ///< buffer-pool miss = simulated read (instant)
   kPoolEvict,          ///< buffer-pool eviction (instant)
   kHeapHighWater,      ///< search-heap high-water mark (instant)
+  kBuildPhase,         ///< one external bulk-load phase (span)
 };
 
-inline constexpr size_t kNumTraceEventTypes = 10;
+inline constexpr size_t kNumTraceEventTypes = 11;
 
 /// Stable lowercase name ("query", "node_visit", ...), used as the Chrome
 /// trace event name.

@@ -35,8 +35,12 @@ void SortByHilbertKey(std::vector<typename RTree<D, Aug>::Entry>* records,
     }
     keyed[i] = {HilbertKeyFromUnit(unit, bits_per_dim, D), i};
   }
-  std::sort(keyed.begin(), keyed.end(),
-            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  // Tie-break on the input index: equal Hilbert keys (quantization
+  // collisions) keep their original order, making the sort a total order
+  // any implementation — including the external merge sort — reproduces.
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return a.key != b.key ? a.key < b.key : a.index < b.index;
+  });
   std::vector<typename RTree<D, Aug>::Entry> out;
   out.reserve(records->size());
   for (const Keyed& k : keyed) out.push_back((*records)[k.index]);

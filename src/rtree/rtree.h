@@ -16,8 +16,13 @@
 #define STPQ_RTREE_RTREE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "geom/rect.h"
@@ -101,6 +106,7 @@ class RTree {
   /// Reads a node, charging the buffer pool for the page access.
   const Node& ReadNode(NodeId id) const {
     STPQ_DCHECK(id < nodes_.size());
+    if (node_decoder_) MaterializeNode(id);
     if (options_.buffer_pool != nullptr) {
       options_.buffer_pool->Access(options_.page_base + id);
     }
@@ -112,6 +118,7 @@ class RTree {
   /// distort I/O accounting.
   [[nodiscard]] const Node& PeekNode(NodeId id) const {
     STPQ_DCHECK(id < nodes_.size());
+    if (node_decoder_) MaterializeNode(id);
     return nodes_[id];
   }
 
@@ -119,13 +126,17 @@ class RTree {
   /// library code never calls this.
   [[nodiscard]] Node& MutableNodeForTest(NodeId id) {
     STPQ_CHECK(id < nodes_.size());
+    if (node_decoder_) MaterializeNode(id);
     return nodes_[id];
   }
 
   /// Serialization hooks (storage/index_file.*): the raw node array and
   /// free list.  Persisting both keeps NodeIds — and therefore page ids and
   /// golden I/O counts — identical across a save/load round trip.
-  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Node>& nodes() const {
+    MaterializeAll();
+    return nodes_;
+  }
   [[nodiscard]] const std::vector<NodeId>& free_nodes() const {
     return free_nodes_;
   }
@@ -142,10 +153,44 @@ class RTree {
     height_ = height;
     size_ = size;
     path_.clear();
+    node_decoder_ = nullptr;
+    node_once_.reset();
+    materialized_nodes_.reset();
+  }
+
+  /// Restore variant that defers node payloads: `decoder` fills node `id`
+  /// on first access (one file slot read), so opening a large index does
+  /// not pull every node segment into memory.  Decoding is memoized per
+  /// node (std::call_once, safe under concurrent readers); structural
+  /// mutation and whole-tree walks (Insert/Delete/nodes()/CheckInvariants)
+  /// materialize everything first and drop back to eager mode.
+  void RestoreLazy(uint32_t node_count, std::vector<NodeId> free_nodes,
+                   NodeId root, uint32_t height, uint64_t size,
+                   std::function<void(NodeId, Node*)> decoder) {
+    nodes_.assign(node_count, Node{});
+    free_nodes_ = std::move(free_nodes);
+    root_ = root;
+    height_ = height;
+    size_ = size;
+    path_.clear();
+    node_decoder_ = std::move(decoder);
+    node_once_ = node_count > 0 ? std::make_unique<std::once_flag[]>(node_count)
+                                : nullptr;
+    materialized_nodes_ = std::make_unique<std::atomic<uint64_t>>(0);
+  }
+
+  /// Nodes decoded so far on a lazily restored tree; equals node_count()
+  /// once the tree is eager.  Test hook for the header-only-open contract.
+  [[nodiscard]] uint64_t materialized_node_count() const {
+    if (node_decoder_ && materialized_nodes_ != nullptr) {
+      return materialized_nodes_->load(std::memory_order_relaxed);
+    }
+    return nodes_.size();
   }
 
   /// Inserts one record.
   void Insert(const Rect<D>& rect, uint32_t record_id, const Aug& aug = {}) {
+    MaterializeAll();
     if (root_ == kInvalidNodeId) {
       root_ = NewNode(0);
       height_ = 1;
@@ -162,6 +207,7 @@ class RTree {
   /// (Guttman's Delete with CondenseTree re-insertion).  Returns false if
   /// no such record exists.
   bool Delete(const Rect<D>& rect, uint32_t record_id) {
+    MaterializeAll();
     if (root_ == kInvalidNodeId) return false;
     path_.clear();
     if (!FindLeaf(root_, rect, record_id)) return false;
@@ -187,6 +233,9 @@ class RTree {
   void BulkLoadSorted(const std::vector<Entry>& sorted_records,
                       double fill = 1.0) {
     nodes_.clear();
+    node_decoder_ = nullptr;
+    node_once_.reset();
+    materialized_nodes_.reset();
     root_ = kInvalidNodeId;
     height_ = 0;
     size_ = sorted_records.size();
@@ -250,11 +299,30 @@ class RTree {
   /// (test hook).  `aug_equal` compares augmentation values.
   template <typename AugEq>
   bool CheckInvariants(AugEq&& aug_equal) const {
+    MaterializeAll();
     if (root_ == kInvalidNodeId) return true;
     return CheckNode(root_, height_ - 1, aug_equal);
   }
 
  private:
+  /// Decodes node `id` exactly once (safe under concurrent readers).
+  void MaterializeNode(NodeId id) const {
+    std::call_once(node_once_[id], [&] {
+      node_decoder_(id, &nodes_[id]);
+      materialized_nodes_->fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  /// Decodes every node and drops back to eager mode, so structural
+  /// mutation (which creates node ids beyond the once-flag array) is safe.
+  /// Not safe concurrently with readers; callers are cold single-threaded
+  /// paths (Save, validators, updates).
+  void MaterializeAll() const {
+    if (!node_decoder_) return;
+    for (NodeId id = 0; id < nodes_.size(); ++id) MaterializeNode(id);
+    node_decoder_ = nullptr;
+    node_once_.reset();
+  }
   NodeId NewNode(uint16_t level) {
     if (!free_nodes_.empty()) {
       NodeId id = free_nodes_.back();
@@ -599,7 +667,13 @@ class RTree {
 
   RTreeOptions options_;
   uint32_t min_entries_;
-  std::vector<Node> nodes_;
+  /// Mutable so const readers of a lazily restored tree can decode node
+  /// payloads in place (memoized via node_once_).
+  mutable std::vector<Node> nodes_;
+  /// Lazy-restore state (RestoreLazy); empty/null on eager trees.
+  mutable std::function<void(NodeId, Node*)> node_decoder_;
+  mutable std::unique_ptr<std::once_flag[]> node_once_;
+  mutable std::unique_ptr<std::atomic<uint64_t>> materialized_nodes_;
   std::vector<NodeId> free_nodes_;
   NodeId root_ = kInvalidNodeId;
   uint32_t height_ = 0;
@@ -609,7 +683,10 @@ class RTree {
 };
 
 /// Deserialized tree payload adopted by the index restore constructors
-/// (storage/index_file.*): exactly the state RTree::Restore swallows.
+/// (storage/index_file.*).  When `decoder` is set the payload is lazy:
+/// `nodes` stays empty, `node_count` sizes the tree, and the decoder fills
+/// one node slot on first access (RTree::RestoreLazy); otherwise `nodes`
+/// holds the materialized array (RTree::Restore).
 template <int D, typename Aug = NoAug>
 struct RestoredTreeData {
   std::vector<typename RTree<D, Aug>::Node> nodes;
@@ -617,7 +694,23 @@ struct RestoredTreeData {
   NodeId root = kInvalidNodeId;
   uint32_t height = 0;
   uint64_t size = 0;
+  uint32_t node_count = 0;
+  std::function<void(NodeId, typename RTree<D, Aug>::Node*)> decoder;
 };
+
+/// Routes a restored payload to Restore or RestoreLazy; the one call the
+/// index restore constructors make.
+template <int D, typename Aug>
+void AdoptRestoredTree(RTree<D, Aug>* tree, RestoredTreeData<D, Aug> restored) {
+  if (restored.decoder) {
+    tree->RestoreLazy(restored.node_count, std::move(restored.free_nodes),
+                      restored.root, restored.height, restored.size,
+                      std::move(restored.decoder));
+  } else {
+    tree->Restore(std::move(restored.nodes), std::move(restored.free_nodes),
+                  restored.root, restored.height, restored.size);
+  }
+}
 
 }  // namespace stpq
 

@@ -143,11 +143,43 @@ const FilePageStore::Extent* FilePageStore::LookupExtent(PageId page) const {
   return nullptr;
 }
 
+void FilePageStore::RecordFetchError(FetchErrorKind kind, PageId page,
+                                     int err) {
+  last_error_kind_.store(static_cast<uint8_t>(kind),
+                         std::memory_order_relaxed);
+  last_error_errno_.store(err, std::memory_order_relaxed);
+  last_error_page_.store(page, std::memory_order_relaxed);
+  io_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status FilePageStore::last_error() const {
+  const auto kind = static_cast<FetchErrorKind>(
+      last_error_kind_.load(std::memory_order_relaxed));
+  const uint64_t page = last_error_page_.load(std::memory_order_relaxed);
+  switch (kind) {
+    case FetchErrorKind::kNone:
+      return Status::OK();
+    case FetchErrorKind::kUnmappedPage:
+      return Status::IoError("page " + std::to_string(page) +
+                             " is outside every extent of '" + path_ + "'");
+    case FetchErrorKind::kPreadFailed:
+      return Status::IoError(
+          "pread failed for page " + std::to_string(page) + " of '" + path_ +
+          "': " +
+          std::strerror(last_error_errno_.load(std::memory_order_relaxed)));
+    case FetchErrorKind::kTornPage:
+      return Status::Corruption("torn page " + std::to_string(page) +
+                                ": '" + path_ +
+                                "' ends inside the slot (short read)");
+  }
+  return Status::Internal("unknown fetch error kind");
+}
+
 void FilePageStore::FetchPage(PageId page) {
   Timer timer;
   const Extent* extent = LookupExtent(page);
   if (extent == nullptr) {
-    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    RecordFetchError(FetchErrorKind::kUnmappedPage, page, 0);
     return;
   }
   const uint64_t offset =
@@ -171,9 +203,19 @@ void FilePageStore::FetchPage(PageId page) {
                               ? static_cast<size_t>(remaining)
                               : sizeof(buffer);
       const ssize_t got =
-          ::pread(fd_, buffer, want, static_cast<off_t>(position));
-      if (got <= 0) {
-        io_errors_.fetch_add(1, std::memory_order_relaxed);
+          pread_fn_(fd_, buffer, want, static_cast<off_t>(position));
+      if (got < 0) {
+        // EINTR is not a failure: the read was merely interrupted by a
+        // signal and must be retried at the same position.
+        if (errno == EINTR) continue;
+        RecordFetchError(FetchErrorKind::kPreadFailed, page, errno);
+        break;
+      }
+      if (got == 0) {
+        // EOF inside a slot: the file is shorter than the extent table
+        // promised.  A partially filled page must never be served as
+        // complete — record it as a torn page.
+        RecordFetchError(FetchErrorKind::kTornPage, page, 0);
         break;
       }
       position += static_cast<uint64_t>(got);

@@ -18,6 +18,9 @@
 #ifndef STPQ_STORAGE_PAGE_STORE_H_
 #define STPQ_STORAGE_PAGE_STORE_H_
 
+#include <sys/types.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -145,13 +148,36 @@ class FilePageStore final : public PageStore {
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] bool using_mmap() const { return map_ != nullptr; }
 
+  /// Typed view of the most recent fetch failure: OK when io_errors is 0,
+  /// IoError for a failed pread, Corruption for a torn page (EOF inside a
+  /// slot — the file is shorter than the extent table promised).  Cold:
+  /// allocates the message; callers check after stats().io_errors != 0.
+  [[nodiscard]] STPQ_COLD Status last_error() const;
+
+  /// pread-compatible seam for fault-injection tests (EINTR, short reads,
+  /// hard errors).  Not thread-safe against in-flight fetches; install
+  /// before queries run.
+  using PreadFn = ssize_t (*)(int fd, void* buf, size_t count, off_t offset);
+  void SetPreadFnForTest(PreadFn fn) { pread_fn_ = fn; }
+
  private:
+  /// What the last fetch failure was (relaxed atomics; FetchPage must stay
+  /// allocation-free, so the Status is only built in last_error()).
+  enum class FetchErrorKind : uint8_t {
+    kNone = 0,
+    kUnmappedPage = 1,  ///< page outside every extent
+    kPreadFailed = 2,   ///< pread returned -1 (errno recorded)
+    kTornPage = 3,      ///< EOF before the slot was fully read
+  };
   FilePageStore(std::string path, std::vector<Extent> extents, int fd,
                 const uint8_t* map, uint64_t file_bytes);
 
   /// Binary search over the sorted extent table; nullptr when `page` is
   /// outside every extent.
   [[nodiscard]] const Extent* LookupExtent(PageId page) const;
+
+  /// Bumps io_errors and records the failure detail (allocation-free).
+  void RecordFetchError(FetchErrorKind kind, PageId page, int err);
 
   const std::string path_;
   /// Sorted by first_page; immutable after Open, so FetchPage reads it
@@ -161,9 +187,14 @@ class FilePageStore final : public PageStore {
   const uint8_t* const map_;  ///< nullptr in pread mode
   const uint64_t file_bytes_;
 
+  PreadFn pread_fn_ = &::pread;
+
   std::atomic<uint64_t> fetches_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> io_errors_{0};
+  std::atomic<uint8_t> last_error_kind_{0};
+  std::atomic<int> last_error_errno_{0};
+  std::atomic<uint64_t> last_error_page_{0};
   /// Folded mmap bytes land here so the touch loop cannot be optimized
   /// away; the value itself is meaningless.
   std::atomic<uint64_t> fold_sink_{0};

@@ -1,0 +1,150 @@
+// Memory-profile tests for Engine::Open and LoadIndexFile.
+//
+// Opening a .stpqx file must not materialize tree nodes up front: the
+// loader parses the superblock + catalog, verifies segment checksums, and
+// hands back lazy per-node decoders; nodes decode one at a time on first
+// access.  These tests pin that laziness at the LoadIndexFile layer (build
+//-mode independent) and at the Engine layer (NDEBUG only — Debug builds
+// deep-validate restored indexes, which deliberately touches every node).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/synthetic.h"
+#include "io/index_file.h"
+#include "rtree/rtree.h"
+
+namespace stpq {
+namespace {
+
+class OpenMemoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("stpq_open_memory_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Saves an SRT index with enough nodes that "materialized everything"
+  /// and "materialized one root-to-leaf path" are far apart.
+  std::string SaveIndex() {
+    SyntheticConfig cfg;
+    cfg.seed = 7;
+    cfg.num_objects = 2000;
+    cfg.num_features_per_set = 2000;
+    cfg.num_feature_sets = 2;
+    cfg.vocabulary_size = 48;
+    cfg.num_clusters = 32;
+    Dataset ds = GenerateSynthetic(cfg);
+    EngineOptions opts;
+    opts.storage.page_size = 256;
+    Engine engine =
+        Engine::Build(ds.objects,
+                      std::vector<FeatureTable>(ds.feature_tables), opts)
+            .TakeValue();
+    std::string path = (dir_ / "idx.stpqx").string();
+    EXPECT_TRUE(engine.Save(path).ok());
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(OpenMemoryTest, LoadIndexFileReturnsLazyPayloads) {
+  std::string path = SaveIndex();
+  Result<LoadedIndex> loaded = LoadIndexFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LoadedIndex& idx = loaded.value();
+
+  // The object tree came back as a decoder + node count, not nodes.
+  EXPECT_TRUE(idx.object_tree.nodes.empty());
+  EXPECT_GT(idx.object_tree.node_count, 0u);
+  ASSERT_TRUE(static_cast<bool>(idx.object_tree.decoder));
+
+  ASSERT_EQ(idx.srt_trees.size(), 2u);
+  for (const RestoredTreeData<4, SrtAug>& t : idx.srt_trees) {
+    EXPECT_TRUE(t.nodes.empty());
+    EXPECT_GT(t.node_count, 0u);
+    EXPECT_TRUE(static_cast<bool>(t.decoder));
+  }
+}
+
+TEST_F(OpenMemoryTest, NodesMaterializeOnFirstAccessOnly) {
+  std::string path = SaveIndex();
+  Result<LoadedIndex> loaded = LoadIndexFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  RTree<2> tree;
+  uint32_t total = loaded.value().object_tree.node_count;
+  AdoptRestoredTree(&tree, std::move(loaded.value().object_tree));
+  EXPECT_EQ(tree.materialized_node_count(), 0u);
+
+  // A point probe walks one root-to-leaf path: a handful of nodes out of
+  // hundreds.
+  uint64_t hits = 0;
+  tree.ForEachInRange(Rect<2>::FromPoint({0.5, 0.5}),
+                      [&](uint32_t, const Rect<2>&, const NoAug&) { ++hits; });
+  uint64_t after_probe = tree.materialized_node_count();
+  EXPECT_GT(after_probe, 0u);
+  EXPECT_LT(after_probe, total / 2) << "a point probe materialized half the tree";
+
+  // Re-running the same probe decodes nothing new.
+  tree.ForEachInRange(Rect<2>::FromPoint({0.5, 0.5}),
+                      [&](uint32_t, const Rect<2>&, const NoAug&) {});
+  EXPECT_EQ(tree.materialized_node_count(), after_probe);
+}
+
+TEST_F(OpenMemoryTest, DecodedNodesMatchEagerRestore) {
+  // Decode every node through the lazy path and compare against the
+  // in-memory build: same rects, record ids and tree shape.
+  std::string path = SaveIndex();
+  Result<LoadedIndex> loaded = LoadIndexFile(path);
+  ASSERT_TRUE(loaded.ok());
+
+  RTree<2> lazy;
+  AdoptRestoredTree(&lazy, std::move(loaded.value().object_tree));
+  std::vector<std::pair<uint32_t, Rect<2>>> via_lazy;
+  lazy.ForEachInRange(Rect<2>{{0.0, 0.0}, {1.0, 1.0}},
+                      [&](uint32_t id, const Rect<2>& r, const NoAug&) {
+                        via_lazy.emplace_back(id, r);
+                      });
+  EXPECT_EQ(via_lazy.size(), lazy.size());
+  EXPECT_EQ(lazy.materialized_node_count(), lazy.node_count());
+}
+
+#ifdef NDEBUG
+TEST_F(OpenMemoryTest, EngineOpenDoesNotMaterializeNodesUpFront) {
+  // Debug builds deep-validate restored indexes (touching every node), so
+  // the up-front laziness claim only holds — and is only asserted — in
+  // Release.
+  std::string path = SaveIndex();
+  Result<Engine> opened = Engine::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value().object_index().tree().materialized_node_count(),
+            0u);
+
+  // One query touches a sliver of each tree, not the whole file.
+  Query q;
+  q.k = 5;
+  q.radius = 0.05;
+  q.lambda = 0.5;
+  for (int s = 0; s < 2; ++s) {
+    KeywordSet kw(48);
+    kw.Insert(3);
+    q.keywords.push_back(std::move(kw));
+  }
+  ASSERT_TRUE(opened.value().Execute(q, Algorithm::kStps).ok());
+  const RTree<2>& object_tree = opened.value().object_index().tree();
+  EXPECT_GT(object_tree.node_count(), 100u);
+  EXPECT_LT(object_tree.materialized_node_count(),
+            object_tree.node_count());
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace stpq

@@ -2,6 +2,9 @@
 // PageStore backends behind the pools.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -299,6 +302,82 @@ TEST_F(FilePageStoreTest, PoolMissTriggersFetch) {
     session.Access(0);  // isolated pool is cold -> fetch
   }
   EXPECT_EQ(r.value()->stats().fetches, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the pread seam (pread mode only; mmap has no
+// syscall to interrupt).  The seam functions are stateful file-statics:
+// install, fetch once, inspect stats() + last_error().
+// ---------------------------------------------------------------------------
+
+int g_pread_calls = 0;
+
+/// Fails with EINTR on every odd call; the retry loop must converge.
+ssize_t PreadEintrEveryOther(int fd, void* buf, size_t count, off_t offset) {
+  if (++g_pread_calls % 2 == 1) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::pread(fd, buf, count, offset);
+}
+
+/// Hard I/O error: pread fails with EIO immediately.
+ssize_t PreadEio(int, void*, size_t, off_t) {
+  errno = EIO;
+  return -1;
+}
+
+/// Torn page: half the slot, then EOF — as if the file were cut mid-slot.
+ssize_t PreadTorn(int fd, void* buf, size_t count, off_t offset) {
+  if (offset == 0) return ::pread(fd, buf, count > 2048 ? 2048 : count, offset);
+  return 0;
+}
+
+TEST_F(FilePageStoreTest, EintrIsRetriedNotAnError) {
+  std::string path = MakeFile("eintr.bin", 4096);
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, 1, 0, 4096}},
+      FilePageStore::IoMode::kPread);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  g_pread_calls = 0;
+  r.value()->SetPreadFnForTest(&PreadEintrEveryOther);
+  r.value()->FetchPage(0);
+  EXPECT_GT(g_pread_calls, 1) << "the EINTR attempt was not retried";
+  EXPECT_EQ(r.value()->stats().fetches, 1u);
+  EXPECT_EQ(r.value()->stats().bytes_read, 4096u);
+  EXPECT_EQ(r.value()->stats().io_errors, 0u);
+  EXPECT_TRUE(r.value()->last_error().ok());
+}
+
+TEST_F(FilePageStoreTest, PreadFailureIsTypedIoError) {
+  std::string path = MakeFile("eio.bin", 4096);
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, 1, 0, 4096}},
+      FilePageStore::IoMode::kPread);
+  ASSERT_TRUE(r.ok());
+  r.value()->SetPreadFnForTest(&PreadEio);
+  r.value()->FetchPage(0);
+  EXPECT_EQ(r.value()->stats().io_errors, 1u);
+  // The attempt is still one fetch; no bytes were served.
+  EXPECT_EQ(r.value()->stats().fetches, 1u);
+  EXPECT_EQ(r.value()->stats().bytes_read, 0u);
+  Status err = r.value()->last_error();
+  EXPECT_EQ(err.code(), StatusCode::kIoError);
+}
+
+TEST_F(FilePageStoreTest, TornPageIsTypedCorruption) {
+  // EOF inside a slot means the file is shorter than the extent table
+  // promised — a corrupt index, not a transient I/O failure.
+  std::string path = MakeFile("torn.bin", 4096);
+  Result<std::unique_ptr<FilePageStore>> r = FilePageStore::Open(
+      path, {FilePageStore::Extent{0, 1, 0, 4096}},
+      FilePageStore::IoMode::kPread);
+  ASSERT_TRUE(r.ok());
+  r.value()->SetPreadFnForTest(&PreadTorn);
+  r.value()->FetchPage(0);
+  EXPECT_EQ(r.value()->stats().io_errors, 1u);
+  Status err = r.value()->last_error();
+  EXPECT_EQ(err.code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -38,6 +38,7 @@
 #include "gen/queries.h"
 #include "gen/real_like.h"
 #include "gen/synthetic.h"
+#include "io/bulk_load.h"
 #include "io/dataset_io.h"
 #include "io/index_file.h"
 #include "obs/histogram.h"
@@ -680,6 +681,51 @@ int BuildIndex(const Args& args) {
     std::fprintf(stderr, "error: --index FILE (output path) is required\n");
     return 1;
   }
+  if (args.Has("external")) {
+    // External build: stream the dataset straight into the .stpqx file in
+    // bounded memory; the dataset is never materialized.
+    const std::string data_path = args.Get("data");
+    if (data_path.empty()) {
+      std::fprintf(stderr, "error: --data FILE is required\n");
+      return 1;
+    }
+    ExternalBuildOptions opts;
+    if (args.Get("kind", "srt") == "ir2") {
+      opts.params.index_kind = FeatureIndexKind::kIr2;
+    }
+    opts.params.page_size_bytes =
+        args.GetUint("page-size", kDefaultPageSizeBytes);
+    opts.params.fill = args.GetDouble("fill", 1.0);
+    if (args.Has("signature-bits")) {
+      opts.params.signature_bits = args.GetUint("signature-bits", 0);
+    }
+    if (args.Has("signature-hashes")) {
+      opts.params.signature_hashes = args.GetUint("signature-hashes", 3);
+    }
+    opts.memory_budget_bytes =
+        uint64_t{args.GetUint("memory-budget", 256)} << 20;
+    opts.temp_dir = args.Get("temp-dir");
+    Result<ExternalBuildStats> stats_r =
+        BuildIndexFileExternal(data_path, out, opts);
+    if (!stats_r.ok()) {
+      std::fprintf(stderr, "error: %s\n", stats_r.status().ToString().c_str());
+      return 1;
+    }
+    const ExternalBuildStats& s = stats_r.value();
+    std::printf("wrote %s: %s index, %llu objects, %u feature sets, "
+                "%llu bytes (external build)\n",
+                out.c_str(),
+                opts.params.index_kind == FeatureIndexKind::kIr2 ? "IR2"
+                                                                 : "SRT",
+                static_cast<unsigned long long>(s.objects), s.tables,
+                static_cast<unsigned long long>(s.output_bytes));
+    std::printf("sort: %llu runs written, %llu merge passes, "
+                "%llu bytes spilled\n",
+                static_cast<unsigned long long>(s.runs_written),
+                static_cast<unsigned long long>(s.merge_passes),
+                static_cast<unsigned long long>(s.spilled_bytes));
+    return 0;
+  }
   Result<Dataset> data = LoadData(args);
   if (!data.ok()) {
     std::fprintf(stderr, "error: %s\n", data.status().ToString().c_str());
@@ -772,7 +818,12 @@ const std::vector<CommandSpec>& Commands() {
        "  --kind srt|ir2    feature index to build (default srt)\n"
        "  --page-size N     page size in bytes (default 4096)\n"
        "  --fill F          bulk-load fill factor in (0, 1]\n"
-       "  --signature-bits N / --signature-hashes N  IR2 signatures\n",
+       "  --signature-bits N / --signature-hashes N  IR2 signatures\n"
+       "  --external        stream-build on disk in bounded memory\n"
+       "                    (external merge sort; byte-identical output)\n"
+       "  --memory-budget MB  external sort memory ceiling (default 256)\n"
+       "  --temp-dir DIR    where external sort runs spill (default: next\n"
+       "                    to the output index)\n",
        &BuildIndex},
       {"load", "print the superblock + segment catalog of a .stpqx file",
        "  --index FILE      index file path (required)\n"
