@@ -202,6 +202,11 @@ class Engine {
   /// built engines, FilePageStore for opened ones).
   const PageStore& page_store() const { return *page_store_; }
 
+  /// The buffer pools, for live occupancy reporting (/statusz).  Reading
+  /// stats/occupancy concurrently with queries is safe; see BufferPool.
+  const BufferPool& object_pool() const { return *object_pool_; }
+  const BufferPool& feature_pool() const { return *feature_pool_; }
+
   /// Name of the feature index in use ("SRT" or "IR2").
   const char* IndexName() const {
     return feature_indexes_.empty() ? "none" : feature_indexes_[0]->Name();

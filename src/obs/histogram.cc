@@ -35,6 +35,24 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   max_ms_ = std::max(max_ms_, other.max_ms_);
 }
 
+LatencyHistogram LatencyHistogram::Delta(const LatencyHistogram& older) const {
+  LatencyHistogram out;
+  uint64_t count = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t d = buckets_[i] >= older.buckets_[i]
+                           ? buckets_[i] - older.buckets_[i]
+                           : 0;
+    out.buckets_[i] = d;
+    count += d;
+  }
+  out.count_ = count;
+  if (count > 0) {
+    out.sum_ms_ = sum_ms_ >= older.sum_ms_ ? sum_ms_ - older.sum_ms_ : 0.0;
+    out.max_ms_ = max_ms_;  // upper bound; the interval max is not tracked
+  }
+  return out;
+}
+
 double LatencyHistogram::PercentileMs(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

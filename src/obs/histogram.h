@@ -37,6 +37,15 @@ struct LatencyBuckets {
   static size_t IndexFor(double ms);
 };
 
+/// Saturating counter difference: subtracting a newer snapshot from an
+/// older one (a caller bug, or counters reset between snapshots) yields 0
+/// instead of wrapping to ~2^64 bogus events — same contract as
+/// BufferPoolStats::operator-.  The building block for every interval
+/// delta the MetricsRecorder (obs/timeseries.h) reports.
+inline uint64_t SaturatingCounterDelta(uint64_t newer, uint64_t older) {
+  return newer >= older ? newer - older : 0;
+}
+
 /// Single-writer latency accumulator with percentile extraction.
 class LatencyHistogram {
  public:
@@ -44,6 +53,16 @@ class LatencyHistogram {
 
   /// Element-wise addition of another histogram (post-join merging).
   void Merge(const LatencyHistogram& other);
+
+  /// The histogram of samples recorded between `older` (an earlier
+  /// snapshot of this same series) and now: per-bucket saturating
+  /// subtraction, count recomputed from the bucket deltas so the
+  /// bucket-sum == count invariant holds even if the two snapshots
+  /// straddled a concurrent Record.  The delta's max is unknowable from
+  /// two maxima alone, so it carries this snapshot's max as an upper
+  /// bound (0 when the delta is empty).  Useful standalone for A/B bench
+  /// comparisons: Delta of "after" vs "before" isolates the B phase.
+  LatencyHistogram Delta(const LatencyHistogram& older) const;
 
   uint64_t count() const { return count_; }
   double sum_ms() const { return sum_ms_; }

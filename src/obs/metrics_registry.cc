@@ -146,6 +146,25 @@ std::string MetricsRegistry::RenderPrometheusText() const {
   return os.str();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out.counters.emplace(name, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out.gauges.emplace(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        out.histograms.emplace(name, entry.histogram->Snapshot());
+        break;
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetForTest() {
   MutexLock lock(mu_);
   // Zero in place: handles returned by GetX() must stay valid.

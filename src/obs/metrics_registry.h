@@ -77,6 +77,15 @@ class HistogramMetric {
   std::atomic<uint64_t> sum_ns_{0};
 };
 
+/// Point-in-time copy of every registered instrument, keyed by metric
+/// name.  The unit the time-series recorder (obs/timeseries.h) samples:
+/// two snapshots subtract into interval deltas.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencyHistogram> histograms;
+};
+
 /// Name -> instrument registry.  GetX() registers on first use and returns
 /// a stable reference; names must stay consistent in kind (getting a
 /// counter name as a gauge aborts).
@@ -100,6 +109,12 @@ class MetricsRegistry {
   /// Prometheus text exposition of every registered metric, sorted by
   /// name.  Safe to call while other threads update instruments.
   std::string RenderPrometheusText() const STPQ_EXCLUDES(mu_);
+
+  /// Copies every instrument's current value.  Same consistency contract
+  /// as HistogramMetric::Snapshot(): individual reads are atomic, the set
+  /// as a whole may straddle concurrent updates by one sample — fine for
+  /// monitoring, which is this method's only consumer.
+  MetricsSnapshot Snapshot() const STPQ_EXCLUDES(mu_);
 
   /// Zeroes every registered instrument (tests only; instruments stay
   /// registered so cached handles remain valid).

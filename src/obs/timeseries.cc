@@ -1,0 +1,145 @@
+#include "obs/timeseries.h"
+
+#include <utility>
+
+namespace stpq {
+
+uint64_t IntervalSample::CounterDelta(const std::string& name) const {
+  auto it = counter_deltas.find(name);
+  return it == counter_deltas.end() ? 0 : it->second;
+}
+
+double IntervalSample::Rate(const std::string& name) const {
+  const double s = seconds();
+  if (s <= 0.0) return 0.0;
+  return static_cast<double>(CounterDelta(name)) / s;
+}
+
+const LatencyHistogram* IntervalSample::Histogram(
+    const std::string& name) const {
+  auto it = histogram_deltas.find(name);
+  return it == histogram_deltas.end() ? nullptr : &it->second;
+}
+
+double IntervalSample::PoolHitRate() const {
+  const double hits =
+      static_cast<double>(CounterDelta("stpq_buffer_hits_total"));
+  const double reads =
+      static_cast<double>(CounterDelta("stpq_pages_read_total"));
+  const double total = hits + reads;
+  return total > 0.0 ? hits / total : 0.0;
+}
+
+MetricsRecorder::MetricsRecorder(MetricsRecorderOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &MetricsRegistry::Global()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsRecorder::~MetricsRecorder() { Stop(); }
+
+double MetricsRecorder::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void MetricsRecorder::Start() {
+  if (running_.load(std::memory_order_relaxed)) return;
+  {
+    // Baseline snapshot: the first interval measures from Start, not from
+    // whatever the registry accumulated before it.
+    MutexLock lock(mu_);
+    last_snapshot_ = registry_->Snapshot();
+    last_edge_ms_ = NowMs();
+    have_baseline_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  sampler_ = std::thread(&MetricsRecorder::SamplerLoop, this);
+}
+
+void MetricsRecorder::Stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  running_.store(false, std::memory_order_relaxed);
+  // Close the final (partial) interval so short runs still report data.
+  SampleNow();
+}
+
+void MetricsRecorder::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_) {
+    const auto interval = std::chrono::milliseconds(options_.interval_ms);
+    if (wake_cv_.wait_for(lock, interval,
+                          [this] { return stop_requested_; })) {
+      return;  // Stop() takes the final sample after the join
+    }
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void MetricsRecorder::SampleNow() {
+  MetricsSnapshot now = registry_->Snapshot();
+  const double edge_ms = NowMs();
+
+  MutexLock lock(mu_);
+  if (!have_baseline_) {
+    last_snapshot_ = std::move(now);
+    last_edge_ms_ = edge_ms;
+    have_baseline_ = true;
+    return;
+  }
+
+  IntervalSample sample;
+  sample.start_ms = last_edge_ms_;
+  sample.end_ms = edge_ms;
+  for (const auto& [name, value] : now.counters) {
+    auto it = last_snapshot_.counters.find(name);
+    const uint64_t older = it == last_snapshot_.counters.end() ? 0 : it->second;
+    sample.counter_deltas.emplace(name, SaturatingCounterDelta(value, older));
+  }
+  sample.gauges = now.gauges;
+  for (const auto& [name, hist] : now.histograms) {
+    auto it = last_snapshot_.histograms.find(name);
+    if (it == last_snapshot_.histograms.end()) {
+      sample.histogram_deltas.emplace(name, hist);
+    } else {
+      sample.histogram_deltas.emplace(name, hist.Delta(it->second));
+    }
+  }
+  last_snapshot_ = std::move(now);
+  last_edge_ms_ = edge_ms;
+
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+std::vector<IntervalSample> MetricsRecorder::Recent(double window_s) const {
+  MutexLock lock(mu_);
+  std::vector<IntervalSample> out;
+  if (ring_.empty()) return out;
+  const double cutoff_ms =
+      window_s > 0.0 ? ring_.back().end_ms - window_s * 1000.0 : -1.0;
+  for (const IntervalSample& s : ring_) {
+    if (s.end_ms >= cutoff_ms) out.push_back(s);
+  }
+  return out;
+}
+
+size_t MetricsRecorder::sample_count() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+}  // namespace stpq

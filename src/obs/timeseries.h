@@ -1,0 +1,143 @@
+// Time-series metrics recording (DESIGN.md §18).
+//
+// Every surface rendered from MetricsRegistry so far is cumulative: a
+// /metrics scrape or a --metrics file shows counters since process start,
+// so a long-running workload's *current* behavior (this second's QPS, this
+// second's p99) is invisible without an external scraper doing the
+// differencing.  MetricsRecorder does the differencing in-process: a
+// background sampler snapshots the whole registry every interval_ms and
+// keeps the per-interval deltas — counter differences, gauge values, and
+// histogram bucket deltas (LatencyHistogram::Delta) — in a fixed-capacity
+// ring.  The admin server's /varz endpoint and the CLI's
+// --metrics-interval flag read the ring; nothing here ever touches a
+// query thread, so an armed recorder costs the query path exactly zero.
+//
+// Consistency: a sample may straddle concurrent updates by one event per
+// instrument (see MetricsRegistry::Snapshot); interval edges are steady-
+// clock timestamps taken on the sampler thread.  Deltas saturate at zero
+// (SaturatingCounterDelta / LatencyHistogram::Delta), so a registry reset
+// between samples yields an empty interval instead of garbage.
+#ifndef STPQ_OBS_TIMESERIES_H_
+#define STPQ_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "util/thread_annotations.h"
+
+namespace stpq {
+
+/// Sampler knobs.
+struct MetricsRecorderOptions {
+  /// Milliseconds between background samples.
+  uint64_t interval_ms = 250;
+  /// Retained interval samples (ring; oldest dropped first).
+  size_t capacity = 512;
+  /// Registry to sample; nullptr = MetricsRegistry::Global().
+  MetricsRegistry* registry = nullptr;
+};
+
+/// One interval: everything that changed between two consecutive registry
+/// snapshots, plus the wall-time edges of the interval.
+struct IntervalSample {
+  /// Interval edges in milliseconds since the recorder's Start() (steady
+  /// clock; monotone across samples).
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+
+  std::map<std::string, uint64_t> counter_deltas;
+  /// Gauge values at the end edge (gauges are levels, not totals).
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencyHistogram> histogram_deltas;
+
+  double seconds() const { return (end_ms - start_ms) / 1000.0; }
+
+  /// Delta of a counter over the interval (0 when absent).
+  uint64_t CounterDelta(const std::string& name) const;
+
+  /// Counter delta per second over the interval (0 for empty intervals).
+  double Rate(const std::string& name) const;
+
+  /// Histogram of samples recorded during the interval, or nullptr.
+  const LatencyHistogram* Histogram(const std::string& name) const;
+
+  /// Interval queries/sec (stpq_queries_total).
+  double QueriesPerSec() const { return Rate("stpq_queries_total"); }
+
+  /// Buffer-pool hit rate over the interval: hits / (hits + reads) from
+  /// stpq_buffer_hits_total and stpq_pages_read_total; 0 when idle.
+  double PoolHitRate() const;
+};
+
+/// Background sampler over a MetricsRegistry.  Start() spawns the sampler
+/// thread; SampleNow() is public so tests (and the CLI's final flush)
+/// can drive interval boundaries deterministically.
+class MetricsRecorder {
+ public:
+  explicit MetricsRecorder(MetricsRecorderOptions options = {});
+  ~MetricsRecorder();
+
+  MetricsRecorder(const MetricsRecorder&) = delete;
+  MetricsRecorder& operator=(const MetricsRecorder&) = delete;
+
+  /// Takes the baseline snapshot and spawns the sampler thread.  Calling
+  /// Start on a running recorder is a no-op.
+  void Start();
+
+  /// Stops and joins the sampler thread; retained samples stay readable.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  uint64_t interval_ms() const { return options_.interval_ms; }
+
+  /// Closes the current interval right now: snapshots the registry and
+  /// appends the delta against the previous snapshot.  Called by the
+  /// sampler thread every interval_ms; safe to call concurrently with it.
+  void SampleNow() STPQ_EXCLUDES(mu_);
+
+  /// Retained samples, oldest first.  `window_s` > 0 keeps only samples
+  /// whose end edge lies within the trailing window.
+  std::vector<IntervalSample> Recent(double window_s = 0.0) const
+      STPQ_EXCLUDES(mu_);
+
+  size_t sample_count() const STPQ_EXCLUDES(mu_);
+
+ private:
+  void SamplerLoop();
+
+  /// Milliseconds since Start() on the steady clock.
+  double NowMs() const;
+
+  const MetricsRecorderOptions options_;
+  MetricsRegistry* registry_;  ///< never null after construction
+
+  mutable Mutex mu_;
+  std::deque<IntervalSample> ring_ STPQ_GUARDED_BY(mu_);
+  MetricsSnapshot last_snapshot_ STPQ_GUARDED_BY(mu_);
+  double last_edge_ms_ STPQ_GUARDED_BY(mu_) = 0.0;
+  bool have_baseline_ STPQ_GUARDED_BY(mu_) = false;
+
+  std::atomic<bool> running_{false};
+  std::thread sampler_;
+  /// Companion pair for the sampler's interruptible sleep; guards only
+  /// the stop_requested_ flag below (std::condition_variable needs the
+  /// raw std::mutex, so stpq::Mutex cannot be used here).
+  std::mutex wake_mu_;  // stpq-lint: allow(mutex-guard) condvar companion
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;  ///< guarded by wake_mu_
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace stpq
+
+#endif  // STPQ_OBS_TIMESERIES_H_

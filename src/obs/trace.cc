@@ -44,6 +44,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "heap_high_water";
     case TraceEventType::kBuildPhase:
       return "build_phase";
+    case TraceEventType::kAdminRequest:
+      return "admin_request";
   }
   return "unknown";
 }

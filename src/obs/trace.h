@@ -51,9 +51,10 @@ enum class TraceEventType : uint8_t {
   kPoolEvict,          ///< buffer-pool eviction (instant)
   kHeapHighWater,      ///< search-heap high-water mark (instant)
   kBuildPhase,         ///< one external bulk-load phase (span)
+  kAdminRequest,       ///< one admin-server HTTP request (span)
 };
 
-inline constexpr size_t kNumTraceEventTypes = 11;
+inline constexpr size_t kNumTraceEventTypes = 12;
 
 /// Stable lowercase name ("query", "node_visit", ...), used as the Chrome
 /// trace event name.

@@ -1,0 +1,167 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace stpq {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    // close(2) is not retried on EINTR: POSIX leaves the descriptor state
+    // unspecified and Linux guarantees it is closed either way.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<UniqueFd> ConnectTcp(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+Result<UniqueFd> AcceptConn(int listen_fd) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  return UniqueFd(fd);
+}
+
+Result<bool> WaitReadable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  return rc > 0;
+}
+
+Result<int> WaitEitherReadable(int fd0, int fd1, int timeout_ms) {
+  pollfd pfds[2] = {{fd0, POLLIN, 0}, {fd1, POLLIN, 0}};
+  int rc;
+  do {
+    rc = ::poll(pfds, 2, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  if (rc == 0) return -1;
+  // POLLHUP/POLLERR also mean "a blocking call would return immediately",
+  // which is exactly what the caller wants to know.
+  for (int i = 0; i < 2; ++i) {
+    if (pfds[i].revents != 0) return i;
+  }
+  return -1;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the process with SIGPIPE — scrapers disconnect whenever they like.
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(int fd, std::string* out, size_t max_bytes) {
+  char buf[4096];
+  const size_t want = max_bytes < sizeof(buf) ? max_bytes : sizeof(buf);
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, want, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("recv");
+  out->append(buf, static_cast<size_t>(n));
+  return static_cast<size_t>(n);
+}
+
+void SelfPipe::Notify() const {
+  const char byte = 1;
+  ssize_t n;
+  do {
+    n = ::write(write_end.get(), &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN (pipe full) is fine: a pending byte already wakes the poller.
+}
+
+Result<SelfPipe> MakeSelfPipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  SelfPipe p;
+  p.read_end.Reset(fds[0]);
+  p.write_end.Reset(fds[1]);
+  // Non-blocking write end so Notify never blocks on a full pipe.
+  int flags = ::fcntl(p.write_end.get(), F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(p.write_end.get(), F_SETFL, flags | O_NONBLOCK);
+  }
+  return p;
+}
+
+}  // namespace stpq

@@ -1,0 +1,107 @@
+// Minimal POSIX TCP helpers for the embedded admin plane (DESIGN.md §18).
+//
+// Dependency-free wrappers over socket(2)/bind(2)/accept(2) with the error
+// handling the rest of the codebase expects: typed Status returns, EINTR
+// retry on every blocking call, and RAII ownership of file descriptors so
+// no error path can leak one.  The admin HTTP server (obs/admin_server.h)
+// is the first consumer; the sharded query service of ROADMAP item 1 is
+// the intended second one, which is why these helpers live in util/ and
+// know nothing about HTTP.
+//
+// All listeners bind 127.0.0.1 only: the admin plane is an introspection
+// surface, not a public API, and keeping it loopback-scoped means armed
+// workloads never expose an unauthenticated port beyond the host.
+#ifndef STPQ_UTIL_NET_H_
+#define STPQ_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace stpq {
+
+/// Owning file descriptor: closes on destruction, move-only.  An empty
+/// UniqueFd holds -1 and closes nothing.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held descriptor (EINTR-safe) and adopts `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port; read it back with LocalPort).  SO_REUSEADDR is set so
+/// restarting a server does not trip over TIME_WAIT.
+[[nodiscard]] Result<UniqueFd> ListenTcp(uint16_t port, int backlog = 64);
+
+/// The locally bound port of a socket (resolves port 0 after ListenTcp).
+[[nodiscard]] Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to 127.0.0.1:`port` (test clients, scrapers).
+[[nodiscard]] Result<UniqueFd> ConnectTcp(uint16_t port);
+
+/// Accepts one connection (blocking, EINTR-retried).
+[[nodiscard]] Result<UniqueFd> AcceptConn(int listen_fd);
+
+/// Waits until `fd` is readable.  Ok(true) = readable, Ok(false) = timed
+/// out after `timeout_ms` (-1 = wait forever).
+[[nodiscard]] Result<bool> WaitReadable(int fd, int timeout_ms);
+
+/// Like WaitReadable over two descriptors: returns the index (0 or 1) of
+/// a readable one, or -1 on timeout.  The admin server's accept loop polls
+/// {listener, shutdown pipe} through this.
+[[nodiscard]] Result<int> WaitEitherReadable(int fd0, int fd1,
+                                             int timeout_ms);
+
+/// Writes all of `data` (short writes and EINTR retried).  EPIPE comes
+/// back as IoError, not a signal: callers must have SIGPIPE suppressed
+/// (the send path uses MSG_NOSIGNAL).
+[[nodiscard]] Status WriteAll(int fd, const std::string& data);
+
+/// Reads at most `max_bytes`, appending to `*out`.  Ok(0) = clean EOF.
+[[nodiscard]] Result<size_t> ReadSome(int fd, std::string* out,
+                                      size_t max_bytes);
+
+/// A self-pipe: writing one byte to `write_end` wakes any poll on
+/// `read_end`.  The standard trick for interrupting a blocking accept
+/// loop from another thread without races.
+struct SelfPipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+
+  /// Best-effort wakeup byte (ignores a full pipe: one pending byte is
+  /// already enough to wake the poller).
+  void Notify() const;
+};
+
+[[nodiscard]] Result<SelfPipe> MakeSelfPipe();
+
+}  // namespace stpq
+
+#endif  // STPQ_UTIL_NET_H_

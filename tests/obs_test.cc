@@ -19,6 +19,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/phase.h"
 #include "obs/query_metrics.h"
+#include "obs/timeseries.h"
 
 namespace stpq {
 namespace {
@@ -539,6 +540,185 @@ TEST(ParallelWorkloadTest, MergedStatsEqualSumOfPerQueryStats) {
   EXPECT_LE(r.summary.total_ms.p90, r.summary.total_ms.p95);
   EXPECT_LE(r.summary.total_ms.p95, r.summary.total_ms.p99);
   EXPECT_LE(r.summary.total_ms.p99, r.summary.total_ms.max);
+}
+
+// ------------------------------------------------------- interval deltas
+
+TEST(SaturatingCounterDeltaTest, SubtractsAndSaturates) {
+  EXPECT_EQ(SaturatingCounterDelta(10, 3), 7u);
+  EXPECT_EQ(SaturatingCounterDelta(5, 5), 0u);
+  // Reversed operands (counter reset between snapshots) saturate to 0
+  // instead of wrapping to ~2^64.
+  EXPECT_EQ(SaturatingCounterDelta(3, 10), 0u);
+  EXPECT_EQ(SaturatingCounterDelta(0, UINT64_MAX), 0u);
+}
+
+TEST(LatencyHistogramDeltaTest, IsolatesTheSecondPhase) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  const LatencyHistogram before = h;  // snapshot after phase A
+  h.Record(100.0);
+  h.Record(200.0);
+  h.Record(300.0);
+
+  const LatencyHistogram delta = h.Delta(before);
+  EXPECT_EQ(delta.count(), 3u);
+  EXPECT_NEAR(delta.sum_ms(), 600.0, 1e-9);
+  // Phase A's fast samples are gone: the delta's median sits in phase B.
+  EXPECT_GT(delta.PercentileMs(0.50), 50.0);
+  // Bucket-sum == count invariant holds on the delta.
+  uint64_t bucket_sum = 0;
+  for (size_t i = 0; i < LatencyBuckets::kNumBuckets; ++i) {
+    bucket_sum += delta.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_sum, delta.count());
+}
+
+TEST(LatencyHistogramDeltaTest, EmptyDeltaIsAllZero) {
+  LatencyHistogram h;
+  h.Record(5.0);
+  const LatencyHistogram delta = h.Delta(h);
+  EXPECT_EQ(delta.count(), 0u);
+  EXPECT_EQ(delta.sum_ms(), 0.0);
+  EXPECT_EQ(delta.max_ms(), 0.0);
+  EXPECT_EQ(delta.PercentileMs(0.99), 0.0);
+}
+
+TEST(LatencyHistogramDeltaTest, MaxCarriesNewerUpperBound) {
+  LatencyHistogram before;
+  before.Record(10.0);
+  LatencyHistogram after = before;
+  after.Record(3.0);
+  const LatencyHistogram delta = after.Delta(before);
+  EXPECT_EQ(delta.count(), 1u);
+  // The delta's true max (3.0) is unknowable from two maxima; the newer
+  // snapshot's max is the documented upper bound.
+  EXPECT_EQ(delta.max_ms(), 10.0);
+}
+
+TEST(MetricsSnapshotTest, CopiesEveryInstrumentKind) {
+  MetricsRegistry reg;
+  reg.GetCounter("c", "help").Increment(42);
+  reg.GetGauge("g", "help").Set(2.5);
+  reg.GetHistogram("h", "help").Record(7.0);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.count("c"), 1u);
+  EXPECT_EQ(snap.counters.at("c"), 42u);
+  ASSERT_EQ(snap.gauges.count("g"), 1u);
+  EXPECT_EQ(snap.gauges.at("g"), 2.5);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count(), 1u);
+
+  // The snapshot is a copy: later updates don't retroactively change it.
+  reg.GetCounter("c", "help").Increment();
+  EXPECT_EQ(snap.counters.at("c"), 42u);
+}
+
+TEST(MetricsRecorderTest, ManualSamplesCaptureIntervalDeltas) {
+  MetricsRegistry reg;
+  Counter& queries = reg.GetCounter("stpq_queries_total", "help");
+  Counter& hits = reg.GetCounter("stpq_buffer_hits_total", "help");
+  Counter& reads = reg.GetCounter("stpq_pages_read_total", "help");
+  HistogramMetric& lat = reg.GetHistogram("stpq_query_cpu_ms", "help");
+
+  MetricsRecorderOptions opts;
+  opts.interval_ms = 60'000;  // the background thread never fires in-test
+  opts.registry = &reg;
+  MetricsRecorder recorder(opts);
+
+  queries.Increment(5);  // pre-Start activity must not leak into interval 1
+  recorder.Start();
+
+  queries.Increment(10);
+  hits.Increment(30);
+  reads.Increment(10);
+  lat.Record(1.0);
+  lat.Record(2.0);
+  recorder.SampleNow();
+
+  queries.Increment(3);
+  recorder.SampleNow();
+  recorder.Stop();
+
+  // Two manual samples plus Stop's final flush (an empty interval).
+  const std::vector<IntervalSample> samples = recorder.Recent();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].CounterDelta("stpq_queries_total"), 10u);
+  EXPECT_NEAR(samples[0].PoolHitRate(), 0.75, 1e-9);
+  const LatencyHistogram* h = samples[0].Histogram("stpq_query_cpu_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  // HistogramMetric::Snapshot replays samples at bucket upper bounds, so
+  // the delta's sum is exact only to within the <= 41% bucket width.
+  EXPECT_GE(h->sum_ms(), 3.0);
+  EXPECT_LE(h->sum_ms(), 3.0 * 1.45);
+
+  EXPECT_EQ(samples[1].CounterDelta("stpq_queries_total"), 3u);
+  EXPECT_EQ(samples[1].Histogram("stpq_query_cpu_ms")->count(), 0u);
+  EXPECT_EQ(samples[2].CounterDelta("stpq_queries_total"), 0u);
+
+  // Interval edges are monotone and QPS derives from the delta.
+  EXPECT_LE(samples[0].start_ms, samples[0].end_ms);
+  EXPECT_LE(samples[0].end_ms, samples[1].end_ms);
+  if (samples[0].seconds() > 0.0) {
+    EXPECT_GT(samples[0].QueriesPerSec(), 0.0);
+  }
+}
+
+TEST(MetricsRecorderTest, RingDropsOldestBeyondCapacity) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("c", "help");
+  MetricsRecorderOptions opts;
+  opts.interval_ms = 60'000;
+  opts.capacity = 4;
+  opts.registry = &reg;
+  MetricsRecorder recorder(opts);
+  recorder.Start();
+  for (uint64_t i = 1; i <= 10; ++i) {
+    c.Increment(i);
+    recorder.SampleNow();
+  }
+  EXPECT_EQ(recorder.sample_count(), 4u);
+  // The survivors are the most recent intervals (deltas 7..10).
+  const std::vector<IntervalSample> samples = recorder.Recent();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().CounterDelta("c"), 7u);
+  EXPECT_EQ(samples.back().CounterDelta("c"), 10u);
+  recorder.Stop();
+}
+
+TEST(MetricsRecorderTest, RecentWindowTrimsToTrailingSeconds) {
+  MetricsRegistry reg;
+  MetricsRecorderOptions opts;
+  opts.interval_ms = 60'000;
+  opts.registry = &reg;
+  MetricsRecorder recorder(opts);
+  recorder.Start();
+  recorder.SampleNow();
+  recorder.SampleNow();
+  // All samples closed within microseconds: a generous window keeps all,
+  // window 0 means "everything".
+  EXPECT_EQ(recorder.Recent(3600.0).size(), 2u);
+  EXPECT_EQ(recorder.Recent(0.0).size(), 2u);
+  recorder.Stop();
+}
+
+TEST(MetricsRecorderTest, BackgroundSamplerProducesSamples) {
+  MetricsRegistry reg;
+  MetricsRecorderOptions opts;
+  opts.interval_ms = 5;
+  opts.registry = &reg;
+  MetricsRecorder recorder(opts);
+  recorder.Start();
+  EXPECT_TRUE(recorder.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  recorder.Stop();
+  EXPECT_FALSE(recorder.running());
+  EXPECT_GE(recorder.sample_count(), 2u);
+  // Stop() is idempotent and Start/Stop cycles are safe.
+  recorder.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Folds the per-run benchmark JSON outputs into one BENCH_summary.json.
+
+Inputs (all optional — missing or unreadable files are reported in the
+summary's `inputs` block instead of failing the run, so the CI step stays
+green even when a bench was skipped):
+
+  * bench_micro.json               Google Benchmark --benchmark_format=json
+  * bench_parallel_throughput.json STPQ_JSON_OUT rows from
+                                   bench_parallel_throughput
+
+The summary is one flat JSON object per CI run: per-micro-benchmark
+cpu_time rows, the parallel-throughput sweep keyed by algo/threads with
+the 8-thread speedup called out, and enough context (host, cpu count,
+date) to compare runs across commits.
+
+Usage:
+  bench_report.py --micro bench_micro.json \\
+                  --parallel bench_parallel_throughput.json \\
+                  --out BENCH_summary.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    """Returns (payload, error_string); exactly one is None."""
+    if not path:
+        return None, "not provided"
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f), None
+    except (OSError, ValueError) as err:
+        return None, str(err)
+
+
+def summarize_micro(payload):
+    """Google Benchmark JSON -> context + per-benchmark cpu_time rows."""
+    benchmarks = []
+    for row in payload.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        benchmarks.append({
+            "name": row.get("name"),
+            "cpu_time": row.get("cpu_time"),
+            "real_time": row.get("real_time"),
+            "time_unit": row.get("time_unit", "ns"),
+            "iterations": row.get("iterations"),
+        })
+    context = payload.get("context", {})
+    return {
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "count": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def summarize_parallel(payload):
+    """STPQ_JSON_OUT rows -> sweep keyed by algo, with speedup callouts."""
+    by_algo = {}
+    for row in payload:
+        by_algo.setdefault(row.get("algo", "?"), []).append(row)
+    summary = {"algos": {}}
+    for algo, rows in sorted(by_algo.items()):
+        rows = sorted(rows, key=lambda r: r.get("threads", 0))
+        best = max(rows, key=lambda r: r.get("queries_per_sec", 0.0))
+        summary["algos"][algo] = {
+            "sweep": rows,
+            "max_queries_per_sec": best.get("queries_per_sec"),
+            "max_speedup": max(r.get("speedup", 0.0) for r in rows),
+            "threads_at_max": best.get("threads"),
+        }
+    return summary
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--micro", default="",
+                        help="bench_micro.json (Google Benchmark format)")
+    parser.add_argument("--parallel", default="",
+                        help="bench_parallel_throughput.json (STPQ_JSON_OUT)")
+    parser.add_argument("--out", required=True,
+                        help="where to write BENCH_summary.json")
+    args = parser.parse_args()
+
+    summary = {"inputs": {}}
+
+    micro, err = load_json(args.micro)
+    summary["inputs"]["micro"] = err or args.micro
+    if micro is not None:
+        try:
+            summary["micro"] = summarize_micro(micro)
+        except (TypeError, AttributeError) as bad:
+            summary["inputs"]["micro"] = "unexpected shape: %s" % bad
+
+    parallel, err = load_json(args.parallel)
+    summary["inputs"]["parallel"] = err or args.parallel
+    if parallel is not None:
+        try:
+            summary["parallel"] = summarize_parallel(parallel)
+        except (TypeError, AttributeError) as bad:
+            summary["inputs"]["parallel"] = "unexpected shape: %s" % bad
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    folded = [k for k in ("micro", "parallel") if k in summary]
+    print("bench_report: folded %s into %s"
+          % (" + ".join(folded) if folded else "no inputs", args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition format 0.0.4.
+
+Checks the output of MetricsRegistry::RenderPrometheusText (files written
+by `stpq_cli ... --metrics` and live `/metrics` scrapes from the admin
+server) against the exposition contract the repo relies on:
+
+  * every metric family is one contiguous block: `# HELP`, then `# TYPE`,
+    then the samples, with no interleaving between families and no
+    duplicate families;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * HELP docstrings only use the two legal escapes (\\\\ and \\n);
+  * the TYPE is one of counter|gauge|histogram|summary|untyped and the
+    sample suffixes match it (counters/gauges are a single bare sample);
+  * every sample value parses as a float (+Inf/-Inf/NaN allowed);
+  * counter values are non-negative;
+  * histograms expose `_bucket{le="..."}` with strictly ascending bounds,
+    `+Inf` last, cumulative (non-decreasing) counts, plus `_sum` and
+    `_count`, and `_count` equals the `+Inf` bucket.
+
+Usage:
+  check_prom_exposition.py FILE     validate FILE ('-' = stdin)
+  check_prom_exposition.py --self-test
+
+Exit code 0 when the exposition is valid, 1 with one line per violation
+otherwise.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+
+def parse_float(text):
+    """Prometheus float: decimal, scientific, +Inf, -Inf, NaN."""
+    try:
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    except ValueError:
+        return None
+
+
+def base_family(name):
+    """Family a sample belongs to: strips histogram/summary suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_help_escaping(docstring):
+    """Only \\\\ and \\n are legal escapes in a HELP docstring."""
+    i = 0
+    while i < len(docstring):
+        if docstring[i] == "\\":
+            if i + 1 >= len(docstring) or docstring[i + 1] not in ("\\", "n"):
+                return False
+            i += 2
+        else:
+            i += 1
+    return True
+
+
+def parse_le(labels):
+    """The le="..." bound from a _bucket label set, or None."""
+    match = re.search(r'le="([^"]*)"', labels or "")
+    return match.group(1) if match else None
+
+
+def validate(text):
+    """Returns a list of violation strings (empty = valid)."""
+    errors = []
+    # family -> {"help": line#, "type": str, "samples": [...]}
+    families = {}
+    current = None  # family whose block we are inside
+    closed = set()  # families whose block has ended
+
+    def fail(lineno, message):
+        errors.append("line %d: %s" % (lineno, message))
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            parts = rest.split(" ", 1)
+            name = parts[0]
+            docstring = parts[1] if len(parts) > 1 else ""
+            if not METRIC_NAME_RE.match(name):
+                fail(lineno, "bad metric name in HELP: %r" % name)
+                continue
+            if name in families:
+                fail(lineno, "duplicate HELP for %s" % name)
+                continue
+            if name in closed:
+                fail(lineno, "family %s reopened after its block ended" % name)
+            if not check_help_escaping(docstring):
+                fail(lineno, "illegal escape in HELP for %s "
+                             "(only \\\\ and \\n)" % name)
+            if current is not None:
+                closed.add(current)
+            families[name] = {"type": None, "samples": []}
+            current = name
+            continue
+
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                fail(lineno, "malformed TYPE line: %r" % line)
+                continue
+            name, kind = parts
+            if kind not in VALID_TYPES:
+                fail(lineno, "unknown type %r for %s" % (kind, name))
+            if name not in families:
+                fail(lineno, "TYPE for %s without a preceding HELP" % name)
+                continue
+            if name != current:
+                fail(lineno, "TYPE for %s inside %s's block" % (name, current))
+                continue
+            if families[name]["type"] is not None:
+                fail(lineno, "duplicate TYPE for %s" % name)
+                continue
+            if families[name]["samples"]:
+                fail(lineno, "TYPE for %s after its samples" % name)
+            families[name]["type"] = kind
+            continue
+
+        if line.startswith("#"):
+            continue  # free-form comment
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(lineno, "unparsable sample line: %r" % line)
+            continue
+        name = match.group("name")
+        family = base_family(name)
+        if family not in families and name in families:
+            family = name  # e.g. a gauge literally named *_count
+        if family not in families:
+            fail(lineno, "sample %s outside any HELP/TYPE block" % name)
+            continue
+        if family != current:
+            fail(lineno, "sample %s outside its family's block" % name)
+            continue
+        value = parse_float(match.group("value"))
+        if value is None:
+            fail(lineno, "non-float value %r for %s"
+                 % (match.group("value"), name))
+            continue
+        families[family]["samples"].append(
+            (lineno, name, match.group("labels"), value))
+
+    for family, info in families.items():
+        kind = info["type"]
+        samples = info["samples"]
+        if kind is None:
+            errors.append("family %s has HELP but no TYPE" % family)
+            continue
+        if not samples:
+            errors.append("family %s has no samples" % family)
+            continue
+
+        if kind == "counter":
+            for lineno, name, _, value in samples:
+                if value < 0:
+                    errors.append("line %d: counter %s is negative (%g)"
+                                  % (lineno, name, value))
+            if len(samples) > 1 and all(s[2] is None for s in samples):
+                errors.append("family %s: %d unlabeled counter samples"
+                              % (family, len(samples)))
+
+        if kind == "histogram":
+            buckets = []
+            sum_seen = count_value = None
+            for lineno, name, labels, value in samples:
+                if name == family + "_bucket":
+                    le = parse_le(labels)
+                    if le is None:
+                        errors.append("line %d: bucket of %s without le"
+                                      % (lineno, family))
+                        continue
+                    bound = parse_float(le)
+                    if bound is None:
+                        errors.append("line %d: unparsable le=%r" % (lineno, le))
+                        continue
+                    buckets.append((lineno, bound, value))
+                elif name == family + "_sum":
+                    sum_seen = value
+                elif name == family + "_count":
+                    count_value = value
+                else:
+                    errors.append("line %d: unexpected series %s in "
+                                  "histogram %s" % (lineno, name, family))
+            if not buckets:
+                errors.append("histogram %s has no buckets" % family)
+                continue
+            for (l1, b1, v1), (l2, b2, v2) in zip(buckets, buckets[1:]):
+                if not b2 > b1:
+                    errors.append("line %d: histogram %s le bounds not "
+                                  "ascending (%g after %g)"
+                                  % (l2, family, b2, b1))
+                if v2 < v1:
+                    errors.append("line %d: histogram %s bucket counts not "
+                                  "cumulative (%g after %g)"
+                                  % (l2, family, v2, v1))
+            if buckets[-1][1] != float("inf"):
+                errors.append("histogram %s: last bucket is not le=\"+Inf\""
+                              % family)
+            if sum_seen is None:
+                errors.append("histogram %s is missing _sum" % family)
+            if count_value is None:
+                errors.append("histogram %s is missing _count" % family)
+            elif buckets[-1][1] == float("inf") and \
+                    count_value != buckets[-1][2]:
+                errors.append("histogram %s: _count (%g) != +Inf bucket (%g)"
+                              % (family, count_value, buckets[-1][2]))
+
+        if kind == "gauge" and len(samples) > 1 and \
+                all(s[2] is None for s in samples):
+            errors.append("family %s: %d unlabeled gauge samples"
+                          % (family, len(samples)))
+
+    return errors
+
+
+# ---------------------------------------------------------- self-test
+
+GOOD = """\
+# HELP stpq_queries_total Queries executed.
+# TYPE stpq_queries_total counter
+stpq_queries_total 42
+# HELP stpq_pool_occupancy Resident pages.
+# TYPE stpq_pool_occupancy gauge
+stpq_pool_occupancy 17.5
+# HELP stpq_query_cpu_ms Query latency with a \\n newline and \\\\ slash.
+# TYPE stpq_query_cpu_ms histogram
+stpq_query_cpu_ms_bucket{le="0.001"} 0
+stpq_query_cpu_ms_bucket{le="1"} 3
+stpq_query_cpu_ms_bucket{le="+Inf"} 5
+stpq_query_cpu_ms_sum 12.5
+stpq_query_cpu_ms_count 5
+"""
+
+BAD_CASES = [
+    # (expected substring, exposition text)
+    ("without a preceding HELP",
+     "# TYPE a counter\na 1\n"),
+    ("HELP but no TYPE",
+     "# HELP a doc\na 1\n"),
+    ("illegal escape",
+     "# HELP a bad \\t escape\n# TYPE a counter\na 1\n"),
+    ("negative",
+     "# HELP a doc\n# TYPE a counter\na -3\n"),
+    ("non-float value",
+     "# HELP a doc\n# TYPE a counter\na wat\n"),
+    ("unknown type",
+     "# HELP a doc\n# TYPE a rate\na 1\n"),
+    ("duplicate HELP",
+     "# HELP a doc\n# TYPE a counter\na 1\n# HELP a doc\n"),
+    ("outside its family's block",
+     "# HELP a doc\n# TYPE a counter\n"
+     "# HELP b doc\n# TYPE b counter\na 1\nb 1\n"),
+    ("not ascending",
+     "# HELP h doc\n# TYPE h histogram\n"
+     "h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\n"
+     "h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"),
+    ("not cumulative",
+     "# HELP h doc\n# TYPE h histogram\n"
+     "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+     "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"),
+    ("last bucket is not",
+     "# HELP h doc\n# TYPE h histogram\n"
+     "h_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_sum 1\nh_count 2\n"),
+    ("missing _sum",
+     "# HELP h doc\n# TYPE h histogram\n"
+     "h_bucket{le=\"+Inf\"} 1\nh_count 1\n"),
+    ("_count (3) != +Inf bucket (1)",
+     "# HELP h doc\n# TYPE h histogram\n"
+     "h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 3\n"),
+]
+
+
+def self_test():
+    failures = 0
+    errors = validate(GOOD)
+    if errors:
+        failures += 1
+        print("self-test: GOOD fixture flagged: %s" % errors)
+    for expected, text in BAD_CASES:
+        errors = validate(text)
+        if not any(expected in e for e in errors):
+            failures += 1
+            print("self-test: expected %r in %s" % (expected, errors))
+    if failures == 0:
+        print("self-test: %d fixtures OK" % (1 + len(BAD_CASES)))
+    return failures
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return 1 if self_test() else 0
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    errors = validate(text)
+    for error in errors:
+        print(error)
+    if not errors:
+        print("OK: %d lines validated" % len(text.splitlines()))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

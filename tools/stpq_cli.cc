@@ -22,12 +22,15 @@
 //
 // Flags accept both "--flag value" and "--flag=value".
 // Keyword syntax: per-feature-set lists separated by ';', terms by ','.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -41,8 +44,10 @@
 #include "io/bulk_load.h"
 #include "io/dataset_io.h"
 #include "io/index_file.h"
+#include "obs/admin_server.h"
 #include "obs/histogram.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "storage/page_store.h"
@@ -347,6 +352,129 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+/// Live-introspection flags shared by the long-running commands; the
+/// individual help strings append this to STPQ_CLI_ENGINE_FLAGS.
+#define STPQ_CLI_ADMIN_FLAGS                                                  \
+  "  --serve-admin PORT  serve /metrics /healthz /statusz /slowz /tracez\n"   \
+  "                    /varz on 127.0.0.1:PORT while the run executes\n"      \
+  "                    (0 = ephemeral; the bound port is printed)\n"          \
+  "  --metrics-interval MS  sample interval deltas every MS ms (/varz;\n"     \
+  "                    armed at 250 ms automatically when serving)\n"
+
+/// The optional live-introspection plane behind --serve-admin /
+/// --metrics-interval / --slow-ms (DESIGN.md §18): a background metrics
+/// sampler, a slow-query log, and the admin HTTP server wired to all of
+/// them plus the engine.  Members shut down in reverse order of arming.
+struct AdminScope {
+  std::unique_ptr<MetricsRecorder> recorder;
+  std::unique_ptr<SlowQueryLog> slow_log;
+  std::unique_ptr<AdminServer> server;
+
+  /// Stops the server first (no requests against a dead sampler), then
+  /// the sampler.  Idempotent; the destructor runs it too.
+  void Shutdown() {
+    if (server != nullptr) server->Stop();
+    if (recorder != nullptr) recorder->Stop();
+  }
+  ~AdminScope() { Shutdown(); }
+};
+
+/// /statusz rows describing `engine`: shape, storage, live pool occupancy.
+AdminStatusRows EngineStatusRows(const Engine* engine) {
+  AdminStatusRows rows;
+  rows.emplace_back("index", engine->IndexName());
+  rows.emplace_back("objects", std::to_string(engine->objects().size()));
+  rows.emplace_back("feature_sets",
+                    std::to_string(engine->num_feature_sets()));
+  rows.emplace_back("backend",
+                    StorageBackendName(engine->options().storage.backend));
+  rows.emplace_back("page_size",
+                    std::to_string(engine->options().storage.page_size));
+  rows.emplace_back("pool_capacity_pages",
+                    std::to_string(engine->object_pool().capacity_pages()));
+  rows.emplace_back(
+      "pool_resident_pages",
+      std::to_string(engine->object_pool().resident_pages() +
+                     engine->feature_pool().resident_pages()));
+  rows.emplace_back(
+      "pool_pinned_pages",
+      std::to_string(engine->object_pool().pinned_pages() +
+                     engine->feature_pool().pinned_pages()));
+  return rows;
+}
+
+/// Arms the introspection plane a command's flags ask for.  `external_slow_log`
+/// lets a command that owns its own SlowQueryLog (trace) expose it on
+/// /slowz instead of getting a second one.  Returns false (with the error
+/// printed) only when --serve-admin was requested and the bind failed.
+bool StartAdmin(const Args& args, const Engine* engine,
+                SlowQueryLog* external_slow_log, AdminScope* scope) {
+  const bool serve = args.Has("serve-admin");
+  if (serve || args.Has("metrics-interval")) {
+    MetricsRecorderOptions ropts;
+    ropts.interval_ms = args.GetUint("metrics-interval", 250);
+    if (ropts.interval_ms == 0) ropts.interval_ms = 250;
+    scope->recorder = std::make_unique<MetricsRecorder>(ropts);
+    scope->recorder->Start();
+  }
+  if (external_slow_log == nullptr && args.Has("slow-ms")) {
+    scope->slow_log =
+        std::make_unique<SlowQueryLog>(args.GetDouble("slow-ms", 0.0));
+  }
+  if (!serve) return true;
+  AdminServerOptions sopts;
+  sopts.port = static_cast<uint16_t>(args.GetUint("serve-admin", 0));
+  sopts.recorder = scope->recorder.get();
+  sopts.slow_log =
+      external_slow_log != nullptr ? external_slow_log : scope->slow_log.get();
+  sopts.status_provider = [engine] { return EngineStatusRows(engine); };
+  scope->server = std::make_unique<AdminServer>(std::move(sopts));
+  Status st = scope->server->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return false;
+  }
+  // The CI smoke driver (tests/admin/check_admin_live.py) parses this
+  // line to find an ephemeral port; keep the format stable.
+  std::printf("admin: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(scope->server->port()));
+  std::fflush(stdout);
+  return true;
+}
+
+/// Keeps the admin server scrapeable for --linger-ms after the run so
+/// out-of-process drivers can fetch the final state.
+void AdminLinger(const Args& args, const AdminScope& scope) {
+  const uint32_t linger_ms = args.GetUint("linger-ms", 0);
+  if (linger_ms == 0 || scope.server == nullptr) return;
+  std::printf("admin: lingering %u ms\n", linger_ms);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+}
+
+/// Prints the sampler's interval table: one row per closed interval with
+/// the derived per-interval rates (the same numbers /varz serves).
+void PrintIntervalTable(const MetricsRecorder& recorder) {
+  const std::vector<IntervalSample> samples = recorder.Recent();
+  if (samples.empty()) return;
+  std::printf("interval samples (every %llu ms):\n",
+              static_cast<unsigned long long>(recorder.interval_ms()));
+  std::printf("%10s %9s %10s %12s %10s %10s %10s\n", "t_ms", "queries",
+              "queries/s", "page_reads", "hit_rate", "p50_ms", "p99_ms");
+  for (const IntervalSample& s : samples) {
+    const LatencyHistogram* lat = s.Histogram("stpq_query_cpu_ms");
+    std::printf("%10.0f %9llu %10.1f %12llu %10.3f %10.3f %10.3f\n", s.end_ms,
+                static_cast<unsigned long long>(
+                    s.CounterDelta("stpq_queries_total")),
+                s.QueriesPerSec(),
+                static_cast<unsigned long long>(
+                    s.CounterDelta("stpq_pages_read_total")),
+                s.PoolHitRate(),
+                lat != nullptr ? lat->PercentileMs(0.50) : 0.0,
+                lat != nullptr ? lat->PercentileMs(0.99) : 0.0);
+  }
+}
+
 int Bench(const Args& args) {
   Dataset ds;
   Result<Engine> engine_r = MakeEngine(args, &ds);
@@ -366,6 +494,8 @@ int Bench(const Args& args) {
   std::vector<Query> queries = GenerateQueries(ds, qcfg);
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
+  AdminScope admin;
+  if (!StartAdmin(args, &engine, nullptr, &admin)) return 1;
   Result<WorkloadSummary> s =
       RunWorkload(engine, queries, algo, args.GetDouble("io-ms", 0.1));
   if (!s.ok()) {
@@ -373,6 +503,7 @@ int Bench(const Args& args) {
     return 1;
   }
   std::printf("%s\n", s.value().ToString().c_str());
+  AdminLinger(args, admin);
   return 0;
 }
 
@@ -460,6 +591,10 @@ int Workload(const Args& args) {
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
   opts.io_unit_cost_ms = args.GetDouble("io-ms", 0.1);
 
+  AdminScope admin;
+  if (!StartAdmin(args, &engine.value(), nullptr, &admin)) return 1;
+  opts.slow_log = admin.slow_log.get();
+
   if (args.Has("trace-out")) Tracer::Global().Start();
 
   std::printf("%zu queries, %s, %s index\n", queries.size(),
@@ -488,6 +623,11 @@ int Workload(const Args& args) {
   if (args.Has("metrics") && !WriteMetricsFile(args.Get("metrics"))) {
     return 1;
   }
+  AdminLinger(args, admin);
+  if (admin.recorder != nullptr) {
+    admin.recorder->Stop();  // closes the final partial interval
+    PrintIntervalTable(*admin.recorder);
+  }
   return 0;
 }
 
@@ -513,12 +653,18 @@ int Profile(const Args& args) {
   Algorithm algo =
       args.Get("algo", "stps") == "stds" ? Algorithm::kStds : Algorithm::kStps;
 
+  AdminScope admin;
+  if (!StartAdmin(args, &engine.value(), nullptr, &admin)) return 1;
+
   if (args.Has("trace-out")) Tracer::Global().Start();
 
   QueryStats aggregate;
   LatencyHistogram latency;
+  ExecuteOptions exec;
+  exec.algorithm = algo;
+  exec.slow_log = admin.slow_log.get();
   for (const Query& q : queries) {
-    Result<QueryResult> r = engine.value().Execute(q, algo);
+    Result<QueryResult> r = engine.value().Execute(q, exec);
     if (!r.ok()) {
       std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
       return 1;
@@ -558,6 +704,7 @@ int Profile(const Args& args) {
   if (args.Has("metrics") && !WriteMetricsFile(args.Get("metrics"))) {
     return 1;
   }
+  AdminLinger(args, admin);
   return 0;
 }
 
@@ -587,6 +734,12 @@ int Trace(const Args& args) {
   const bool slow_mode = args.Has("slow-ms");
   SlowQueryLog slow_log(args.GetDouble("slow-ms", 0.0));
 
+  AdminScope admin;
+  if (!StartAdmin(args, &engine.value(), slow_mode ? &slow_log : nullptr,
+                  &admin)) {
+    return 1;
+  }
+
   Tracer::Global().Start();
   ParallelWorkloadRunner runner(&engine.value());
   ParallelWorkloadOptions opts;
@@ -602,6 +755,7 @@ int Trace(const Args& args) {
     return 1;
   }
   std::printf("%s\n", report.value().summary.ToString().c_str());
+  AdminLinger(args, admin);
 
   if (slow_mode) {
     // Slow-query mode: keep only the captured queries; the rest of the
@@ -843,7 +997,9 @@ const std::vector<CommandSpec>& Commands() {
        "  --queries N / --k N / --r R / --lambda L\n"
        "  --variant range|influence|nn\n"
        "  --algo stps|stds\n"
-       "  --io-ms MS        simulated cost per page read\n",
+       "  --io-ms MS        simulated cost per page read\n"
+       STPQ_CLI_ADMIN_FLAGS
+       "  --linger-ms MS    keep the admin server up MS ms after the run\n",
        &Bench},
       {"workload", "parallel throughput sweep over thread counts",
        STPQ_CLI_ENGINE_FLAGS
@@ -853,7 +1009,10 @@ const std::vector<CommandSpec>& Commands() {
        "  --algo stps|stds\n"
        "  --io-ms MS        simulated cost per page read\n"
        "  --metrics FILE    write Prometheus text exposition\n"
-       "  --trace-out FILE  write Chrome trace JSON\n",
+       "  --trace-out FILE  write Chrome trace JSON\n"
+       STPQ_CLI_ADMIN_FLAGS
+       "  --slow-ms T       retain queries at or above T ms (/slowz)\n"
+       "  --linger-ms MS    keep the admin server up MS ms after the run\n",
        &Workload},
       {"profile", "sequential run with phase breakdown + latency histogram",
        STPQ_CLI_ENGINE_FLAGS
@@ -862,7 +1021,10 @@ const std::vector<CommandSpec>& Commands() {
        "  --algo stps|stds\n"
        "  --io-ms MS        simulated cost per page read\n"
        "  --metrics FILE    write Prometheus text exposition\n"
-       "  --trace-out FILE  write Chrome trace JSON\n",
+       "  --trace-out FILE  write Chrome trace JSON\n"
+       STPQ_CLI_ADMIN_FLAGS
+       "  --slow-ms T       retain queries at or above T ms (/slowz)\n"
+       "  --linger-ms MS    keep the admin server up MS ms after the run\n",
        &Profile},
       {"trace", "run with the tracer armed and export Chrome trace JSON",
        STPQ_CLI_ENGINE_FLAGS
@@ -870,7 +1032,11 @@ const std::vector<CommandSpec>& Commands() {
        "  --slow-ms T       capture only queries at or above T ms\n"
        "  --queries N / --threads N\n"
        "  --variant range|influence|nn\n"
-       "  --algo stps|stds\n",
+       "  --algo stps|stds\n"
+       STPQ_CLI_ADMIN_FLAGS
+       "  --linger-ms MS    keep the admin server up MS ms after the run\n"
+       "                    (note: a /tracez scrape consumes trace events\n"
+       "                    the export would otherwise include)\n",
        &Trace},
       {"validate", "run the deep structural validators over every index",
        STPQ_CLI_ENGINE_FLAGS, &Validate},
